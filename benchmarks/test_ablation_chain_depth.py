@@ -1,0 +1,41 @@
+"""Ablation: maximum chain-walk depth.
+
+§3.2 says the inter-thread prefetch depth is throttle-controlled; this
+sweep shows why depth matters — shallow walks cannot reach the next loop
+iteration in time, while very deep walks add little once the loop period
+is covered.
+"""
+
+from _common import BENCH_SEED, run_once
+
+from repro.analysis import experiments
+from repro.gpusim import GPUConfig
+
+SCALE = 0.5
+APPS = ("lps", "lib", "hotspot")
+DEPTHS = (1, 2, 4, 8, 16)
+
+
+def _run():
+    out = {}
+    for depth in DEPTHS:
+        config = GPUConfig.scaled().with_(max_chain_depth=depth)
+        stats = [
+            experiments.run_app(app, "snake", config=config,
+                                scale=SCALE, seed=BENCH_SEED)
+            for app in APPS
+        ]
+        out[depth] = (
+            sum(s.coverage for s in stats) / len(stats),
+            sum(s.accuracy for s in stats) / len(stats),
+        )
+    return out
+
+
+def test_ablation_chain_depth(benchmark):
+    results = run_once(benchmark, _run)
+    print()
+    print("chain-depth ablation (Snake, mean of %s):" % (APPS,))
+    for depth, (cov, acc) in results.items():
+        print("  depth %2d: cov=%5.1f%% acc=%5.1f%%" % (depth, 100 * cov, 100 * acc))
+    assert results[8][0] >= results[1][0]  # deeper never covers less

@@ -1,0 +1,41 @@
+"""Ablation: warp scheduler (GTO vs loose round-robin).
+
+DESIGN.md decision 1 — the Head table doubles its columns specifically to
+survive greedy scheduling, so Snake's coverage should hold under both
+schedulers.
+"""
+
+from _common import BENCH_SEED, run_once
+
+from repro.analysis import experiments
+from repro.gpusim import GPUConfig
+
+SCALE = 0.5
+APPS = ("lps", "lib", "hotspot")
+
+
+def _run():
+    out = {}
+    for sched in ("gto", "rr"):
+        config = GPUConfig.scaled().with_(scheduler=sched)
+        out[sched] = {
+            app: experiments.run_app(app, "snake", config=config,
+                                     scale=SCALE, seed=BENCH_SEED)
+            for app in APPS
+        }
+    return out
+
+
+def test_ablation_scheduler(benchmark):
+    results = run_once(benchmark, _run)
+    print()
+    print("Scheduler ablation (Snake coverage / accuracy):")
+    for sched, per_app in results.items():
+        for app, stats in per_app.items():
+            print("  %-4s %-8s cov=%5.1f%% acc=%5.1f%% ipc=%.3f"
+                  % (sched, app, 100 * stats.coverage,
+                     100 * stats.accuracy, stats.ipc))
+    for app in APPS:
+        gto = results["gto"][app].coverage
+        rr = results["rr"][app].coverage
+        assert abs(gto - rr) < 0.35  # chains survive scheduler choice

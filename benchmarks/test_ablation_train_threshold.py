@@ -1,0 +1,43 @@
+"""Ablation: warp-confirmation threshold for promotion.
+
+The paper promotes a stride once three distinct warps confirm it (§3.1);
+this sweep shows the accuracy/coverage trade: threshold 1 trains on noise,
+large thresholds delay prefetching past the opportunity.
+"""
+
+from _common import BENCH_SEED, run_once
+
+from repro.analysis import experiments
+from repro.gpusim import GPUConfig
+
+SCALE = 0.5
+APPS = ("lps", "mum", "histo")
+THRESHOLDS = (1, 2, 3, 5, 8)
+
+
+def _run():
+    out = {}
+    for threshold in THRESHOLDS:
+        config = GPUConfig.scaled().with_(train_threshold=threshold)
+        stats = [
+            experiments.run_app(app, "snake", config=config,
+                                scale=SCALE, seed=BENCH_SEED)
+            for app in APPS
+        ]
+        out[threshold] = (
+            sum(s.coverage for s in stats) / len(stats),
+            sum(s.accuracy for s in stats) / len(stats),
+            sum(s.prefetch.unused_evicted for s in stats),
+        )
+    return out
+
+
+def test_ablation_train_threshold(benchmark):
+    results = run_once(benchmark, _run)
+    print()
+    print("train-threshold ablation (Snake, mean of %s):" % (APPS,))
+    for threshold, (cov, acc, waste) in results.items():
+        print("  threshold %d: cov=%5.1f%% acc=%5.1f%% unused-evicted=%d"
+              % (threshold, 100 * cov, 100 * acc, waste))
+    # a very high threshold must not cover more than the paper's 3
+    assert results[8][0] <= results[3][0] + 0.05

@@ -1,0 +1,36 @@
+"""§6.1 study: CPU prefetchers (Domino temporal, Bingo spatial) adapted to
+the GPU L1 versus Snake.
+
+Expected shape: the CPU designs retain fragments of coverage (Domino on
+loop-heavy apps, Bingo on dense regions) but are far behind Snake — the
+paper's argument for a GPU-specific chain prefetcher.
+"""
+
+from _common import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.analysis import experiments, report
+from repro.workloads import BENCHMARKS
+
+MECHS = ("domino", "bingo", "snake")
+
+
+def _run():
+    sweep = experiments.comparison_sweep(
+        ("none",) + MECHS, scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+    out = {}
+    for mech in MECHS:
+        series = {app: sweep[app][mech].coverage for app in BENCHMARKS}
+        series["mean"] = sum(series.values()) / len(series)
+        out[mech] = series
+    return out
+
+
+def test_cpu_prefetchers(benchmark):
+    matrix = run_once(benchmark, _run)
+    print()
+    print(report.render_matrix(
+        "CPU prefetchers on the GPU (coverage) vs Snake", matrix, percent=True
+    ))
+    assert matrix["snake"]["mean"] > matrix["domino"]["mean"] + 0.15
+    assert matrix["snake"]["mean"] > matrix["bingo"]["mean"] + 0.15

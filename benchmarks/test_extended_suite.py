@@ -1,0 +1,32 @@
+"""Generalization check: Snake on the extended suite (spmv / bfs / kmeans /
+stream) — workloads outside the Table 2 set it was calibrated against.
+
+Expected shape: big wins where regular structure dominates (kmeans,
+stream), parity on bandwidth-bound spmv, modest gains on irregular bfs —
+and never a slowdown.
+"""
+
+from _common import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.gpusim import simulate
+from repro.workloads import EXTENDED_BENCHMARKS, build_kernel
+
+
+def _run():
+    out = {}
+    for app in sorted(EXTENDED_BENCHMARKS):
+        kernel = build_kernel(app, scale=BENCH_SCALE, seed=BENCH_SEED)
+        base = simulate(kernel, prefetcher="none")
+        snake = simulate(kernel, prefetcher="snake")
+        out[app] = (snake.ipc / base.ipc, snake.coverage, snake.accuracy)
+    return out
+
+
+def test_extended_suite(benchmark):
+    results = run_once(benchmark, _run)
+    print()
+    print("extended suite (not used for calibration):")
+    for app, (speedup, cov, acc) in results.items():
+        print("  %-8s speedup=%.2fx cov=%5.1f%% acc=%5.1f%%"
+              % (app, speedup, 100 * cov, 100 * acc))
+    assert all(speedup > 0.9 for speedup, _, _ in results.values())

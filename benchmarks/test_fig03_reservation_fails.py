@@ -1,0 +1,17 @@
+"""Benchmark: regenerate 'Fig 3: reservation-fail rate (baseline)'.
+
+paper: ~30% of L1 accesses reservation-fail on average.
+"""
+
+from _common import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.analysis import experiments, report
+
+
+def test_fig03_reservation_fails(benchmark):
+    series = run_once(
+        benchmark, experiments.figure3, scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+    print()
+    print(report.render_series('Fig 3: reservation-fail rate (baseline)', series, percent=True))
+    assert set(series) > {"mean"}

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate 'Fig 4: NoC bandwidth utilization (baseline)'.
+
+paper: ~33% of L1<->L2 bandwidth utilized.
+"""
+
+from _common import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.analysis import experiments, report
+
+
+def test_fig04_bandwidth(benchmark):
+    series = run_once(
+        benchmark, experiments.figure4, scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+    print()
+    print(report.render_series('Fig 4: NoC bandwidth utilization (baseline)', series, percent=True))
+    assert set(series) > {"mean"}

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate 'Fig 5: memory-stall fraction (baseline)'.
+
+paper: ~55% of stalls are memory stalls.
+"""
+
+from _common import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.analysis import experiments, report
+
+
+def test_fig05_mem_stalls(benchmark):
+    series = run_once(
+        benchmark, experiments.figure5, scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+    print()
+    print(report.render_series('Fig 5: memory-stall fraction (baseline)', series, percent=True))
+    assert set(series) > {"mean"}

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Fig 6 — coverage of Intra/Inter/MTA/CTA-aware
+against the Ideal prefetcher.
+
+Paper shape: Ideal exceeds MTA by ~25% and CTA-aware by ~70% of demand
+coverage, motivating chain-based prefetching.
+"""
+
+from _common import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.analysis import experiments, report
+
+
+def test_fig06_motivation_coverage(benchmark):
+    matrix = run_once(
+        benchmark, experiments.figure6, scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+    print()
+    print(report.render_matrix(
+        "Fig 6: coverage vs the Ideal prefetcher", matrix, percent=True
+    ))
+    # the paper's key observation: Ideal dominates the fixed-stride designs
+    assert matrix["ideal"]["mean"] > matrix["mta"]["mean"]
+    assert matrix["ideal"]["mean"] > matrix["cta"]["mean"]

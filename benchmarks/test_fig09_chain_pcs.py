@@ -1,0 +1,17 @@
+"""Benchmark: regenerate 'Fig 9: chain PC_ld fraction'.
+
+paper: chains cover ~65% of a representative warp's load PCs.
+"""
+
+from _common import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.analysis import experiments, report
+
+
+def test_fig09_chain_pcs(benchmark):
+    series = run_once(
+        benchmark, experiments.figure9, scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+    print()
+    print(report.render_series('Fig 9: chain PC_ld fraction', series, percent=True))
+    assert set(series) > {"mean"}

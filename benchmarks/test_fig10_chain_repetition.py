@@ -1,0 +1,17 @@
+"""Benchmark: regenerate 'Fig 10: max chain repetition'.
+
+paper: chains repeat ~35x per warp on average.
+"""
+
+from _common import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.analysis import experiments, report
+
+
+def test_fig10_chain_repetition(benchmark):
+    series = run_once(
+        benchmark, experiments.figure10, scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+    print()
+    print(report.render_series('Fig 10: max chain repetition', series, percent=False))
+    assert set(series) > {"mean"}

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Fig 16 — prefetch coverage of the ten comparison
+points over the eleven benchmarks.
+
+Paper shape: Snake ~80% average coverage, ~15% above MTA (the best prior
+mechanism); nw low despite regular patterns; s-Snake close behind Snake.
+Whichever of Figs 16-19 runs first pays for the shared simulation sweep.
+"""
+
+from _common import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.analysis import experiments, report
+
+
+def test_fig16_coverage(benchmark):
+    matrix = run_once(
+        benchmark, experiments.figure16, scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+    print()
+    print(report.render_matrix("Fig 16: prefetch coverage", matrix, percent=True))
+    assert matrix["snake"]["mean"] > matrix["mta"]["mean"]
+    assert matrix["snake"]["mean"] > matrix["cta"]["mean"]
+    assert matrix["snake"]["mean"] > 0.5

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Fig 17 — timely prefetch accuracy of the ten
+comparison points.
+
+Paper shape: Snake ~75% average timely accuracy, far above CTA-aware; the
+decoupling/throttling ablations (Snake-DT, Snake-T) trail full Snake.
+"""
+
+from _common import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.analysis import experiments, report
+
+
+def test_fig17_accuracy(benchmark):
+    matrix = run_once(
+        benchmark, experiments.figure17, scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+    print()
+    print(report.render_matrix(
+        "Fig 17: prefetch accuracy (timely)", matrix, percent=True
+    ))
+    assert matrix["snake"]["mean"] > matrix["cta"]["mean"]
+    assert matrix["snake"]["mean"] > matrix["tree"]["mean"]

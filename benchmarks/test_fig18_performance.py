@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Fig 18 — IPC of every mechanism normalized to the
+baseline GPU.
+
+Paper shape: Snake +17% average (up to +60%); LIB the biggest winner;
+histo/srad large; Tree can hurt; Snake above Snake-DT and Snake-T.
+"""
+
+from _common import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.analysis import experiments, report
+
+
+def test_fig18_performance(benchmark):
+    matrix = run_once(
+        benchmark, experiments.figure18, scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+    print()
+    print(report.render_matrix("Fig 18: IPC vs baseline", matrix, percent=False))
+    assert matrix["snake"]["mean"] > 1.05
+    assert matrix["snake"]["mean"] > matrix["tree"]["mean"]
+    assert matrix["snake"]["lib"] > 1.1  # LIB is a big winner in the paper

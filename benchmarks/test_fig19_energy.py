@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig 19 — energy consumption normalized to the
+baseline GPU.
+
+Paper shape: Snake consumes ~17% less energy on average, driven by the
+shorter runtime and fewer replayed accesses.
+"""
+
+from _common import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.analysis import experiments, report
+
+
+def test_fig19_energy(benchmark):
+    matrix = run_once(
+        benchmark, experiments.figure19, scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+    print()
+    print(report.render_matrix("Fig 19: energy vs baseline", matrix, percent=False))
+    assert matrix["snake"]["mean"] < 1.0  # Snake saves energy on average

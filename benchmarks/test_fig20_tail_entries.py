@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Fig 20 — Snake coverage vs Tail-table entry count
+under the LRU+popcount eviction policy.
+
+Paper shape: only ~8% coverage is lost at 10 entries vs much larger
+tables, which is why the paper settles on 10.
+"""
+
+from _common import BENCH_SEED, run_once
+
+from repro.analysis import experiments, report
+
+SCALE = 0.35  # 5 entry sizes x 11 apps: keep each run small
+ENTRIES = (2, 5, 10, 20, 40)
+
+
+def test_fig20_tail_entries(benchmark):
+    sweep = run_once(
+        benchmark, experiments.figure20, entry_sizes=ENTRIES,
+        scale=SCALE, seed=BENCH_SEED,
+    )
+    print()
+    print(report.render_sweep(
+        "Fig 20: coverage vs Tail entries (LRU+popcount)",
+        sweep, x_label="entries", percent=True,
+    ))
+    assert sweep[2] <= sweep[40] + 0.02  # more entries never hurt much
+    assert sweep[10] > sweep[40] - 0.10  # 10 entries is within ~10% of large

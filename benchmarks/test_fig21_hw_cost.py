@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Fig 21 — hardware storage cost per SM vs Tail-table
+entry count (CACTI-substitute model).
+
+Paper shape: cost grows linearly with entries; 10 entries is the sweet spot
+against Fig 20's coverage curve.
+"""
+
+from _common import run_once
+
+from repro.analysis import experiments, report
+
+ENTRIES = (2, 5, 10, 20, 40)
+
+
+def test_fig21_hw_cost(benchmark):
+    sweep = run_once(benchmark, experiments.figure21, ENTRIES)
+    print()
+    print(report.render_sweep(
+        "Fig 21: hardware cost (bytes/SM) vs Tail entries",
+        sweep, x_label="entries",
+    ))
+    values = [sweep[n] for n in ENTRIES]
+    assert values == sorted(values)
+    assert sweep[10] == 448 + 320  # Table 3's configuration

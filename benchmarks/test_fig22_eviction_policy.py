@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Fig 22 — Snake coverage vs Tail entries with the
+popcount-only eviction policy (no LRU group).
+
+Paper shape: popcount-only trails the combined LRU+popcount policy of
+Fig 20, especially at small tables.
+"""
+
+from _common import BENCH_SEED, run_once
+
+from repro.analysis import experiments, report
+
+SCALE = 0.35
+ENTRIES = (2, 5, 10, 20, 40)
+
+
+def test_fig22_eviction_policy(benchmark):
+    sweep = run_once(
+        benchmark, experiments.figure22, entry_sizes=ENTRIES,
+        scale=SCALE, seed=BENCH_SEED,
+    )
+    print()
+    print(report.render_sweep(
+        "Fig 22: coverage vs Tail entries (popcount-only)",
+        sweep, x_label="entries", percent=True,
+    ))
+    lru_pop = experiments.figure20(entry_sizes=(10,), scale=SCALE, seed=BENCH_SEED)
+    print("LRU+popcount @10 entries: %.1f%%  popcount-only: %.1f%%"
+          % (100 * lru_pop[10], 100 * sweep[10]))
+    # the paper's conclusion: the combined policy is at least as good
+    assert lru_pop[10] >= sweep[10] - 0.03

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Fig 23 — coverage/accuracy trade-off of the
+throttling interval.
+
+Paper shape: 50 cycles reaches the target accuracy at only ~2% coverage
+loss; very long intervals cost coverage.
+"""
+
+from _common import BENCH_SEED, run_once
+
+from repro.analysis import experiments, report
+
+SCALE = 0.35
+INTERVALS = (0, 10, 25, 50, 100, 200)
+
+
+def test_fig23_throttling(benchmark):
+    sweep = run_once(
+        benchmark, experiments.figure23, intervals=INTERVALS,
+        scale=SCALE, seed=BENCH_SEED,
+    )
+    print()
+    print(report.render_pairs(
+        "Fig 23: throttling-interval trade-off",
+        sweep, labels=["coverage", "accuracy"], x_label="cycles", percent=True,
+    ))
+    # the default interval must not cost more than a few points of coverage
+    assert sweep[50][0] > sweep[0][0] - 0.05

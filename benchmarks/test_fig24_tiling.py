@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Fig 24 — tiled convolution with and without Snake,
+for tile sizes of 25/50/75/100% of the unified cache.
+
+Paper shape: both curves peak at the 75% tile; Snake+Tiled beats Tiled
+alone except at 100% (where Snake stays throttled); improvements are
+normalized to the untiled, unprefetched baseline.
+"""
+
+from _common import BENCH_SEED, run_once
+
+from repro.analysis import experiments, report
+
+SCALE = 0.6
+FRACS = (0.25, 0.50, 0.75, 1.0)
+
+
+def test_fig24_tiling(benchmark):
+    data = run_once(
+        benchmark, experiments.figure24, tile_fracs=FRACS,
+        scale=SCALE, seed=BENCH_SEED,
+    )
+    flat = {
+        frac: (
+            values["tiled"][0], values["tiled"][1],
+            values["snake+tiled"][0], values["snake+tiled"][1],
+        )
+        for frac, values in data.items()
+    }
+    print()
+    print(report.render_pairs(
+        "Fig 24: tiling +/- Snake (vs untiled baseline)",
+        flat, labels=["tiled-ipc", "tiled-en", "fused-ipc", "fused-en"],
+        x_label="tile",
+    ))
+    # tiling alone helps; the best configuration is the 75% tile (the
+    # paper's peak), where adding Snake helps further; at 100% Snake stays
+    # throttled and matches plain tiling
+    assert data[0.75]["tiled"][0] > 1.0
+    assert data[0.75]["snake+tiled"][0] >= data[0.75]["tiled"][0] * 0.98
+    assert abs(data[1.0]["snake+tiled"][0] - data[1.0]["tiled"][0]) < 0.15

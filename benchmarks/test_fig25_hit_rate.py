@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig 25 — L1 data cache hit rate of the baseline,
+Snake, and Isolated-Snake.
+
+Paper shape: 45% / 79% / 84% — Snake lands within a few points of the
+idealized isolated buffer.
+"""
+
+from _common import BENCH_SCALE, BENCH_SEED, run_once
+
+from repro.analysis import experiments, report
+
+
+def test_fig25_hit_rate(benchmark):
+    matrix = run_once(
+        benchmark, experiments.figure25, scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+    print()
+    print(report.render_matrix("Fig 25: L1 hit rate", matrix, percent=True))
+    assert matrix["snake"]["mean"] > matrix["baseline"]["mean"]
+    assert matrix["isolated-snake"]["mean"] > matrix["baseline"]["mean"]

@@ -1,0 +1,36 @@
+"""Benchmark: print Table 1 — the baseline GPU configuration — from the
+machine description actually used by the simulator (full-scale V100
+preset), verifying each paper value."""
+
+from _common import run_once
+
+from repro.gpusim import GPUConfig
+
+
+def test_table1_config(benchmark):
+    config = run_once(benchmark, GPUConfig.volta_v100)
+    rows = [
+        ("Number of SM", config.num_sms, 80),
+        ("Core clock (MHz)", config.core_clock_mhz, 1530),
+        ("Scheduler", config.scheduler, "gto"),
+        ("Schedulers per SM", config.schedulers_per_sm, 4),
+        ("Threads per SM", config.max_threads_per_sm, 2048),
+        ("Register file per SM", config.registers_per_sm, 65536),
+        ("Unified cache (KB)", config.l1.size_bytes // 1024, 128),
+        ("Unified cache assoc", config.l1.assoc, 256),
+        ("Line size (B)", config.l1.line_bytes, 128),
+        ("MSHR entries", config.mshr_entries, 512),
+        ("MSHR merge", config.mshr_merge, 8),
+        ("L2 per sub-partition (KB)", config.l2.size_bytes // 1024, 96),
+        ("L2 assoc", config.l2.assoc, 24),
+        ("L2 banks", config.l2_banks, 64),
+        ("DRAM tRCD", config.dram.t_rcd, 12),
+        ("DRAM tRAS", config.dram.t_ras, 28),
+        ("DRAM tRC", config.dram.t_rc, 40),
+        ("DRAM tCL", config.dram.t_cl, 12),
+    ]
+    print()
+    print("Table 1: baseline GPU configuration")
+    for name, actual, expected in rows:
+        print("  %-26s %10s" % (name, actual))
+        assert actual == expected, name

@@ -1,0 +1,28 @@
+"""Benchmark: print Table 2 — the benchmark suites — and verify every app
+builds a valid, memory-access-bearing trace."""
+
+from _common import BENCH_SEED, run_once
+
+from repro.gpusim.validate import validate_kernel
+from repro.workloads import BENCHMARKS, FULL_NAMES, build_kernel
+
+
+def _run():
+    kernels = {}
+    for app in BENCHMARKS:
+        kernels[app] = build_kernel(app, scale=0.25, seed=BENCH_SEED)
+    return kernels
+
+
+def test_table2_benchmarks(benchmark):
+    kernels = run_once(benchmark, _run)
+    print()
+    print("Table 2: benchmark suites")
+    for app in BENCHMARKS:
+        kernel = kernels[app]
+        print("  %-50s %-9s %5d warps %7d instrs"
+              % (FULL_NAMES[app], app, kernel.num_warps, kernel.num_instrs))
+        errors = [i for i in validate_kernel(kernel) if i.severity == "error"]
+        assert errors == [], app
+        assert kernel.representative_warp().loads(), app
+    assert len(kernels) == 11  # the paper's eleven applications

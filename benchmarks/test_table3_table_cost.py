@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Table 3 — Snake's table parameters — plus the §5.5
+area claim (<1% of the V100 die).
+"""
+
+from _common import run_once
+
+from repro.analysis import experiments
+from repro.gpusim.area import area_overhead_fraction
+
+
+def test_table3_table_cost(benchmark):
+    table = run_once(benchmark, experiments.table3)
+    print()
+    print("Table 3: Snake's tables parameters")
+    for name, fields in table.items():
+        print("  %-5s %3d bytes/entry x %3d entries = %4d bytes"
+              % (name, fields["bytes_per_entry"], fields["entries"],
+                 fields["total_bytes"]))
+    overhead = area_overhead_fraction(num_sms=80)
+    print("  die-area overhead (80 SMs): %.3f%%" % (100 * overhead))
+    assert table["head"]["total_bytes"] == 448  # paper: 448 bytes
+    assert table["tail"]["total_bytes"] == 320  # paper: 320 bytes
+    assert overhead < 0.01  # paper: <1% of the 815 mm^2 die

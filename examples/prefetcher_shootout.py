@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Compare every prefetching mechanism on a workload of your choice.
+
+Reproduces one column of Figs 16-18 interactively::
+
+    python examples/prefetcher_shootout.py            # defaults to srad
+    python examples/prefetcher_shootout.py lib        # pick another app
+    python examples/prefetcher_shootout.py mum 0.5    # app + scale
+"""
+
+import sys
+
+from repro.gpusim import GPUConfig, simulate
+from repro.prefetch import COMPARISON_POINTS
+from repro.workloads import BENCHMARKS, build_kernel
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "srad"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+    if app not in BENCHMARKS:
+        raise SystemExit("unknown app %r; choose from %s" % (app, BENCHMARKS))
+
+    config = GPUConfig.scaled()
+    kernel = build_kernel(app, scale=scale, seed=7)
+    baseline = simulate(kernel, prefetcher="none", config=config)
+
+    print("app=%s  baseline IPC=%.3f  hit rate=%.1f%%"
+          % (app, baseline.ipc, 100 * baseline.l1_hit_rate))
+    print()
+    print("%-12s %9s %9s %9s %9s" % ("mechanism", "speedup", "coverage",
+                                     "accuracy", "hit rate"))
+    print("-" * 54)
+    for mech in COMPARISON_POINTS + ["ideal", "isolated-snake"]:
+        stats = simulate(kernel, prefetcher=mech, config=config)
+        print("%-12s %8.2fx %8.1f%% %8.1f%% %8.1f%%" % (
+            mech,
+            stats.ipc / baseline.ipc,
+            100 * stats.coverage,
+            100 * stats.accuracy,
+            100 * stats.l1_hit_rate,
+        ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Quickstart: run one benchmark with and without Snake.
+
+Builds the LPS (3D Laplace Solver) trace — the paper's running example —
+simulates it on the baseline GPU and on a Snake-equipped GPU, and prints
+the headline metrics the paper reports: coverage, timely accuracy, L1 hit
+rate, IPC speedup, and energy.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.gpusim import GPUConfig, simulate
+from repro.gpusim.energy import energy_of
+from repro.workloads import build_kernel
+
+
+def main() -> None:
+    config = GPUConfig.scaled()
+    kernel = build_kernel("lps", scale=1.0, seed=7)
+    print("kernel: %s  (%d CTAs, %d warps, %d instructions)"
+          % (kernel.name, len(kernel.ctas), kernel.num_warps, kernel.num_instrs))
+
+    baseline = simulate(kernel, prefetcher="none", config=config)
+    snake = simulate(kernel, prefetcher="snake", config=config)
+
+    base_energy = energy_of(baseline, config.num_sms).total_j
+    snake_energy = energy_of(snake, config.num_sms, prefetcher_present=True).total_j
+
+    print()
+    print("%-22s %12s %12s" % ("metric", "baseline", "snake"))
+    print("-" * 48)
+    print("%-22s %12.3f %12.3f" % ("IPC", baseline.ipc, snake.ipc))
+    print("%-22s %11.1f%% %11.1f%%" % ("L1 hit rate",
+                                       100 * baseline.l1_hit_rate,
+                                       100 * snake.l1_hit_rate))
+    print("%-22s %12s %11.1f%%" % ("coverage", "-", 100 * snake.coverage))
+    print("%-22s %12s %11.1f%%" % ("timely accuracy", "-", 100 * snake.accuracy))
+    print("%-22s %12d %12d" % ("cycles", baseline.cycles, snake.cycles))
+    print()
+    print("speedup: %.2fx   energy: %.2fx"
+          % (snake.ipc / baseline.ipc, snake_energy / base_energy))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Tiling + Snake interplay (the paper's §5.6 / Fig 24).
+
+Sweeps the tile size of a tiled convolution from 0% (untiled streaming) to
+100% of the unified cache and reports IPC and energy, with and without
+Snake, normalized to the untiled baseline.
+
+Run with::
+
+    python examples/tiling_study.py
+"""
+
+from repro.analysis.experiments import figure24
+from repro.analysis.report import render_pairs
+
+
+def main() -> None:
+    data = figure24(tile_fracs=(0.25, 0.50, 0.75, 1.0), scale=0.6, seed=7)
+    flat = {
+        frac: (
+            values["tiled"][0], values["tiled"][1],
+            values["snake+tiled"][0], values["snake+tiled"][1],
+        )
+        for frac, values in data.items()
+    }
+    print(render_pairs(
+        "Tiled convolution: IPC and energy vs untiled baseline",
+        flat,
+        labels=["tiled-ipc", "tiled-en", "fused-ipc", "fused-en"],
+        x_label="tile",
+    ))
+    best = max(data, key=lambda f: data[f]["snake+tiled"][0])
+    print()
+    print("best Snake+Tiled tile size: %d%% of the unified cache"
+          % round(best * 100))
+
+
+if __name__ == "__main__":
+    main()

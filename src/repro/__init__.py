@@ -1,0 +1,18 @@
+"""Snake (MICRO 2023) reproduction.
+
+Quickstart::
+
+    from repro import simulate, GPUConfig
+    from repro.workloads import build_kernel
+
+    kernel = build_kernel("lps", scale=1.0, seed=7)
+    baseline = simulate(kernel, prefetcher="none")
+    snake = simulate(kernel, prefetcher="snake")
+    print(snake.ipc / baseline.ipc, snake.coverage, snake.accuracy)
+"""
+
+from repro.gpusim import GPU, GPUConfig, SimStats, simulate
+
+__version__ = "1.0.0"
+
+__all__ = ["GPU", "GPUConfig", "SimStats", "simulate", "__version__"]

@@ -1,0 +1,6 @@
+"""Metrics, chain analysis, per-figure experiments, claims checking,
+profiling, and export."""
+
+from . import chains, claims, export, profile, report
+
+__all__ = ["chains", "claims", "export", "profile", "report"]

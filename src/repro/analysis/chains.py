@@ -1,0 +1,122 @@
+"""Offline chain analysis of kernel traces (the paper's §2 motivation).
+
+These functions look only at the *trace*, never at the timing model, exactly
+like the paper's "trace-based analysis on the memory accesses":
+
+* :func:`chain_pc_fraction` — Fig 9: how many of a representative warp's
+  load PCs participate in a chain (a transition between consecutive load PCs
+  whose stride repeats).
+* :func:`max_chain_repetition` — Fig 10: how often the most frequent chain
+  repeats within a representative warp.
+* :func:`chain_predictable_fraction` / :func:`mta_predictable_fraction` —
+  Fig 11: the share of memory accesses predictable by chains of strides vs
+  by MTA's fixed intra/inter-warp strides.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Tuple
+
+from repro.gpusim.trace import KernelTrace, WarpTrace
+
+Transition = Tuple[int, int, int]  # (pc1, pc2, stride)
+
+
+def load_transitions(warp: WarpTrace) -> List[Transition]:
+    """Consecutive-load transitions of one warp."""
+    loads = warp.loads()
+    return [
+        (a.pc, b.pc, b.base_addr - a.base_addr)
+        for a, b in zip(loads, loads[1:])
+    ]
+
+
+def repeated_transitions(warp: WarpTrace) -> Counter:
+    """Transitions that occur at least twice (the chain links the paper's
+    detector could train on)."""
+    counts = Counter(load_transitions(warp))
+    return Counter({t: n for t, n in counts.items() if n >= 2})
+
+
+def chain_pc_fraction(kernel: KernelTrace) -> float:
+    """Fig 9: PCs in chains / total load PCs, for the representative warp."""
+    warp = kernel.representative_warp()
+    all_pcs = {i.pc for i in warp.loads()}
+    if not all_pcs:
+        return 0.0
+    chain_pcs = set()
+    for pc1, pc2, _ in repeated_transitions(warp):
+        chain_pcs.add(pc1)
+        chain_pcs.add(pc2)
+    return len(chain_pcs & all_pcs) / len(all_pcs)
+
+
+def max_chain_repetition(kernel: KernelTrace) -> int:
+    """Fig 10: the repetition count of the most repeated chain link within
+    the representative warp."""
+    warp = kernel.representative_warp()
+    repeated = repeated_transitions(warp)
+    if not repeated:
+        return 0
+    return max(repeated.values())
+
+
+def chain_predictable_fraction(kernel: KernelTrace) -> float:
+    """Fig 11 (chains): the fraction of all load accesses whose incoming
+    transition (pc1 -> pc2, stride) was observed before — by any warp, since
+    chains detected in one warp serve the others."""
+    seen: set = set()
+    predictable = 0
+    total = 0
+    last: Dict[int, Tuple[int, int]] = {}  # warp id -> (pc, addr)
+    for warp in kernel.all_warps():
+        for instr in warp.loads():
+            total += 1
+            prev = last.get(warp.warp_id)
+            if prev is not None:
+                transition = (prev[0], instr.pc, instr.base_addr - prev[1])
+                if transition in seen:
+                    predictable += 1
+                seen.add(transition)
+            last[warp.warp_id] = (instr.pc, instr.base_addr)
+    return predictable / total if total else 0.0
+
+
+def mta_predictable_fraction(kernel: KernelTrace) -> float:
+    """Fig 11 (MTA): accesses predictable by a fixed intra-warp stride
+    (same warp, same PC, repeated delta) or a fixed inter-warp stride
+    (adjacent warps, same PC, repeated per-warp delta)."""
+    intra_last: Dict[Tuple[int, int], Tuple[int, int]] = {}
+    inter_last: Dict[int, Tuple[int, int]] = {}
+    inter_stride: Dict[int, Dict[int, int]] = defaultdict(dict)
+    predictable = 0
+    total = 0
+    for warp in kernel.all_warps():
+        for instr in warp.loads():
+            total += 1
+            covered = False
+
+            key = (warp.warp_id, instr.pc)
+            prev = intra_last.get(key)
+            delta = None
+            if prev is not None:
+                delta = instr.base_addr - prev[0]
+                if delta != 0 and delta == prev[1]:
+                    covered = True
+            intra_last[key] = (instr.base_addr, delta if delta else (prev[1] if prev else 0))
+
+            last = inter_last.get(instr.pc)
+            if last is not None and last[0] != warp.warp_id:
+                gap = warp.warp_id - last[0]
+                if gap > 0:
+                    per_warp = (instr.base_addr - last[1]) / gap
+                    votes = inter_stride[instr.pc]
+                    if votes.get("stride") == per_warp:
+                        covered = True
+                    votes["stride"] = per_warp
+            inter_last[instr.pc] = (warp.warp_id, instr.base_addr)
+
+            if covered:
+                predictable += 1
+    return predictable / total if total else 0.0

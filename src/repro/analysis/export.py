@@ -1,0 +1,69 @@
+"""Export experiment results to CSV or JSON.
+
+The experiment functions return plain dicts (series, matrices, sweeps);
+these helpers flatten any of those shapes into rows so results can be
+archived or plotted outside the repo::
+
+    from repro.analysis import experiments, export
+    export.to_csv(experiments.figure16(), "fig16.csv")
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import List, Mapping, Sequence, Tuple, Union
+
+Pathish = Union[str, Path]
+
+
+def flatten(result: Mapping) -> Tuple[List[str], List[list]]:
+    """Normalize a series / matrix / sweep dict into (header, rows).
+
+    * series  ``{x: value}``            -> columns (key, value)
+    * matrix  ``{row: {col: value}}``   -> columns (row, col, value)
+    * sweep   ``{x: (v1, v2, ...)}``    -> columns (key, value_0, value_1, ...)
+    """
+    if not result:
+        return ["key", "value"], []
+
+    sample = next(iter(result.values()))
+    if isinstance(sample, Mapping):
+        rows = [
+            [row_key, col_key, value]
+            for row_key, series in result.items()
+            for col_key, value in series.items()
+        ]
+        return ["row", "column", "value"], rows
+    if isinstance(sample, Sequence) and not isinstance(sample, (str, bytes)):
+        width = len(sample)
+        header = ["key"] + ["value_%d" % i for i in range(width)]
+        rows = [[key, *values] for key, values in result.items()]
+        return header, rows
+    return ["key", "value"], [[key, value] for key, value in result.items()]
+
+
+def to_csv(result: Mapping, path: Pathish) -> Path:
+    """Write an experiment result as CSV; returns the path written."""
+    header, rows = flatten(result)
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def to_json(result: Mapping, path: Pathish) -> Path:
+    """Write an experiment result as JSON (keys coerced to strings)."""
+    def coerce(obj):
+        if isinstance(obj, Mapping):
+            return {str(k): coerce(v) for k, v in obj.items()}
+        if isinstance(obj, tuple):
+            return list(obj)
+        return obj
+
+    path = Path(path)
+    path.write_text(json.dumps(coerce(result), indent=2, sort_keys=True))
+    return path

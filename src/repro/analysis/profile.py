@@ -1,0 +1,132 @@
+"""Per-PC profiling: where does a prefetcher win or lose?
+
+Wraps a simulation with a recording prefetcher/L1 pair and reports, for
+every static load PC of a kernel, its access count, L1 hit rate and how
+much of it the prefetcher covered.  This is the tool you reach for when a
+benchmark underperforms — it shows exactly which loads the Tail table
+failed to learn.
+
+Example::
+
+    from repro.analysis.profile import profile_kernel
+    rows = profile_kernel("histo", "snake")
+    for row in rows:
+        print(row)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.gpusim import GPUConfig
+from repro.gpusim.gpu import GPU
+from repro.gpusim.unified_cache import L1Outcome
+from repro.prefetch import build_setup
+from repro.workloads import build_kernel
+
+
+@dataclass
+class PCProfile:
+    """Aggregated behaviour of one static load PC."""
+
+    pc: int
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    reserved: int = 0
+    covered: int = 0
+    timely: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def coverage(self) -> float:
+        return self.covered / self.accesses if self.accesses else 0.0
+
+    def as_row(self) -> str:
+        return (
+            "pc=%-8s n=%6d hit=%5.1f%% covered=%5.1f%% timely=%5.1f%%"
+            % (
+                hex(self.pc),
+                self.accesses,
+                100 * self.hit_rate,
+                100 * (self.covered / self.accesses if self.accesses else 0),
+                100 * (self.timely / self.accesses if self.accesses else 0),
+            )
+        )
+
+
+class _RecordingL1:
+    """Proxy that attributes each demand access's outcome to its load PC."""
+
+    def __init__(self, l1, profiles: Dict[int, PCProfile]) -> None:
+        self._l1 = l1
+        self._profiles = profiles
+        self.current_pc: Optional[int] = None
+
+    def __getattr__(self, name):
+        return getattr(self._l1, name)
+
+    def demand_load(self, line_addr: int, now: int, sector_mask: int = -1):
+        before_covered = self._l1.stats.prefetch.demand_covered
+        before_timely = self._l1.stats.prefetch.demand_timely
+        outcome, ready = self._l1.demand_load(
+            line_addr, now, sector_mask=sector_mask
+        )
+        if self.current_pc is not None:
+            profile = self._profiles.setdefault(
+                self.current_pc, PCProfile(pc=self.current_pc)
+            )
+            profile.accesses += 1
+            if outcome is L1Outcome.HIT:
+                profile.hits += 1
+            elif outcome is L1Outcome.MISS:
+                profile.misses += 1
+            elif outcome is L1Outcome.RESERVED:
+                profile.reserved += 1
+            profile.covered += (
+                self._l1.stats.prefetch.demand_covered - before_covered
+            )
+            profile.timely += (
+                self._l1.stats.prefetch.demand_timely - before_timely
+            )
+        return outcome, ready
+
+
+def profile_kernel(
+    app: str,
+    mechanism: str = "snake",
+    config: Optional[GPUConfig] = None,
+    scale: float = 1.0,
+    seed: int = 1,
+) -> List[PCProfile]:
+    """Run ``app`` under ``mechanism`` and return per-PC profiles sorted by
+    access count (descending)."""
+    config = config or GPUConfig.scaled()
+    kernel = build_kernel(app, scale=scale, seed=seed)
+    setup = build_setup(mechanism, config)
+    gpu = GPU(
+        config=setup.config,
+        prefetcher_factory=setup.prefetcher_factory,
+        throttle_factory=setup.throttle_factory,
+        storage_mode=setup.storage_mode,
+    )
+
+    profiles: Dict[int, PCProfile] = {}
+    for sm in gpu.sms:
+        recorder = _RecordingL1(sm.l1, profiles)
+        sm.l1 = recorder
+
+        def make_hook(sm=sm, recorder=recorder, original=sm._feed_prefetcher):
+            def hook(warp, instr, line_addr):
+                recorder.current_pc = instr.pc
+                original(warp, instr, line_addr)
+
+            return hook
+
+        sm._feed_prefetcher = make_hook()
+    gpu.run(kernel)
+    return sorted(profiles.values(), key=lambda p: -p.accesses)

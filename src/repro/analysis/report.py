@@ -1,0 +1,96 @@
+"""Fixed-width text rendering of experiment results.
+
+The benchmark harness and CLI print these tables so a run's output can be
+compared line-by-line against the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Union
+
+Number = Union[int, float]
+
+
+def _fmt(value: Number, percent: bool) -> str:
+    if percent:
+        return "%6.1f%%" % (100.0 * value)
+    if isinstance(value, int):
+        return "%7d" % value
+    return "%7.3f" % value
+
+
+_BAR_WIDTH = 32
+
+
+def _bar(value: Number, peak: Number) -> str:
+    """A proportional ASCII bar, so CLI output reads like the figure."""
+    if peak <= 0:
+        return ""
+    filled = int(round(_BAR_WIDTH * max(0.0, min(1.0, value / peak))))
+    return "|" + "#" * filled
+
+
+def render_series(
+    title: str, series: Mapping[str, Number], percent: bool = False
+) -> str:
+    """One-row figure (app -> value), with proportional bars."""
+    lines = [title, "-" * len(title)]
+    peak = max((v for v in series.values()), default=0)
+    for name, value in series.items():
+        lines.append(
+            "%-10s %s %s" % (name, _fmt(value, percent), _bar(value, peak))
+        )
+    return "\n".join(lines)
+
+
+def render_matrix(
+    title: str,
+    matrix: Mapping[str, Mapping[str, Number]],
+    percent: bool = False,
+) -> str:
+    """Multi-row figure (mechanism -> app -> value); mechanisms are rows."""
+    mechs = list(matrix)
+    if not mechs:
+        return title
+    apps = list(matrix[mechs[0]])
+    width = max(len(m) for m in mechs) + 2
+    header = " " * width + " ".join("%9s" % a[:9] for a in apps)
+    lines = [title, "-" * len(header), header]
+    for mech in mechs:
+        row = "%-*s" % (width, mech)
+        row += " ".join(
+            "%9s" % _fmt(matrix[mech].get(app, 0.0), percent).strip()
+            for app in apps
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_sweep(
+    title: str,
+    sweep: Mapping[Number, Number],
+    x_label: str = "x",
+    percent: bool = False,
+) -> str:
+    """Parameter-sweep figure (x -> value)."""
+    lines = [title, "-" * len(title), "%-10s %9s" % (x_label, "value")]
+    for x, value in sweep.items():
+        lines.append("%-10s %9s" % (x, _fmt(value, percent).strip()))
+    return "\n".join(lines)
+
+
+def render_pairs(
+    title: str,
+    sweep: Mapping[Number, Sequence[Number]],
+    labels: Sequence[str],
+    x_label: str = "x",
+    percent: bool = False,
+) -> str:
+    """Sweep with several values per x (e.g. coverage and accuracy)."""
+    header = "%-10s" % x_label + " ".join("%9s" % l[:9] for l in labels)
+    lines = [title, "-" * len(header), header]
+    for x, values in sweep.items():
+        row = "%-10s" % x
+        row += " ".join("%9s" % _fmt(v, percent).strip() for v in values)
+        lines.append(row)
+    return "\n".join(lines)

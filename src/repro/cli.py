@@ -1,0 +1,202 @@
+"""Command-line entry point: regenerate any of the paper's experiments.
+
+Usage::
+
+    snake-repro list                 # show available experiments
+    snake-repro fig16                # coverage of the ten mechanisms
+    snake-repro fig23 --scale 0.5    # faster, smaller traces
+    snake-repro all                  # everything (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.analysis import experiments, report
+
+
+def _series(fn, title, percent=True):
+    def run(scale: float, seed: int) -> str:
+        return report.render_series(title, fn(scale=scale, seed=seed), percent=percent)
+
+    return run
+
+
+def _matrix(fn, title, percent=True):
+    def run(scale: float, seed: int) -> str:
+        return report.render_matrix(title, fn(scale=scale, seed=seed), percent=percent)
+
+    return run
+
+
+def _fig20(scale: float, seed: int) -> str:
+    return report.render_sweep(
+        "Fig 20: coverage vs Tail entries (LRU+popcount eviction)",
+        experiments.figure20(scale=scale, seed=seed),
+        x_label="entries",
+        percent=True,
+    )
+
+
+def _fig21(scale: float, seed: int) -> str:
+    return report.render_sweep(
+        "Fig 21: hardware cost (bytes/SM) vs Tail entries",
+        experiments.figure21(),
+        x_label="entries",
+    )
+
+
+def _fig22(scale: float, seed: int) -> str:
+    return report.render_sweep(
+        "Fig 22: coverage vs Tail entries (popcount-only eviction)",
+        experiments.figure22(scale=scale, seed=seed),
+        x_label="entries",
+        percent=True,
+    )
+
+
+def _fig23(scale: float, seed: int) -> str:
+    return report.render_pairs(
+        "Fig 23: throttling interval trade-off",
+        experiments.figure23(scale=scale, seed=seed),
+        labels=["coverage", "accuracy"],
+        x_label="cycles",
+        percent=True,
+    )
+
+
+def _fig24(scale: float, seed: int) -> str:
+    data = experiments.figure24(scale=scale, seed=seed)
+    flat = {
+        frac: (
+            values["tiled"][0],
+            values["tiled"][1],
+            values["snake+tiled"][0],
+            values["snake+tiled"][1],
+        )
+        for frac, values in data.items()
+    }
+    return report.render_pairs(
+        "Fig 24: tiling with/without Snake (vs untiled baseline)",
+        flat,
+        labels=["tiled-ipc", "tiled-en", "fused-ipc", "fused-en"],
+        x_label="tile",
+    )
+
+
+def _table3(scale: float, seed: int) -> str:
+    data = experiments.table3()
+    lines = ["Table 3: Snake's table parameters", "-" * 40]
+    for name, fields in data.items():
+        lines.append(
+            "%-5s %3d bytes/entry x %3d entries = %4d bytes"
+            % (name, fields["bytes_per_entry"], fields["entries"], fields["total_bytes"])
+        )
+    return "\n".join(lines)
+
+
+EXPERIMENTS: Dict[str, Callable[[float, int], str]] = {
+    "fig3": _series(experiments.figure3, "Fig 3: reservation-fail rate (baseline)"),
+    "fig4": _series(experiments.figure4, "Fig 4: NoC bandwidth utilization (baseline)"),
+    "fig5": _series(experiments.figure5, "Fig 5: memory-stall fraction (baseline)"),
+    "fig6": _matrix(experiments.figure6, "Fig 6: coverage vs the Ideal prefetcher"),
+    "fig9": _series(experiments.figure9, "Fig 9: chain PC_ld fraction"),
+    "fig10": _series(
+        experiments.figure10, "Fig 10: max chain repetition", percent=False
+    ),
+    "fig11": _matrix(experiments.figure11, "Fig 11: chain- vs MTA-prefetchable"),
+    "fig16": _matrix(experiments.figure16, "Fig 16: prefetch coverage"),
+    "fig17": _matrix(experiments.figure17, "Fig 17: prefetch accuracy (timely)"),
+    "fig18": _matrix(
+        experiments.figure18, "Fig 18: IPC vs baseline", percent=False
+    ),
+    "fig19": _matrix(
+        experiments.figure19, "Fig 19: energy vs baseline", percent=False
+    ),
+    "fig20": _fig20,
+    "fig21": _fig21,
+    "fig22": _fig22,
+    "fig23": _fig23,
+    "fig24": _fig24,
+    "fig25": _matrix(experiments.figure25, "Fig 25: L1 hit rate"),
+    "table3": _table3,
+}
+
+
+#: Raw (un-rendered) data producers for --csv/--json export.
+RAW_EXPERIMENTS = {
+    "fig3": experiments.figure3,
+    "fig4": experiments.figure4,
+    "fig5": experiments.figure5,
+    "fig6": experiments.figure6,
+    "fig9": experiments.figure9,
+    "fig10": experiments.figure10,
+    "fig11": experiments.figure11,
+    "fig16": experiments.figure16,
+    "fig17": experiments.figure17,
+    "fig18": experiments.figure18,
+    "fig19": experiments.figure19,
+    "fig20": lambda scale, seed: experiments.figure20(scale=scale, seed=seed),
+    "fig22": lambda scale, seed: experiments.figure22(scale=scale, seed=seed),
+    "fig23": lambda scale, seed: experiments.figure23(scale=scale, seed=seed),
+    "fig24": lambda scale, seed: experiments.figure24(scale=scale, seed=seed),
+    "fig25": experiments.figure25,
+    "fig21": lambda scale, seed: experiments.figure21(),
+    "table3": lambda scale, seed: experiments.table3(),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="snake-repro",
+        description="Reproduce the Snake (MICRO 2023) evaluation.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (fig3..fig25, table3), 'list', or 'all'",
+    )
+    parser.add_argument("--scale", type=float, default=1.0, help="trace-size multiplier")
+    parser.add_argument("--seed", type=int, default=1, help="workload seed")
+    parser.add_argument("--csv", metavar="PATH", help="also export raw data as CSV")
+    parser.add_argument("--json", metavar="PATH", help="also export raw data as JSON")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        print("\n".join(sorted(EXPERIMENTS) + ["claims"]))
+        return 0
+    if args.experiment == "claims":
+        from repro.analysis.claims import check_claims, render_claims
+
+        print(render_claims(check_claims(scale=args.scale, seed=args.seed)))
+        return 0
+    if args.experiment == "all":
+        for name in sorted(EXPERIMENTS):
+            print(EXPERIMENTS[name](args.scale, args.seed))
+            print()
+        return 0
+    runner = EXPERIMENTS.get(args.experiment)
+    if runner is None:
+        print(
+            "unknown experiment %r; try 'list'" % args.experiment, file=sys.stderr
+        )
+        return 2
+    print(runner(args.scale, args.seed))
+    if args.csv or args.json:
+        from repro.analysis import export
+
+        raw = RAW_EXPERIMENTS.get(args.experiment)
+        if raw is None:
+            print("no raw data export for %r" % args.experiment, file=sys.stderr)
+            return 2
+        data = raw(scale=args.scale, seed=args.seed)
+        if args.csv:
+            export.to_csv(data, args.csv)
+        if args.json:
+            export.to_json(data, args.json)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

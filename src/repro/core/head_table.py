@@ -1,0 +1,60 @@
+"""Snake's Head table (§3.1).
+
+Indexed by warp id, each entry holds the warp's last executed load PC and the
+address it requested.  On every load the entry is updated and the table emits
+a :class:`Transition` — (previous PC, current PC, address delta) — which
+trains the Tail table.
+
+The hardware table has N = #warps/2 rows with doubled warp-id/address
+columns so that an aggressive (greedy) scheduler cannot starve inter-warp
+detection; here capacity is expressed directly in warps and eviction is LRU,
+which models the same storage bound.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Transition:
+    """What the Head table forwards to the Tail table on an update."""
+
+    warp_id: int
+    pc1: int
+    pc2: int
+    stride: int
+
+
+class HeadTable:
+    """Per-warp last-load tracker with bounded capacity."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._rows: "OrderedDict[int, Tuple[int, int]]" = OrderedDict()
+        self.accesses = 0
+
+    def update(self, warp_id: int, pc: int, addr: int) -> Optional[Transition]:
+        """Record a load; returns the transition from the warp's previous
+        load, or None on the warp's first load (or after eviction)."""
+        self.accesses += 1
+        previous = self._rows.pop(warp_id, None)
+        self._rows[warp_id] = (pc, addr)
+        if len(self._rows) > self.capacity:
+            self._rows.popitem(last=False)  # LRU warp falls out
+        if previous is None:
+            return None
+        prev_pc, prev_addr = previous
+        return Transition(
+            warp_id=warp_id, pc1=prev_pc, pc2=pc, stride=addr - prev_addr
+        )
+
+    def lookup(self, warp_id: int) -> Optional[Tuple[int, int]]:
+        return self._rows.get(warp_id)
+
+    def __len__(self) -> int:
+        return len(self._rows)

@@ -1,0 +1,263 @@
+"""The Snake prefetcher (§3).
+
+Snake watches every demand load, maintains the Head/Tail tables, and issues
+prefetches along three axes:
+
+* **Inter-thread chains** — the paper's contribution: trained (PC1→PC2,
+  stride) links are walked transitively (Fig 13) so one access prefetches
+  the warp's next several loads.  Chains get priority (§3.4).
+* **Intra-warp strides** — the delta between a warp's successive executions
+  of the same PC, promoted after three warps agree.
+* **Inter-warp strides** — the fixed delta between warps executing the same
+  PC, installed once three distinct warps exhibit it.
+
+Variant flags reproduce the paper's comparison points: ``s-Snake`` keeps
+only the chains; decoupling/throttling are composed at the GPU level (see
+:func:`repro.prefetch.build_setup`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.prefetch.base import AccessEvent, Prefetcher, PrefetchRequest
+from repro.prefetch.stride import ConsensusTracker
+
+from .head_table import HeadTable
+from .tail_table import TailTable, TrainState
+
+
+class SnakePrefetcher(Prefetcher):
+    """Variable-length chain-based prefetcher."""
+
+    name = "snake"
+
+    def __init__(
+        self,
+        head_entries: int = 32,
+        tail_entries: int = 10,
+        train_threshold: int = 3,
+        max_chain_depth: int = 8,
+        inter_warp_degree: int = 2,
+        intra_degree: int = 2,
+        use_chains: bool = True,
+        use_intra: bool = True,
+        use_inter_warp: bool = True,
+        eviction: str = "lru+pop",
+        per_app: bool = False,
+    ) -> None:
+        if max_chain_depth < 1:
+            raise ValueError("max_chain_depth must be >= 1")
+        self.head = HeadTable(capacity=head_entries)
+        self.tail = TailTable(
+            capacity=tail_entries,
+            train_threshold=train_threshold,
+            eviction=eviction,
+        )
+        # Multi-application extension (§1): chains are detected within each
+        # application, so each app gets its own Head/Tail tables.
+        self.per_app = per_app
+        self._head_entries = head_entries
+        self._tail_entries = tail_entries
+        self._eviction = eviction
+        self._app_tables: Dict[int, Tuple[HeadTable, TailTable]] = {
+            0: (self.head, self.tail)
+        }
+        self._depth_limit = max_chain_depth
+        self.max_chain_depth = max_chain_depth
+        self.inter_warp_degree = inter_warp_degree
+        self.intra_degree = intra_degree
+        self.use_chains = use_chains
+        self.use_intra = use_intra
+        self.use_inter_warp = use_inter_warp
+        self.train_threshold = train_threshold
+
+        # Intra-warp detection: last address per (warp, pc).
+        self._intra_last: Dict[Tuple[int, int], int] = {}
+        # Inter-warp detection: the last TWO (warp, addr) observations per
+        # pc — the Head table's doubled columns (§3.1), which keep stride
+        # detection alive under a greedy scheduler that runs one warp far
+        # ahead of the others — plus consensus votes.
+        self._iw_last: Dict[int, List[Tuple[int, int]]] = {}
+        self._iw_consensus: Dict[int, ConsensusTracker] = {}
+
+    # ------------------------------------------------------------------
+    # Multi-app table selection and throttle hooks
+
+    def set_depth_limit(self, limit: int) -> None:
+        """Throttle hook (§3.2): bound the chain-walk depth for subsequent
+        requests."""
+        self._depth_limit = max(1, limit)
+
+    def _select_app(self, app_id: int) -> None:
+        """Point ``self.head``/``self.tail`` at the issuing application's
+        tables (no-op unless ``per_app`` is enabled)."""
+        if not self.per_app:
+            return
+        if app_id not in self._app_tables:
+            self._app_tables[app_id] = (
+                HeadTable(capacity=self._head_entries),
+                TailTable(
+                    capacity=self._tail_entries,
+                    train_threshold=self.train_threshold,
+                    eviction=self._eviction,
+                ),
+            )
+        self.head, self.tail = self._app_tables[app_id]
+
+    # ------------------------------------------------------------------
+    # Detection (§3.1)
+
+    def _detect(self, event: AccessEvent) -> None:
+        transition = self.head.update(event.warp_id, event.pc, event.base_addr)
+        if transition is not None and transition.stride != 0:
+            self.tail.record(
+                transition.warp_id,
+                transition.pc1,
+                transition.pc2,
+                transition.stride,
+            )
+
+        if self.use_intra:
+            key = (event.app_id, event.warp_id, event.pc)
+            last = self._intra_last.get(key)
+            if last is not None and event.base_addr != last:
+                self.tail.record_intra(
+                    event.warp_id, event.pc, event.base_addr - last
+                )
+            self._intra_last[key] = event.base_addr
+
+        if self.use_inter_warp:
+            slots = self._iw_last.setdefault((event.app_id, event.pc), [])
+            for warp_id, addr in slots:
+                if warp_id == event.warp_id:
+                    continue
+                gap = event.warp_id - warp_id
+                delta = event.base_addr - addr
+                if gap != 0 and delta % gap == 0:
+                    tracker = self._iw_consensus.setdefault(
+                        (event.app_id, event.pc),
+                        ConsensusTracker(threshold=self.train_threshold),
+                    )
+                    trained = tracker.vote(event.warp_id, delta // gap)
+                    if trained is not None:
+                        self.tail.record_inter_warp(event.pc, trained)
+            slots.append((event.warp_id, event.base_addr))
+            if len(slots) > 2:
+                del slots[0]
+
+    # ------------------------------------------------------------------
+    # Prefetch generation (§3.2)
+
+    def _chain_requests(self, event: AccessEvent) -> List[PrefetchRequest]:
+        """Walk the chain starting at the current PC (Fig 13).
+
+        Different warp groups may have confirmed *different* strides for the
+        same PC pair (§3.4 — e.g. a tiled kernel's in-tile step and its
+        tile-boundary jump), so every trained link out of the triggering PC
+        issues a depth-1 request; the walk then continues transitively along
+        the best-confirmed link only.
+        """
+        requests: List[PrefetchRequest] = []
+        for entry in self.tail.find(event.pc):
+            if not entry.t1.prefetchable:
+                continue
+            target = event.base_addr + entry.inter_thread_stride
+            if target >= 0:
+                requests.append(PrefetchRequest(base_addr=target, depth=1))
+
+        pc, addr = event.pc, event.base_addr
+        visited = set()
+        effective_depth = min(self.max_chain_depth, self._depth_limit)
+        for depth in range(1, effective_depth + 1):
+            entry = self._prefetchable_link(pc, event.warp_id)
+            if entry is None or (entry.pc1, entry.pc2) in visited:
+                break
+            visited.add((entry.pc1, entry.pc2))
+            addr = addr + entry.inter_thread_stride
+            if addr < 0:
+                break
+            requests.append(PrefetchRequest(base_addr=addr, depth=depth))
+            pc = entry.pc2
+        return requests
+
+    def _prefetchable_link(self, pc: int, warp_id: int):
+        """The best trained link out of ``pc``: once promoted, a link serves
+        *all* future warps (§3.2).  Among competing links for the same PC,
+        prefer one this warp confirmed, then the most-confirmed one."""
+        best = None
+        best_key = None
+        for entry in self.tail.find(pc):
+            if not entry.t1.prefetchable:
+                continue
+            key = (entry.has_warp(warp_id), entry.popcount)
+            if best is None or key > best_key:
+                best, best_key = entry, key
+        return best
+
+    def _intra_requests(self, event: AccessEvent) -> List[PrefetchRequest]:
+        for entry in self.tail.find(event.pc):
+            if entry.t2.prefetchable and entry.intra_stride:
+                return [
+                    PrefetchRequest(base_addr=event.base_addr + k * entry.intra_stride, depth=k)
+                    for k in range(1, self.intra_degree + 1)
+                    if event.base_addr + k * entry.intra_stride >= 0
+                ]
+        return []
+
+    def _inter_warp_requests(self, event: AccessEvent) -> List[PrefetchRequest]:
+        tracker = self._iw_consensus.get((event.app_id, event.pc))
+        if tracker is None or tracker.trained_stride is None:
+            return []
+        stride = tracker.trained_stride
+        requests = []
+        for k in range(1, self.inter_warp_degree + 1):
+            target = event.base_addr + k * stride
+            if target >= 0:
+                requests.append(PrefetchRequest(base_addr=target, depth=k))
+        return requests
+
+    # ------------------------------------------------------------------
+
+    def observe(self, event: AccessEvent) -> List[PrefetchRequest]:
+        self._select_app(event.app_id)
+        if event.divergent:
+            # §3.4: warps whose threads do not share a uniform stride are
+            # excluded from prefetching — training on them would only churn
+            # the tables.  The Head entry is still advanced so the next
+            # uniform load does not record a bogus transition.
+            self.head.update(event.warp_id, event.pc, event.base_addr)
+            return []
+        self._detect(event)
+
+        requests: List[PrefetchRequest] = []
+        if self.use_chains:
+            requests.extend(self._chain_requests(event))
+        if self.use_intra:
+            requests.extend(self._intra_requests(event))
+        if self.use_inter_warp:
+            requests.extend(self._inter_warp_requests(event))
+
+        # Inter-thread first (higher accuracy, §3.4), then de-duplicate.
+        seen = set()
+        unique: List[PrefetchRequest] = []
+        for request in requests:
+            if request.base_addr not in seen:
+                seen.add(request.base_addr)
+                unique.append(request)
+        return unique
+
+    @property
+    def trained(self) -> bool:
+        if self.per_app:
+            return any(t.trained for _, t in self._app_tables.values())
+        return self.tail.trained
+
+    def table_accesses(self) -> int:
+        """Hardware table transactions for energy accounting: one Head
+        update plus one parallel Tail CAM search per observed load (§5.5's
+        two-cycle pipeline), regardless of how many software ``find`` calls
+        the model uses internally."""
+        if self.per_app:
+            return sum(2 * h.accesses for h, _ in self._app_tables.values())
+        return 2 * self.head.accesses

@@ -1,0 +1,215 @@
+"""Snake's Tail table (§3.1).
+
+Each entry stores a chain link: head PC (PC1), the consecutive PC (PC2), the
+inter-thread stride between their addresses, the warp-id vector of warps that
+confirmed the link, the intra-warp stride, per-stride train states, and the
+inter-warp stride.  New entries are created under the three conditions of
+Fig 12 (no PC1 match / no PC2 match / stride mismatch); the inter-thread
+stride is *promoted* once ``train_threshold`` distinct warps confirm it.
+
+Eviction follows §3.1's improved policy: among the least-recently-used
+quarter of the table, evict the entry with the fewest set bits in its warp-id
+vector.  The popcount-only variant (Fig 22) is selectable.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class TrainState(enum.Enum):
+    """Train-status encodings used in the paper's figures."""
+
+    NOT_TRAINED = "00"
+    PROMOTED = "10"
+    TRAINED = "11"
+
+    @property
+    def prefetchable(self) -> bool:
+        return self is not TrainState.NOT_TRAINED
+
+
+@dataclass
+class TailEntry:
+    """One chain link."""
+
+    pc1: int
+    pc2: int
+    inter_thread_stride: int
+    t1: TrainState = TrainState.NOT_TRAINED
+    warp_vector: int = 0
+    intra_stride: Optional[int] = None
+    t2: TrainState = TrainState.NOT_TRAINED
+    inter_warp_stride: Optional[int] = None
+    last_use: int = 0
+    _intra_votes: dict = field(default_factory=dict, repr=False)
+
+    def set_warp(self, warp_id: int) -> None:
+        self.warp_vector |= 1 << (warp_id % 64)
+
+    def clear_warp(self, warp_id: int) -> None:
+        self.warp_vector &= ~(1 << (warp_id % 64))
+
+    def has_warp(self, warp_id: int) -> bool:
+        return bool(self.warp_vector >> (warp_id % 64) & 1)
+
+    @property
+    def popcount(self) -> int:
+        return bin(self.warp_vector).count("1")
+
+
+class TailTable:
+    """Fixed-capacity chain store with LRU+popcount eviction."""
+
+    def __init__(
+        self,
+        capacity: int = 10,
+        train_threshold: int = 3,
+        eviction: str = "lru+pop",
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if eviction not in ("lru+pop", "pop"):
+            raise ValueError("eviction must be 'lru+pop' or 'pop'")
+        self.capacity = capacity
+        self.train_threshold = train_threshold
+        self.eviction = eviction
+        self._entries: List[TailEntry] = []
+        self._tick = 0
+        self.lookups = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[TailEntry]:
+        return list(self._entries)
+
+    def _touch(self, entry: TailEntry) -> None:
+        self._tick += 1
+        entry.last_use = self._tick
+
+    def find(
+        self, pc1: int, pc2: Optional[int] = None, stride: Optional[int] = None
+    ) -> List[TailEntry]:
+        """All entries matching the given fields (CAM search)."""
+        self.lookups += 1
+        result = []
+        for entry in self._entries:
+            if entry.pc1 != pc1:
+                continue
+            if pc2 is not None and entry.pc2 != pc2:
+                continue
+            if stride is not None and entry.inter_thread_stride != stride:
+                continue
+            result.append(entry)
+        return result
+
+    def chain_next(self, pc: int, warp_id: int) -> Optional[TailEntry]:
+        """The trained link whose PC1 is ``pc`` and whose warp vector includes
+        ``warp_id`` — used when walking a chain deeper (Fig 13)."""
+        self.lookups += 1
+        for entry in self._entries:
+            if (
+                entry.pc1 == pc
+                and entry.t1.prefetchable
+                and entry.has_warp(warp_id)
+            ):
+                return entry
+        return None
+
+    # ------------------------------------------------------------------
+
+    def _evict_one(self) -> None:
+        """Apply the configured eviction policy to make room."""
+        self.evictions += 1
+        if self.eviction == "pop":
+            victim = min(self._entries, key=lambda e: (e.popcount, e.last_use))
+        else:
+            # The LRU candidate group must hold at least two entries or the
+            # popcount tie-break could never save a well-confirmed chain.
+            group_size = max(2, math.ceil(len(self._entries) / 4))
+            lru_group = sorted(self._entries, key=lambda e: e.last_use)[:group_size]
+            victim = min(lru_group, key=lambda e: (e.popcount, e.last_use))
+        self._entries.remove(victim)
+
+    def record(self, warp_id: int, pc1: int, pc2: int, stride: int) -> TailEntry:
+        """Digest a Head-table transition (the detection step, Fig 12).
+
+        Finds or creates the (pc1, pc2, stride) entry, sets the warp's bit,
+        clears the warp from now-contradicted sibling entries, and promotes
+        the inter-thread stride when enough warps agree.
+        """
+        match: Optional[TailEntry] = None
+        for entry in self.find(pc1):
+            if entry.pc2 == pc2 and entry.inter_thread_stride == stride:
+                match = entry
+            elif entry.has_warp(warp_id):
+                # The warp's behaviour changed: remove it from the stale link
+                # and send that link back to detection (§3.2).
+                entry.clear_warp(warp_id)
+                if entry.popcount == 0:
+                    entry.t1 = TrainState.NOT_TRAINED
+
+        if match is None:
+            match = TailEntry(pc1=pc1, pc2=pc2, inter_thread_stride=stride)
+            if len(self._entries) >= self.capacity:
+                self._evict_one()
+            self._entries.append(match)
+
+        match.set_warp(warp_id)
+        self._touch(match)
+        if (
+            match.t1 is TrainState.NOT_TRAINED
+            and match.popcount >= self.train_threshold
+        ):
+            match.t1 = TrainState.PROMOTED
+        elif match.t1 is TrainState.PROMOTED and match.popcount > self.train_threshold:
+            match.t1 = TrainState.TRAINED
+        return match
+
+    def record_intra(self, warp_id: int, pc: int, stride: int) -> None:
+        """Register an intra-warp stride observation for ``pc`` (a warp
+        re-executed the PC; §3.1's two re-execution cases collapse to the
+        delta between its successive addresses).  Promoted once
+        ``train_threshold`` warps agree on the stride.
+
+        A looping PC whose chain links keep churning (e.g. its successor
+        load is data-dependent) still deserves an intra-warp stride, so a
+        self-link entry is created when no entry for the PC exists."""
+        if not self.find(pc):
+            entry = TailEntry(pc1=pc, pc2=pc, inter_thread_stride=stride)
+            if len(self._entries) >= self.capacity:
+                self._evict_one()
+            self._entries.append(entry)
+        for entry in self.find(pc):
+            votes = entry._intra_votes.setdefault(stride, set())
+            votes.add(warp_id)
+            if entry.intra_stride == stride:
+                if len(votes) >= self.train_threshold:
+                    entry.t2 = TrainState.TRAINED
+            elif len(votes) >= len(
+                entry._intra_votes.get(entry.intra_stride, set())
+            ):
+                entry.intra_stride = stride
+                if len(votes) >= self.train_threshold:
+                    entry.t2 = TrainState.TRAINED
+                elif entry.t2 is not TrainState.TRAINED:
+                    entry.t2 = TrainState.NOT_TRAINED
+            self._touch(entry)
+
+    def record_inter_warp(self, pc: int, stride: int) -> None:
+        """Install a detected inter-warp stride (already consensus-checked by
+        the caller — no train field needed, per §3.1)."""
+        for entry in self.find(pc):
+            entry.inter_warp_stride = stride
+            self._touch(entry)
+
+    @property
+    def trained(self) -> bool:
+        return any(e.t1.prefetchable for e in self._entries)

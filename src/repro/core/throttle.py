@@ -1,0 +1,96 @@
+"""Prefetch throttling (§3.3).
+
+Two triggers halt prefetching:
+
+1. *Space*: when the unified cache has no free line, prefetching stops for a
+   fixed interval (50 cycles by default — §5.4 shows the sweet spot) so the
+   already-prefetched data has time to be consumed; during that window the L1
+   demand side is also confined to its own space (handled by the cache).
+2. *Bandwidth*: when measured NoC utilization crosses ~70 % of peak,
+   prefetching halts until it falls back below ~50 % (hysteresis).
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.unified_cache import UnifiedL1Cache
+
+
+class Throttle:
+    """Space- and bandwidth-triggered prefetch gate."""
+
+    def __init__(
+        self,
+        interval: int = 50,
+        bw_high: float = 0.70,
+        bw_low: float = 0.50,
+        space_threshold: float = 0.02,
+        backlog_threshold: float = 0.40,
+    ) -> None:
+        if interval < 0:
+            raise ValueError("interval must be non-negative")
+        if not 0.0 <= bw_low <= bw_high <= 1.0:
+            raise ValueError("need 0 <= bw_low <= bw_high <= 1")
+        if not 0.0 <= space_threshold < 1.0:
+            raise ValueError("space_threshold must be in [0, 1)")
+        self.interval = interval
+        self.bw_high = bw_high
+        self.bw_low = bw_low
+        self.space_threshold = space_threshold
+        self.backlog_threshold = backlog_threshold
+        self.halted_until = -1
+        self.bw_halted = False
+        self.space_halts = 0
+        self.bw_halts = 0
+
+    def allow(self, now: int, l1: UnifiedL1Cache, utilization: float) -> bool:
+        """May a prefetch issue at ``now``?  ``utilization`` is the measured
+        fraction of total (request + response) NoC peak bandwidth.  Updates
+        trigger state."""
+        if now < self.halted_until:
+            return False
+
+        if self.bw_halted:
+            if utilization >= self.bw_low:
+                return False
+            self.bw_halted = False
+        elif utilization >= self.bw_high:
+            self.bw_halted = True
+            self.bw_halts += 1
+            return False
+
+        # Space trigger: the prefetch space is exhausted while a sizeable
+        # backlog of prefetched-but-unused lines is still waiting — pause so
+        # the data has time to be consumed (§3.3, footnote 3).
+        if (
+            l1.free_space_fraction(now) <= self.space_threshold
+            and l1.unused_prefetch_fraction(now) >= self.backlog_threshold
+        ):
+            self.halted_until = now + self.interval
+            l1.throttled_until = self.halted_until  # confine demand side too
+            self.space_halts += 1
+            return False
+        return True
+
+    def chain_depth_limit(self, utilization: float, max_depth: int) -> int:
+        """§3.2: the inter-thread prefetch depth is throttle-controlled —
+        full depth while the NoC is comfortable, halved as utilization
+        approaches the high watermark."""
+        if utilization < self.bw_low:
+            return max_depth
+        if utilization < self.bw_high:
+            return max(1, max_depth // 2)
+        return 1
+
+
+class NullThrottle:
+    """No throttling (baseline prefetchers, Snake-DT, Snake-T)."""
+
+    interval = 0
+    space_halts = 0
+    bw_halts = 0
+
+    def allow(self, now: int, l1: UnifiedL1Cache, utilization: float) -> bool:
+        return True
+
+    def chain_depth_limit(self, utilization: float, max_depth: int) -> int:
+        return max_depth

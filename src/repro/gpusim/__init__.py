@@ -1,0 +1,53 @@
+"""GPU timing-model substrate (Accel-Sim substitute).
+
+Public surface: configuration, trace types, the :class:`GPU` top level and
+the :func:`simulate` convenience runner.
+"""
+
+from .area import (
+    HeadTableLayout,
+    TailTableLayout,
+    area_overhead_fraction,
+    snake_storage_bytes,
+    tail_cost_sweep,
+)
+from .config import CacheConfig, DRAMTimings, GPUConfig
+from .energy import EnergyBreakdown, EnergyParams, energy_of
+from .gpu import GPU, simulate
+from .stats import PrefetchStats, SimStats
+from .trace import CTA, KernelTrace, Op, WarpInstr, WarpTrace, renumber_warps
+from .traceio import load_trace, save_trace
+from .unified_cache import L1Outcome, StorageMode, UnifiedL1Cache
+from .validate import ValidationIssue, assert_valid, validate_kernel
+
+__all__ = [
+    "CTA",
+    "CacheConfig",
+    "DRAMTimings",
+    "EnergyBreakdown",
+    "EnergyParams",
+    "GPU",
+    "GPUConfig",
+    "HeadTableLayout",
+    "KernelTrace",
+    "L1Outcome",
+    "Op",
+    "PrefetchStats",
+    "SimStats",
+    "StorageMode",
+    "TailTableLayout",
+    "UnifiedL1Cache",
+    "ValidationIssue",
+    "WarpInstr",
+    "WarpTrace",
+    "assert_valid",
+    "load_trace",
+    "save_trace",
+    "validate_kernel",
+    "area_overhead_fraction",
+    "energy_of",
+    "renumber_warps",
+    "simulate",
+    "snake_storage_bytes",
+    "tail_cost_sweep",
+]

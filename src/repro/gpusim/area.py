@@ -1,0 +1,92 @@
+"""Hardware cost model for Snake's tables (CACTI substitute).
+
+Reproduces Table 3 and Fig 21: the Head and Tail tables' storage is a
+deterministic function of the field widths described in §3.1/§5.5, so the
+byte counts are computed from first principles and the die-area fraction is
+scaled against the published V100 die size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+V100_DIE_MM2 = 815.0  # NVIDIA Volta V100 die size quoted in §5.5
+# CACTI-style SRAM density at 12 nm: conservative ~0.35 mm^2 per MiB.
+_MM2_PER_BYTE = 0.35 / (1024.0 * 1024.0)
+
+
+@dataclass(frozen=True)
+class HeadTableLayout:
+    """Head table: per entry two warp ids, two base addresses, one PC_ld
+    (doubled warp/address columns support greedy schedulers, §5.5)."""
+
+    warp_id_bits: int = 6
+    addr_bits: int = 35
+    pc_bits: int = 30
+    entries: int = 32
+
+    @property
+    def bits_per_entry(self) -> int:
+        return 2 * self.warp_id_bits + 2 * self.addr_bits + self.pc_bits
+
+    @property
+    def bytes_per_entry(self) -> int:
+        return (self.bits_per_entry + 7) // 8
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_per_entry * self.entries
+
+
+@dataclass(frozen=True)
+class TailTableLayout:
+    """Tail table: PC1, PC2, inter-thread stride + status, warp-id vector,
+    intra-warp stride + status, inter-warp stride (§3.1's eight fields)."""
+
+    pc_bits: int = 30
+    stride_bits: int = 40
+    status_bits: int = 2
+    warp_vector_bits: int = 64
+    lru_bits: int = 4
+    entries: int = 10
+
+    @property
+    def bits_per_entry(self) -> int:
+        return (
+            2 * self.pc_bits  # PC1, PC2
+            + 3 * self.stride_bits  # inter-thread, intra-warp, inter-warp
+            + 2 * self.status_bits  # T1, T2
+            + self.warp_vector_bits
+            + self.lru_bits
+        )
+
+    @property
+    def bytes_per_entry(self) -> int:
+        return (self.bits_per_entry + 7) // 8
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_per_entry * self.entries
+
+
+def snake_storage_bytes(
+    head: HeadTableLayout = HeadTableLayout(),
+    tail: TailTableLayout = TailTableLayout(),
+) -> int:
+    """Bytes of SRAM per SM for Snake's two tables."""
+    return head.total_bytes + tail.total_bytes
+
+
+def area_overhead_fraction(num_sms: int = 80, tail_entries: int = 10) -> float:
+    """Snake's die-area overhead as a fraction of the V100 die."""
+    tail = TailTableLayout(entries=tail_entries)
+    per_sm = HeadTableLayout().total_bytes + tail.total_bytes
+    return per_sm * num_sms * _MM2_PER_BYTE / V100_DIE_MM2
+
+
+def tail_cost_sweep(entry_sizes) -> dict:
+    """Fig 21: storage bytes per SM for each Tail-table entry count."""
+    head_bytes = HeadTableLayout().total_bytes
+    return {
+        n: head_bytes + TailTableLayout(entries=n).total_bytes for n in entry_sizes
+    }

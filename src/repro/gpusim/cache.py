@@ -1,0 +1,209 @@
+"""Set-associative tag store and MSHR file.
+
+These are the building blocks of the L1 controller in
+:mod:`repro.gpusim.unified_cache` and of the shared L2.  The tag store keeps
+per-line flags needed by Snake's decoupling mechanism (§3.2): whether a line
+holds prefetched or demand (L1) data, and whether it has been used — a
+prefetch-space hit is "transferred" to the L1 side by flipping the flag, with
+no data movement, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .config import CacheConfig
+
+
+@dataclass
+class LineState:
+    """Metadata of one resident cache line."""
+
+    addr: int
+    inserted_at: int
+    last_use: int
+    is_prefetch: bool = False
+    used: bool = False
+    transferred: bool = False  # prefetch line later claimed by demand
+    predicted: bool = False  # the prefetcher (re-)predicted this address
+    sectors_valid: int = -1  # bitmask of fetched sectors (-1 = whole line)
+
+
+class SetAssocCache:
+    """A set-associative, LRU tag store.
+
+    The structure is deliberately policy-light: ``insert`` takes an explicit
+    victim chosen by the caller (or picks plain LRU), so the L1 controller
+    can layer Snake's decoupled-space eviction rules on top.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        # Each set is an OrderedDict addr -> LineState in LRU order
+        # (oldest first).
+        self._sets: List["OrderedDict[int, LineState]"] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+
+    def set_index(self, line_addr: int) -> int:
+        """XOR-folded set index (as GPU L1/L2 tag stores hash the index) so
+        the power-of-two strides ubiquitous in GPU kernels do not collapse
+        onto a single set."""
+        line_no = line_addr // self.config.line_bytes
+        folded = line_no ^ (line_no >> 4) ^ (line_no >> 9) ^ (line_no >> 15)
+        return folded % self.config.num_sets
+
+    def _set_of(self, line_addr: int) -> "OrderedDict[int, LineState]":
+        return self._sets[self.set_index(line_addr)]
+
+    def lookup(self, line_addr: int) -> Optional[LineState]:
+        """Return the line's state without touching LRU order."""
+        return self._set_of(line_addr).get(line_addr)
+
+    def touch(self, line_addr: int, now: int) -> Optional[LineState]:
+        """Look up and, on hit, move to MRU position and stamp last_use."""
+        cache_set = self._set_of(line_addr)
+        state = cache_set.get(line_addr)
+        if state is None:
+            return None
+        cache_set.move_to_end(line_addr)
+        state.last_use = now
+        state.used = True
+        return state
+
+    def lines_in_set(self, set_idx: int) -> List[LineState]:
+        """Lines of a set in LRU order (oldest first)."""
+        return list(self._sets[set_idx].values())
+
+    def set_is_full(self, set_idx: int) -> bool:
+        return len(self._sets[set_idx]) >= self.config.assoc
+
+    def count_in_set(self, set_idx: int, is_prefetch: bool) -> int:
+        return sum(
+            1
+            for line in self._sets[set_idx].values()
+            if line.is_prefetch == is_prefetch
+        )
+
+    def lru_victim(self, set_idx: int) -> Optional[LineState]:
+        cache_set = self._sets[set_idx]
+        if not cache_set:
+            return None
+        return next(iter(cache_set.values()))
+
+    def evict(self, line_addr: int) -> Optional[LineState]:
+        return self._set_of(line_addr).pop(line_addr, None)
+
+    def insert(
+        self,
+        line_addr: int,
+        now: int,
+        is_prefetch: bool = False,
+        victim: Optional[LineState] = None,
+    ) -> Optional[LineState]:
+        """Insert a line, evicting ``victim`` (or plain LRU) if the set is
+        full.  Returns the evicted line, if any."""
+        set_idx = self.set_index(line_addr)
+        cache_set = self._sets[set_idx]
+        if line_addr in cache_set:
+            # Re-fill of a resident line: refresh metadata only.
+            state = cache_set[line_addr]
+            cache_set.move_to_end(line_addr)
+            state.last_use = now
+            return None
+        evicted = None
+        if len(cache_set) >= self.config.assoc:
+            if victim is None:
+                victim = self.lru_victim(set_idx)
+            assert victim is not None
+            evicted = cache_set.pop(victim.addr)
+        cache_set[line_addr] = LineState(
+            addr=line_addr, inserted_at=now, last_use=now, is_prefetch=is_prefetch
+        )
+        return evicted
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def num_sets(self) -> int:
+        return self.config.num_sets
+
+    def all_lines(self) -> List[LineState]:
+        return [line for s in self._sets for line in s.values()]
+
+
+@dataclass
+class MSHREntry:
+    """One in-flight miss."""
+
+    line_addr: int
+    fill_time: int
+    merges: int = 1
+    is_prefetch: bool = False
+    demand_joined: bool = False  # a demand access merged into a prefetch miss
+    predicted: bool = False  # the prefetcher predicted this in-flight address
+    sectors: int = -1  # sector mask the fill will deliver (-1 = whole line)
+
+
+class MSHR:
+    """Miss Status Holding Register file with bounded merge width.
+
+    A demand access to an in-flight line merges (the paper's *reserved*
+    outcome) unless the entry already absorbed ``merge_width`` requests, in
+    which case the access reservation-fails, matching §2's accounting.
+    """
+
+    def __init__(self, entries: int, merge_width: int) -> None:
+        if entries < 1 or merge_width < 1:
+            raise ValueError("MSHR needs at least one entry and merge slot")
+        self.entries = entries
+        self.merge_width = merge_width
+        self._inflight: Dict[int, MSHREntry] = {}
+
+    def lookup(self, line_addr: int) -> Optional[MSHREntry]:
+        return self._inflight.get(line_addr)
+
+    @property
+    def full(self) -> bool:
+        return len(self._inflight) >= self.entries
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._inflight)
+
+    def allocate(
+        self, line_addr: int, fill_time: int, is_prefetch: bool = False
+    ) -> MSHREntry:
+        if self.full:
+            raise RuntimeError("MSHR allocate on full file")
+        if line_addr in self._inflight:
+            raise RuntimeError("MSHR double allocate for line %#x" % line_addr)
+        entry = MSHREntry(
+            line_addr=line_addr, fill_time=fill_time, is_prefetch=is_prefetch
+        )
+        self._inflight[line_addr] = entry
+        return entry
+
+    def try_merge(self, line_addr: int, is_demand: bool) -> Optional[MSHREntry]:
+        """Merge a request into an in-flight miss; None if merge slots are
+        exhausted (caller records a reservation fail)."""
+        entry = self._inflight.get(line_addr)
+        if entry is None:
+            return None
+        if entry.merges >= self.merge_width:
+            return None
+        entry.merges += 1
+        if is_demand and entry.is_prefetch:
+            entry.demand_joined = True
+        return entry
+
+    def pop_filled(self, now: int) -> List[MSHREntry]:
+        """Remove and return entries whose fill time has arrived."""
+        filled = [e for e in self._inflight.values() if e.fill_time <= now]
+        for entry in filled:
+            del self._inflight[entry.line_addr]
+        return filled

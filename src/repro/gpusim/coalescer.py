@@ -1,0 +1,86 @@
+"""Memory-access coalescer.
+
+GPUs merge the 32 per-thread addresses of a warp memory instruction into the
+minimal set of cache-line transactions.  Because traces encode a warp access
+as ``(base_addr, thread_stride, size)`` the coalescer is a small piece of
+arithmetic rather than a 32-way sort.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .trace import WarpInstr
+
+
+def line_of(addr: int, line_bytes: int) -> int:
+    """The line-aligned address containing ``addr``."""
+    return addr - (addr % line_bytes)
+
+
+def coalesce(
+    instr: WarpInstr, warp_size: int, line_bytes: int
+) -> List[int]:
+    """Expand a warp memory instruction into unique, ordered line addresses.
+
+    A zero thread-stride (all threads hit the same word, e.g. a broadcast
+    load) coalesces to a single line; a unit stride over 4-byte words touches
+    one line per 32 threads; scattered strides touch up to ``warp_size``
+    lines.
+    """
+    if not instr.is_mem:
+        raise ValueError("cannot coalesce non-memory instruction %r" % (instr,))
+    if line_bytes <= 0:
+        raise ValueError("line_bytes must be positive")
+
+    if instr.thread_stride == 0:
+        # Broadcast: every thread reads the same [base, base+size) window.
+        first = line_of(instr.base_addr, line_bytes)
+        last = line_of(instr.base_addr + instr.size_bytes - 1, line_bytes)
+        return list(range(first, last + 1, line_bytes))
+
+    lines: List[int] = []
+    seen = set()
+    for t in range(warp_size):
+        start = instr.base_addr + t * instr.thread_stride
+        for offset in range(0, instr.size_bytes, line_bytes):
+            line = line_of(start + offset, line_bytes)
+            if line not in seen:
+                seen.add(line)
+                lines.append(line)
+        # include the final byte's line for accesses spanning a boundary
+        end_line = line_of(start + instr.size_bytes - 1, line_bytes)
+        if end_line not in seen:
+            seen.add(end_line)
+            lines.append(end_line)
+    return lines
+
+
+def num_transactions(instr: WarpInstr, warp_size: int, line_bytes: int) -> int:
+    """Number of line transactions the instruction generates."""
+    return len(coalesce(instr, warp_size, line_bytes))
+
+
+def coalesce_sectors(
+    instr: WarpInstr, warp_size: int, line_bytes: int, sector_bytes: int
+) -> "dict[int, int]":
+    """Like :func:`coalesce`, but returns {line address: sector bitmask} —
+    which ``sector_bytes``-sized chunks of each line the warp touches."""
+    if sector_bytes <= 0 or line_bytes % sector_bytes != 0:
+        raise ValueError("sector_bytes must divide line_bytes")
+    masks: "dict[int, int]" = {}
+
+    def touch(addr: int) -> None:
+        line = line_of(addr, line_bytes)
+        sector = (addr - line) // sector_bytes
+        masks[line] = masks.get(line, 0) | (1 << sector)
+
+    threads = 1 if instr.thread_stride == 0 else warp_size
+    for t in range(threads):
+        start = instr.base_addr + t * instr.thread_stride
+        addr = start
+        while addr < start + instr.size_bytes:
+            touch(addr)
+            addr += sector_bytes
+        touch(start + instr.size_bytes - 1)
+    return masks

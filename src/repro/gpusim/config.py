@@ -1,0 +1,169 @@
+"""GPU configuration objects.
+
+The defaults mirror Table 1 of the paper (NVIDIA Volta V100 as modeled in
+Accel-Sim v1.2.0).  Because the reproduction runs in pure Python, the
+``scaled()`` preset shrinks the SM count and trace lengths while keeping every
+per-SM parameter identical — prefetcher behaviour is per-SM, so the shapes of
+the paper's results are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one set-associative cache."""
+
+    size_bytes: int
+    assoc: int
+    line_bytes: int
+    latency: int
+
+    def __post_init__(self) -> None:
+        if self.assoc < 1 or self.line_bytes < 1 or self.latency < 0:
+            raise ValueError("invalid cache parameters")
+        if self.size_bytes % (self.assoc * self.line_bytes) != 0:
+            raise ValueError(
+                "cache size %d not divisible by assoc*line (%d*%d)"
+                % (self.size_bytes, self.assoc, self.line_bytes)
+            )
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.assoc
+
+
+@dataclass(frozen=True)
+class DRAMTimings:
+    """DRAM timing parameters in memory-clock cycles (Table 1, ns treated as
+    cycles at the modeled clock)."""
+
+    t_ccd: int = 1
+    t_rrd: int = 3
+    t_rcd: int = 12
+    t_ras: int = 28
+    t_rp: int = 12
+    t_rc: int = 40
+    t_cl: int = 12
+    t_wl: int = 2
+    t_cdlr: int = 3
+    t_wr: int = 10
+    t_ccdl: int = 2
+    t_rtpl: int = 3
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Top-level GPU configuration (Table 1 defaults)."""
+
+    num_sms: int = 80
+    core_clock_mhz: int = 1530
+    scheduler: str = "gto"  # "gto" (greedy-then-oldest) or "rr"
+    schedulers_per_sm: int = 4
+    max_threads_per_sm: int = 2048
+    warp_size: int = 32
+    registers_per_sm: int = 65536
+
+    # Unified L1 data cache / shared memory (128KB, 256-way, 128B, 28-cycle).
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=128 * 1024, assoc=256, line_bytes=128, latency=28
+        )
+    )
+    shared_mem_bytes: int = 0  # carve-out from the unified cache
+    #: fetch granularity within a line (0 = whole-line fills). Volta L1s
+    #: fetch 32-byte sectors, which cuts fill bandwidth for sparse accesses.
+    l1_sector_bytes: int = 0
+    mshr_entries: int = 512
+    mshr_merge: int = 8
+    miss_queue_depth: int = 8
+
+    # Shared L2 (96KB per sub-partition, 24-way, 128B, 212-cycle total trip).
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=96 * 1024, assoc=24, line_bytes=128, latency=212
+        )
+    )
+    l2_banks: int = 64
+
+    # Interconnect between L1s and L2 (bytes per core cycle per SM port).
+    icnt_bytes_per_cycle: int = 32
+    icnt_latency: int = 20
+
+    # DRAM.
+    dram: DRAMTimings = field(default_factory=DRAMTimings)
+    dram_channels: int = 8
+    dram_banks_per_channel: int = 16
+    dram_row_bytes: int = 2048
+    dram_clock_ratio: float = 0.5  # memory cycles per core cycle
+
+    # Issue model.
+    issue_width: int = 4  # instructions per SM per cycle (one per scheduler)
+    alu_latency: int = 4
+    sfu_latency: int = 16
+    replay_interval: int = 32  # cycles before a reservation-failed access retries
+
+    # Prefetching knobs (Snake defaults from the paper).
+    tail_entries: int = 10
+    head_entries: int = 32
+    throttle_interval: int = 50
+    throttle_bw_high: float = 0.70
+    throttle_bw_low: float = 0.50
+    train_threshold: int = 3  # warps that must confirm a stride
+    prefetcher_latency: int = 2  # table search pipeline depth (§5.5)
+    max_chain_depth: int = 8
+    decouple_grace: int = 4096  # cycles an unused prefetched line is protected
+
+    def __post_init__(self) -> None:
+        if self.num_sms < 1:
+            raise ValueError("num_sms must be >= 1")
+        if self.warp_size < 1:
+            raise ValueError("warp_size must be >= 1")
+        if not 0.0 < self.dram_clock_ratio <= 1.0:
+            raise ValueError("dram_clock_ratio must be in (0, 1]")
+        if self.shared_mem_bytes >= self.l1.size_bytes:
+            raise ValueError("shared memory cannot consume the whole unified cache")
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        return self.max_threads_per_sm // self.warp_size
+
+    @property
+    def l1_data_bytes(self) -> int:
+        """Unified-cache space left after the shared-memory carve-out."""
+        return self.l1.size_bytes - self.shared_mem_bytes
+
+    @classmethod
+    def volta_v100(cls) -> "GPUConfig":
+        """Full-scale Table 1 configuration."""
+        return cls()
+
+    @classmethod
+    def scaled(cls, num_sms: int = 2) -> "GPUConfig":
+        """Python-runtime-friendly preset: fewer SMs, identical per-SM
+        parameters except a smaller (proportional) L1 so that the scaled-down
+        synthetic working sets exercise the same contention regime."""
+        return cls(
+            num_sms=num_sms,
+            l1=CacheConfig(size_bytes=32 * 1024, assoc=64, line_bytes=128, latency=28),
+            l2=CacheConfig(size_bytes=64 * 1024, assoc=16, line_bytes=128, latency=200),
+            l2_banks=8,
+            mshr_entries=64,
+            mshr_merge=6,
+            miss_queue_depth=3,
+            icnt_bytes_per_cycle=24,
+            icnt_latency=60,
+            dram_channels=2,
+            dram_banks_per_channel=8,
+            max_threads_per_sm=1024,
+        )
+
+    def with_(self, **kwargs) -> "GPUConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)

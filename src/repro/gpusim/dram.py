@@ -1,0 +1,133 @@
+"""Row-buffer DRAM timing model.
+
+Each bank keeps its open row and next-free time; a row hit costs tCL, a row
+miss pays precharge + activate + CAS (tRP + tRCD + tCL), and tRC bounds
+back-to-back activates — the Table 1 parameters drive all of it.  Times are
+kept in core cycles; DRAM timings are converted through the configured
+core/memory clock ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .config import DRAMTimings
+
+
+@dataclass
+class _BankState:
+    open_row: int = -1
+    next_free: int = 0
+    priority_next_free: int = 0
+    last_activate: int = -(10**9)
+    # Activate spacing is tracked per priority class: a best-effort prefetch
+    # scheduled far in the future must not drag demand activates behind it
+    # (the controller serves demand first and replays the prefetch after).
+    last_priority_activate: int = -(10**9)
+
+
+@dataclass
+class _ChannelState:
+    next_free: int = 0
+    priority_next_free: int = 0
+    banks: List[_BankState] = field(default_factory=list)
+
+
+class DRAM:
+    """A multi-channel, multi-bank DRAM with open-page policy."""
+
+    BURST_BYTES_PER_MEM_CYCLE = 32
+
+    def __init__(
+        self,
+        timings: DRAMTimings,
+        channels: int,
+        banks_per_channel: int,
+        row_bytes: int,
+        clock_ratio: float,
+        line_bytes: int,
+    ) -> None:
+        if channels < 1 or banks_per_channel < 1:
+            raise ValueError("need at least one channel and bank")
+        self.timings = timings
+        self.row_bytes = row_bytes
+        self.clock_ratio = clock_ratio
+        self.line_bytes = line_bytes
+        self._channels = [
+            _ChannelState(banks=[_BankState() for _ in range(banks_per_channel)])
+            for _ in range(channels)
+        ]
+        self.reads = 0
+        self.row_hits = 0
+        self.row_misses = 0
+
+    def _core_cycles(self, mem_cycles: int) -> int:
+        return max(1, round(mem_cycles / self.clock_ratio))
+
+    def _map(self, line_addr: int) -> "tuple[int, _BankState, int]":
+        line_no = line_addr // self.line_bytes
+        ch_idx = line_no % len(self._channels)
+        channel = self._channels[ch_idx]
+        bank_no = (line_no // len(self._channels)) % len(channel.banks)
+        row = line_addr // (self.row_bytes * len(self._channels))
+        return ch_idx, channel.banks[bank_no], row
+
+    def access(
+        self, line_addr: int, now: int, is_write: bool = False,
+        priority: bool = True,
+    ) -> int:
+        """Service one line transfer; returns its completion time (core
+        cycles).  Demand requests (``priority=True``) schedule ahead of
+        best-effort prefetch traffic, which queues behind everything."""
+        t = self.timings
+        ch_idx, bank, row = self._map(line_addr)
+        channel = self._channels[ch_idx]
+        if priority:
+            start = max(now, bank.priority_next_free, channel.priority_next_free)
+        else:
+            start = max(now, bank.next_free, channel.next_free)
+
+        if bank.open_row == row:
+            self.row_hits += 1
+            access_mem_cycles = t.t_cl if not is_write else t.t_cl + t.t_wl
+        else:
+            self.row_misses += 1
+            # Respect the minimum activate-to-activate spacing (tRC) within
+            # the request's own priority class.
+            reference = (
+                bank.last_priority_activate if priority else bank.last_activate
+            )
+            start = max(start, reference + self._core_cycles(t.t_rc))
+            bank.last_activate = max(bank.last_activate, start)
+            if priority:
+                bank.last_priority_activate = max(
+                    bank.last_priority_activate, start
+                )
+            bank.open_row = row
+            access_mem_cycles = t.t_rp + t.t_rcd + t.t_cl
+            if is_write:
+                access_mem_cycles += t.t_wl
+
+        burst_mem_cycles = max(
+            t.t_ccd, self.line_bytes // self.BURST_BYTES_PER_MEM_CYCLE
+        )
+        done = start + self._core_cycles(access_mem_cycles + burst_mem_cycles)
+        bank_busy_until = start + self._core_cycles(
+            access_mem_cycles + burst_mem_cycles + (t.t_wr if is_write else 0)
+        )
+        channel_busy_until = start + self._core_cycles(burst_mem_cycles)
+        bank.next_free = max(bank.next_free, bank_busy_until)
+        channel.next_free = max(channel.next_free, channel_busy_until)
+        if priority:
+            bank.priority_next_free = max(bank.priority_next_free, bank_busy_until)
+            channel.priority_next_free = max(
+                channel.priority_next_free, channel_busy_until
+            )
+        self.reads += 0 if is_write else 1
+        return done
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0

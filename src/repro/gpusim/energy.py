@@ -1,0 +1,84 @@
+"""Energy model (AccelWattch substitute).
+
+Energy = static power x runtime + per-event dynamic energies.  The per-event
+costs are representative Volta-class numbers; the prefetcher's own costs come
+straight from the paper's §5.5 (6.4 pJ per table access, 6 mW static per SM).
+Because the paper's energy win comes from shorter runtime and fewer replayed
+L1 accesses, relative energy between mechanisms is faithful even though the
+absolute joules are approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .stats import SimStats
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event dynamic energies (picojoules) and static power (watts)."""
+
+    issue_pj: float = 20.0
+    l1_access_pj: float = 30.0
+    l2_access_pj: float = 120.0
+    dram_access_pj: float = 2_000.0
+    icnt_byte_pj: float = 1.5
+    prefetch_table_pj: float = 6.4  # paper §5.5
+    static_w_per_sm: float = 1.2
+    prefetcher_static_w_per_sm: float = 0.006  # paper §5.5 (6 mW)
+    core_clock_hz: float = 1.53e9
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules by component for one simulated kernel."""
+
+    static_j: float
+    core_j: float
+    l1_j: float
+    l2_j: float
+    dram_j: float
+    icnt_j: float
+    prefetcher_j: float
+
+    @property
+    def total_j(self) -> float:
+        return (
+            self.static_j
+            + self.core_j
+            + self.l1_j
+            + self.l2_j
+            + self.dram_j
+            + self.icnt_j
+            + self.prefetcher_j
+        )
+
+
+def energy_of(
+    stats: SimStats,
+    num_sms: int,
+    params: EnergyParams = EnergyParams(),
+    prefetcher_present: bool = False,
+) -> EnergyBreakdown:
+    """Compute the energy of a finished run from its statistics."""
+    runtime_s = stats.cycles / params.core_clock_hz
+    static_w = params.static_w_per_sm * num_sms
+    if prefetcher_present:
+        static_w += params.prefetcher_static_w_per_sm * num_sms
+
+    l1_events = stats.total_l1_accesses + stats.prefetch.issued
+    pj = 1e-12
+    return EnergyBreakdown(
+        static_j=static_w * runtime_s,
+        core_j=stats.instructions * params.issue_pj * pj,
+        l1_j=l1_events * params.l1_access_pj * pj,
+        l2_j=(stats.l2_hits + stats.l2_misses) * params.l2_access_pj * pj,
+        dram_j=stats.dram_reads * params.dram_access_pj * pj,
+        icnt_j=stats.icnt_bytes * params.icnt_byte_pj * pj,
+        prefetcher_j=(
+            stats.prefetch.table_accesses * params.prefetch_table_pj * pj
+            if prefetcher_present
+            else 0.0
+        ),
+    )

@@ -1,0 +1,132 @@
+"""Top-level GPU: SM array + shared L2/DRAM, kernel launch, stats roll-up.
+
+``GPU.run(kernel)`` dispatches CTAs round-robin over SMs (as the hardware
+work distributor does), runs every SM to completion and merges per-SM stats.
+Each SM gets its own prefetcher instance — the paper's tables are per-SM
+structures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.prefetch.base import Prefetcher, create as create_prefetcher
+
+from .config import GPUConfig
+from .dram import DRAM
+from .l2 import L2Cache
+from .sm import SM
+from .stats import SimStats
+from .trace import KernelTrace
+from .unified_cache import StorageMode
+
+
+class GPU:
+    """A configured GPU ready to execute kernel traces."""
+
+    def __init__(
+        self,
+        config: Optional[GPUConfig] = None,
+        prefetcher_factory: Optional[Callable[[], Prefetcher]] = None,
+        throttle_factory: Optional[Callable[[], object]] = None,
+        storage_mode: StorageMode = StorageMode.COUPLED,
+    ) -> None:
+        from repro.core.throttle import NullThrottle
+
+        self.config = config or GPUConfig.scaled()
+        self._prefetcher_factory = prefetcher_factory or (
+            lambda: create_prefetcher("none")
+        )
+        self._throttle_factory = throttle_factory or NullThrottle
+        self.storage_mode = storage_mode
+
+        self.dram = DRAM(
+            timings=self.config.dram,
+            channels=self.config.dram_channels,
+            banks_per_channel=self.config.dram_banks_per_channel,
+            row_bytes=self.config.dram_row_bytes,
+            clock_ratio=self.config.dram_clock_ratio,
+            line_bytes=self.config.l2.line_bytes,
+        )
+        self.l2 = L2Cache(self.config.l2, self.config.l2_banks, self.dram)
+        self.sms = [
+            SM(
+                sm_id=i,
+                config=self.config,
+                l2=self.l2,
+                prefetcher=self._prefetcher_factory(),
+                throttle=self._throttle_factory(),
+                storage_mode=storage_mode,
+            )
+            for i in range(self.config.num_sms)
+        ]
+
+    def run(self, kernel: KernelTrace) -> SimStats:
+        """Execute one kernel to completion; returns merged statistics."""
+        return self.run_many([kernel])
+
+    def run_many(self, kernels) -> SimStats:
+        """Execute several kernels *concurrently* (multi-application mode,
+        the paper's §1 extension).  Each kernel gets an app id; CTAs of all
+        kernels are interleaved across the SMs, and a per-app Snake
+        (``per_app=True``) keeps each application's chains separate."""
+        if not kernels or not any(k.ctas for k in kernels):
+            raise ValueError("need at least one kernel with CTAs to run")
+        next_cta_id = 0
+        next_warp_id = 0
+        dispatch = []
+        for app_id, kernel in enumerate(kernels):
+            for cta in kernel.ctas:
+                cta.cta_id = next_cta_id
+                next_cta_id += 1
+                for warp in cta.warps:
+                    warp.warp_id = next_warp_id
+                    next_warp_id += 1
+                dispatch.append((cta, app_id))
+        for idx, (cta, app_id) in enumerate(dispatch):
+            self.sms[idx % len(self.sms)].enqueue_cta(cta, app_id=app_id)
+
+        # Interleave SMs in global-time order so shared L2/DRAM resources
+        # see requests chronologically (see SM.step's docstring).
+        for sm in self.sms:
+            sm.start()
+        active = list(self.sms)
+        while active:
+            sm = min(active, key=lambda s: s.now)
+            if not sm.step():
+                sm.finalize()
+                active.remove(sm)
+
+        total = SimStats()
+        for sm in self.sms:
+            total.merge(sm.stats)
+        total.l2_hits = self.l2.hits
+        total.l2_misses = self.l2.misses
+        total.dram_reads = self.dram.reads
+        total.dram_row_hits = self.dram.row_hits
+        total.dram_row_misses = self.dram.row_misses
+        return total
+
+
+def simulate(
+    kernel: KernelTrace,
+    prefetcher: str = "none",
+    config: Optional[GPUConfig] = None,
+    **variant_kwargs,
+) -> SimStats:
+    """One-call convenience API: build a GPU with the named prefetcher
+    configuration and run ``kernel``.
+
+    ``prefetcher`` accepts any registered mechanism name (see
+    :func:`repro.prefetch.base.available`), including the Snake variants.
+    """
+    from repro.prefetch import build_setup
+
+    setup = build_setup(prefetcher, config or GPUConfig.scaled(), **variant_kwargs)
+    gpu = GPU(
+        config=setup.config,
+        prefetcher_factory=setup.prefetcher_factory,
+        throttle_factory=setup.throttle_factory,
+        storage_mode=setup.storage_mode,
+    )
+    return gpu.run(kernel)

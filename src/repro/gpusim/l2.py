@@ -1,0 +1,92 @@
+"""Shared, banked L2 cache.
+
+All SMs send their L1 misses here.  Banks are next-free-time resources (bank
+conflicts queue), the tag store is plain LRU, and misses are forwarded to
+DRAM.  In-flight misses merge so that two SMs missing on the same line cost
+one DRAM access.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .cache import SetAssocCache
+from .config import CacheConfig
+from .dram import DRAM
+
+_BANK_SERVICE_CYCLES = 4
+
+
+class L2Cache:
+    """The GPU's shared last-level cache in front of DRAM."""
+
+    def __init__(self, config: CacheConfig, banks: int, dram: DRAM) -> None:
+        if banks < 1:
+            raise ValueError("need at least one L2 bank")
+        self.config = config
+        self.dram = dram
+        self._store = SetAssocCache(config)
+        self._bank_next_free = [0] * banks
+        self._bank_priority_next_free = [0] * banks
+        self._inflight: Dict[int, int] = {}  # line -> fill time
+        self.hits = 0
+        self.misses = 0
+
+    def _bank_of(self, line_addr: int) -> int:
+        return (line_addr // self.config.line_bytes) % len(self._bank_next_free)
+
+    def access(
+        self, line_addr: int, now: int, is_write: bool = False,
+        priority: bool = True,
+    ) -> int:
+        """Service a request arriving at time ``now``; returns the time the
+        data is ready to travel back to the requesting L1.  Demand requests
+        (``priority=True``) schedule ahead of best-effort prefetches."""
+        bank = self._bank_of(line_addr)
+        if priority:
+            start = max(now, self._bank_priority_next_free[bank])
+            self._bank_priority_next_free[bank] = start + _BANK_SERVICE_CYCLES
+        else:
+            start = max(now, self._bank_next_free[bank])
+        self._bank_next_free[bank] = max(
+            self._bank_next_free[bank], start + _BANK_SERVICE_CYCLES
+        )
+
+        # Drop completed in-flight entries lazily.
+        stale = [a for a, t in self._inflight.items() if t <= now]
+        for addr in stale:
+            del self._inflight[addr]
+
+        if self._store.touch(line_addr, start) is not None:
+            self.hits += 1
+            return start + self.config.latency
+
+        pending = self._inflight.get(line_addr)
+        if pending is not None:
+            # Merge with an in-flight miss.  A demand (priority) request
+            # promotes a starved best-effort prefetch: the memory controller
+            # re-schedules the transfer at demand priority, so the data
+            # arrives no later than a fresh access would.
+            self.hits += 1
+            merged = max(pending, start + self.config.latency)
+            if priority:
+                # Demand promotion of an in-flight best-effort fill: the
+                # memory controller re-prioritizes the transfer, so it
+                # completes no later than an unloaded access from now.
+                promoted = start + self.config.latency + _BANK_SERVICE_CYCLES
+                merged = min(merged, max(promoted, now + self.config.latency))
+            return merged
+
+        self.misses += 1
+        fill_time = self.dram.access(
+            line_addr, start + _BANK_SERVICE_CYCLES, is_write=is_write,
+            priority=priority,
+        )
+        self._store.insert(line_addr, fill_time)
+        self._inflight[line_addr] = fill_time
+        return fill_time + self.config.latency
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

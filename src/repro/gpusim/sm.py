@@ -1,0 +1,377 @@
+"""Streaming Multiprocessor timing model.
+
+The SM is event-driven: each warp carries a ``ready_at`` timestamp, the issue
+loop issues up to ``issue_width`` instructions per cycle from ready warps and
+fast-forwards over periods where every warp is stalled, classifying those
+skipped cycles as memory or pipeline stalls (Fig 5's metric).
+
+Loads are coalesced into line transactions against the unified L1
+(:mod:`repro.gpusim.unified_cache`); a reservation fail leaves the warp to
+replay the remaining transactions, exactly the retry behaviour §2 describes.
+Every first issue of a load also feeds the attached prefetcher, whose
+predictions enter the L1's prefetch path under the throttle's control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from collections import deque
+
+from repro.prefetch.base import AccessEvent, Prefetcher, PrefetchRequest
+
+from .coalescer import coalesce, coalesce_sectors
+from .config import GPUConfig
+from .interconnect import Interconnect
+from .l2 import L2Cache
+from .scheduler import make_scheduler
+from .stats import SimStats
+from .trace import CTA, Op, WarpInstr, WarpTrace
+from .unified_cache import L1Outcome, StorageMode, UnifiedL1Cache
+
+
+@dataclass
+class WarpState:
+    """Execution state of one resident warp."""
+
+    warp_id: int
+    cta_id: int
+    trace: WarpTrace
+    ip: int = 0
+    ready_at: int = 0
+    finished: bool = False
+    waiting_on_memory: bool = False
+    at_barrier: bool = False
+    # Lines of a partially-issued memory instruction awaiting replay.
+    replay_lines: List[int] = field(default_factory=list)
+    replay_ready: int = 0
+    # Per-line sector masks of the in-flight instruction (sectored L1 only).
+    sector_masks: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def current_instr(self) -> Optional[WarpInstr]:
+        if self.ip < len(self.trace.instrs):
+            return self.trace.instrs[self.ip]
+        return None
+
+
+class SM:
+    """One streaming multiprocessor plus its private memory front end."""
+
+    def __init__(
+        self,
+        sm_id: int,
+        config: GPUConfig,
+        l2: L2Cache,
+        prefetcher: Prefetcher,
+        throttle,
+        storage_mode: StorageMode = StorageMode.COUPLED,
+    ) -> None:
+        self.sm_id = sm_id
+        self.config = config
+        self.stats = SimStats()
+        self.icnt_req = Interconnect(config.icnt_bytes_per_cycle, config.icnt_latency)
+        self.icnt_resp = Interconnect(config.icnt_bytes_per_cycle, config.icnt_latency)
+        self.l1 = UnifiedL1Cache(
+            config, self.icnt_req, self.icnt_resp, l2, self.stats, mode=storage_mode
+        )
+        self.prefetcher = prefetcher
+        self.throttle = throttle
+        self.scheduler = make_scheduler(config.scheduler)
+
+        self._cta_queue: Deque[CTA] = deque()
+        self._cta_app: Dict[int, int] = {}
+        self._warps: List[WarpState] = []
+        self._barrier_waits: Dict[int, int] = {}
+        self._cta_live_warps: Dict[int, int] = {}
+        self.now = 0
+
+    # ------------------------------------------------------------------
+    # CTA management
+
+    def enqueue_cta(self, cta: CTA, app_id: int = 0) -> None:
+        self._cta_queue.append(cta)
+        self._cta_app[cta.cta_id] = app_id
+
+    def _activate_ctas(self) -> None:
+        """Bring queued CTAs on-core while warp slots remain."""
+        while self._cta_queue:
+            cta = self._cta_queue[0]
+            live = sum(1 for w in self._warps if not w.finished)
+            if live + len(cta.warps) > self.config.max_warps_per_sm:
+                break
+            self._cta_queue.popleft()
+            self._cta_live_warps[cta.cta_id] = len(cta.warps)
+            for trace in cta.warps:
+                self._warps.append(
+                    WarpState(
+                        warp_id=trace.warp_id,
+                        cta_id=cta.cta_id,
+                        trace=trace,
+                        ready_at=self.now,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Main loop
+
+    def start(self) -> None:
+        """Activate the first CTAs; call before stepping."""
+        self._activate_ctas()
+
+    def step(self) -> bool:
+        """Advance this SM by one quantum — either one issue cycle or a jump
+        to the next warp-ready event.  Returns False once all work retired.
+
+        The GPU interleaves ``step()`` across SMs in global-time order so
+        that accesses to the *shared* L2/DRAM resources happen in (roughly)
+        chronological order — simulating SMs to completion one after another
+        would make a later SM's early requests queue behind the entire
+        lifetime of traffic from earlier SMs.
+        """
+        runnable = [
+            w for w in self._warps if not w.finished and not w.at_barrier
+        ]
+        if not runnable:
+            if self._cta_queue:
+                self._activate_ctas()
+                return True
+            return False
+
+        ready = [w for w in runnable if w.ready_at <= self.now]
+        if not ready:
+            next_time = min(w.ready_at for w in runnable)
+            gap = next_time - self.now
+            self.stats.stall_cycles_total += gap
+            if all(w.waiting_on_memory for w in runnable):
+                self.stats.stall_cycles_memory += gap
+            self.now = next_time
+            return True
+
+        issued = 0
+        while issued < self.config.issue_width:
+            ready = [
+                w
+                for w in self._warps
+                if not w.finished
+                and not w.at_barrier
+                and w.ready_at <= self.now
+            ]
+            if not ready:
+                break
+            warp = self.scheduler.pick(ready)
+            self._issue(warp)
+            self.scheduler.note_issued(warp)
+            issued += 1
+        self.now += 1
+        return True
+
+    def finalize(self) -> SimStats:
+        """Close out the statistics after the last step."""
+        self.stats.cycles = self.now
+        self.stats.icnt_peak_bytes = (
+            self.icnt_req.peak_bytes(self.now) + self.icnt_resp.peak_bytes(self.now)
+        )
+        self.stats.prefetch.table_accesses = self.prefetcher.table_accesses()
+        return self.stats
+
+    def run(self) -> SimStats:
+        """Single-SM convenience: step to completion."""
+        self.start()
+        while self.step():
+            pass
+        return self.finalize()
+
+    # ------------------------------------------------------------------
+    # Instruction issue
+
+    def _issue(self, warp: WarpState) -> None:
+        if warp.replay_lines:
+            self._issue_mem_lines(warp, warp.replay_lines, is_load=True, replay=True)
+            return
+
+        instr = warp.current_instr
+        if instr is None:
+            self._finish_warp(warp)
+            return
+
+        if instr.op is Op.ALU:
+            warp.ready_at = self.now + self.config.alu_latency
+            warp.waiting_on_memory = False
+            self._complete(warp)
+        elif instr.op is Op.SFU:
+            warp.ready_at = self.now + self.config.sfu_latency
+            warp.waiting_on_memory = False
+            self._complete(warp)
+        elif instr.op is Op.BARRIER:
+            self._arrive_barrier(warp)
+        elif instr.op is Op.LOAD:
+            self._issue_load(warp, instr)
+        elif instr.op is Op.STORE:
+            self._issue_store(warp, instr)
+        else:  # pragma: no cover - exhaustive over Op
+            raise ValueError("unknown op %r" % instr.op)
+
+    def _complete(self, warp: WarpState) -> None:
+        warp.ip += 1
+        self.stats.instructions += 1
+        if warp.ip >= len(warp.trace.instrs):
+            self._finish_warp(warp)
+
+    def _finish_warp(self, warp: WarpState) -> None:
+        if warp.finished:
+            return
+        warp.finished = True
+        self.stats.warps_finished += 1
+        cta = warp.cta_id
+        self._cta_live_warps[cta] -= 1
+        if self._cta_live_warps[cta] == 0:
+            self._activate_ctas()
+
+    # ------------------------------------------------------------------
+    # Memory instructions
+
+    def _issue_load(self, warp: WarpState, instr: WarpInstr) -> None:
+        if self.config.l1_sector_bytes:
+            masks = coalesce_sectors(
+                instr, self.config.warp_size, self.l1.line_bytes,
+                self.config.l1_sector_bytes,
+            )
+            lines = list(masks)
+            warp.sector_masks = masks
+        else:
+            lines = coalesce(instr, self.config.warp_size, self.l1.line_bytes)
+            warp.sector_masks = {}
+        self._feed_prefetcher(warp, instr, lines[0])
+        self._issue_mem_lines(warp, lines, is_load=True, replay=False)
+
+    def _issue_mem_lines(
+        self, warp: WarpState, lines: List[int], is_load: bool, replay: bool
+    ) -> None:
+        ready = self.now
+        remaining: List[int] = []
+        failed = False
+        for idx, line in enumerate(lines):
+            if failed:
+                remaining.append(line)
+                continue
+            outcome, when = self.l1.demand_load(
+                line, self.now, sector_mask=warp.sector_masks.get(line, -1)
+            )
+            if outcome is L1Outcome.RESERVATION_FAIL:
+                failed = True
+                remaining.append(line)
+                warp.ready_at = when
+            else:
+                ready = max(ready, when)
+        warp.waiting_on_memory = True
+        if failed:
+            warp.replay_lines = remaining
+            warp.replay_ready = max(ready, warp.ready_at)
+            return
+        # All transactions accepted: the instruction completes when the last
+        # fill arrives (and no earlier than any prior replayed portion).
+        warp.replay_lines = []
+        warp.ready_at = max(ready, warp.replay_ready)
+        warp.replay_ready = 0
+        self._complete(warp)
+
+    def _issue_store(self, warp: WarpState, instr: WarpInstr) -> None:
+        lines = coalesce(instr, self.config.warp_size, self.l1.line_bytes)
+        done = self.now
+        for line in lines:
+            done = max(done, self.l1.demand_store(line, self.now))
+        warp.ready_at = done
+        warp.waiting_on_memory = False
+        self._complete(warp)
+
+    # ------------------------------------------------------------------
+    # Prefetcher hook
+
+    def _feed_prefetcher(
+        self, warp: WarpState, instr: WarpInstr, line_addr: int
+    ) -> None:
+        event = AccessEvent(
+            warp_id=warp.warp_id,
+            cta_id=warp.cta_id,
+            pc=instr.pc,
+            base_addr=instr.base_addr,
+            line_addr=line_addr,
+            now=self.now,
+            thread_stride=instr.thread_stride,
+            divergent=instr.divergent,
+            app_id=self._cta_app.get(warp.cta_id, 0),
+        )
+        if hasattr(self.prefetcher, "set_depth_limit"):
+            utilization = 0.5 * (
+                self.icnt_req.measured_utilization(self.now)
+                + self.icnt_resp.measured_utilization(self.now)
+            )
+            self.prefetcher.set_depth_limit(
+                self.throttle.chain_depth_limit(
+                    utilization, self.config.max_chain_depth
+                )
+            )
+        requests = self.prefetcher.observe(event)
+        if not requests:
+            return
+        self.l1.prefetcher_trained = self.prefetcher.trained
+        for request in requests:
+            self._issue_prefetch(request, instr)
+
+    def _issue_prefetch(self, request: PrefetchRequest, instr: WarpInstr) -> None:
+        if self.prefetcher.uses_magic:
+            footprint = WarpInstr(
+                pc=instr.pc,
+                op=Op.LOAD,
+                base_addr=request.base_addr,
+                thread_stride=instr.thread_stride,
+                size_bytes=instr.size_bytes,
+            )
+            for line in coalesce(footprint, self.config.warp_size, self.l1.line_bytes):
+                self.l1.magic_prefetch(line)
+            return
+        # The paper's trigger metric is total NoC utilization (the Fig 4
+        # measure): both directions against both directions' peak.
+        utilization = 0.5 * (
+            self.icnt_req.measured_utilization(self.now)
+            + self.icnt_resp.measured_utilization(self.now)
+        )
+        if not self.throttle.allow(self.now, self.l1, utilization):
+            self.stats.prefetch.dropped_throttled += 1
+            return
+        footprint = WarpInstr(
+            pc=instr.pc,
+            op=Op.LOAD,
+            base_addr=request.base_addr,
+            thread_stride=instr.thread_stride,
+            size_bytes=instr.size_bytes,
+        )
+        # The table search pipeline adds a couple of cycles before the
+        # request can leave the prefetcher (§5.5 reports 2 cycles).
+        issue_at = self.now + self.config.prefetcher_latency
+        for line in coalesce(footprint, self.config.warp_size, self.l1.line_bytes):
+            self.l1.prefetch(line, issue_at)
+
+    # ------------------------------------------------------------------
+    # Barriers
+
+    def _arrive_barrier(self, warp: WarpState) -> None:
+        cta = warp.cta_id
+        waiting = self._barrier_waits.get(cta, 0) + 1
+        live = self._cta_live_warps[cta]
+        if waiting >= live:
+            # Last arrival releases everyone.
+            self._barrier_waits[cta] = 0
+            for other in self._warps:
+                if other.cta_id == cta and other.at_barrier:
+                    other.at_barrier = False
+                    other.ready_at = self.now + 1
+                    self._complete(other)
+            self._complete(warp)
+            warp.ready_at = self.now + 1
+        else:
+            self._barrier_waits[cta] = waiting
+            warp.at_barrier = True
+            warp.waiting_on_memory = False

@@ -1,0 +1,163 @@
+"""Simulation statistics.
+
+One :class:`SimStats` is produced per kernel run and carries every counter
+the paper's figures are built from: L1 access outcomes (hit / miss /
+reserved / reservation-fail — the four states of §2 footnote 1), stall
+classification, interconnect traffic, and prefetch bookkeeping
+(coverage / timely accuracy / pollution, per the §4 definitions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class PrefetchStats:
+    """Prefetcher-side counters.
+
+    *Coverage* = correctly predicted demand addresses / total demand
+    addresses.  *Accuracy* (the paper's timely accuracy) = correctly
+    predicted addresses that were resident before the demand arrived / total
+    demand addresses.
+    """
+
+    issued: int = 0
+    dropped_duplicate: int = 0  # predicted line already cached / in flight
+    dropped_throttled: int = 0
+    demand_covered: int = 0  # demand hit on prefetched line or merged in-flight
+    demand_timely: int = 0  # demand hit on an already-filled prefetched line
+    unused_evicted: int = 0  # prefetched lines evicted before any use
+    early_evictions: int = 0  # prefetched lines evicted by demand data pre-use
+    table_accesses: int = 0  # Head/Tail table lookups (energy accounting)
+
+    def coverage(self, total_demand: int) -> float:
+        return self.demand_covered / total_demand if total_demand else 0.0
+
+    def accuracy(self, total_demand: int) -> float:
+        return self.demand_timely / total_demand if total_demand else 0.0
+
+
+@dataclass
+class SimStats:
+    """Counters for one simulated kernel."""
+
+    cycles: int = 0
+    instructions: int = 0
+    warps_finished: int = 0
+
+    # L1 access outcomes (demand requests only).
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l1_reserved: int = 0  # hit on an in-flight (reserved) line
+    l1_reservation_fails: int = 0
+
+    # Stall classification: cycles with no warp ready to issue.
+    stall_cycles_total: int = 0
+    stall_cycles_memory: int = 0  # all non-finished warps waiting on memory
+
+    # Interconnect (L1<->L2) traffic.
+    icnt_bytes: int = 0
+    icnt_peak_bytes: int = 0  # theoretical capacity over the run
+
+    # Lower levels.
+    l2_hits: int = 0
+    l2_misses: int = 0
+    dram_reads: int = 0
+    dram_row_hits: int = 0
+    dram_row_misses: int = 0
+
+    prefetch: PrefetchStats = field(default_factory=PrefetchStats)
+
+    @property
+    def total_l1_accesses(self) -> int:
+        return (
+            self.l1_hits
+            + self.l1_misses
+            + self.l1_reserved
+            + self.l1_reservation_fails
+        )
+
+    @property
+    def demand_accesses(self) -> int:
+        """Demand accesses that actually progressed (excludes replayed
+        reservation fails so a retried access is not double counted)."""
+        return self.l1_hits + self.l1_misses + self.l1_reserved
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def l1_hit_rate(self) -> float:
+        demand = self.demand_accesses
+        return self.l1_hits / demand if demand else 0.0
+
+    @property
+    def reservation_fail_rate(self) -> float:
+        total = self.total_l1_accesses
+        return self.l1_reservation_fails / total if total else 0.0
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        if not self.icnt_peak_bytes:
+            return 0.0
+        return min(1.0, self.icnt_bytes / self.icnt_peak_bytes)
+
+    @property
+    def memory_stall_fraction(self) -> float:
+        if not self.stall_cycles_total:
+            return 0.0
+        return self.stall_cycles_memory / self.stall_cycles_total
+
+    @property
+    def coverage(self) -> float:
+        return self.prefetch.coverage(self.demand_accesses)
+
+    @property
+    def accuracy(self) -> float:
+        return self.prefetch.accuracy(self.demand_accesses)
+
+    def merge(self, other: "SimStats") -> None:
+        """Accumulate another SM's counters into this one (cycles take the
+        max — SMs run concurrently)."""
+        self.cycles = max(self.cycles, other.cycles)
+        self.instructions += other.instructions
+        self.warps_finished += other.warps_finished
+        self.l1_hits += other.l1_hits
+        self.l1_misses += other.l1_misses
+        self.l1_reserved += other.l1_reserved
+        self.l1_reservation_fails += other.l1_reservation_fails
+        self.stall_cycles_total += other.stall_cycles_total
+        self.stall_cycles_memory += other.stall_cycles_memory
+        self.icnt_bytes += other.icnt_bytes
+        self.icnt_peak_bytes += other.icnt_peak_bytes
+        self.l2_hits += other.l2_hits
+        self.l2_misses += other.l2_misses
+        self.dram_reads += other.dram_reads
+        self.dram_row_hits += other.dram_row_hits
+        self.dram_row_misses += other.dram_row_misses
+        p, q = self.prefetch, other.prefetch
+        p.issued += q.issued
+        p.dropped_duplicate += q.dropped_duplicate
+        p.dropped_throttled += q.dropped_throttled
+        p.demand_covered += q.demand_covered
+        p.demand_timely += q.demand_timely
+        p.unused_evicted += q.unused_evicted
+        p.early_evictions += q.early_evictions
+        p.table_accesses += q.table_accesses
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat metric dictionary for reporting."""
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "ipc": self.ipc,
+            "l1_hit_rate": self.l1_hit_rate,
+            "reservation_fail_rate": self.reservation_fail_rate,
+            "bandwidth_utilization": self.bandwidth_utilization,
+            "memory_stall_fraction": self.memory_stall_fraction,
+            "coverage": self.coverage,
+            "accuracy": self.accuracy,
+        }

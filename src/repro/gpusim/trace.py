@@ -1,0 +1,124 @@
+"""Trace model: the instruction streams executed by warps.
+
+A workload (``repro.workloads``) compiles into a :class:`KernelTrace` — a set
+of CTAs, each holding :class:`WarpTrace` instruction lists.  Memory
+instructions carry a per-warp *base address* and a *thread stride*; the
+coalescer expands them into cache-line requests.  The paper (§3.4) observes
+that the stride between threads of a warp is consistently equal, so this
+compact (base, stride) encoding loses nothing the prefetchers care about.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence
+
+
+class Op(enum.Enum):
+    """Instruction kinds the timing model distinguishes."""
+
+    ALU = "alu"
+    SFU = "sfu"
+    LOAD = "load"
+    STORE = "store"
+    BARRIER = "barrier"
+
+
+@dataclass(frozen=True)
+class WarpInstr:
+    """One warp-wide instruction.
+
+    ``base_addr``/``thread_stride`` are only meaningful for LOAD/STORE: thread
+    *i* of the warp accesses ``base_addr + i * thread_stride``.
+    """
+
+    pc: int
+    op: Op
+    base_addr: int = 0
+    thread_stride: int = 0
+    size_bytes: int = 4
+    #: threads of this warp access unrelated (data-dependent) addresses;
+    #: per §3.4 such warps are excluded from prefetch training
+    divergent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.pc < 0:
+            raise ValueError("pc must be non-negative")
+        if self.op in (Op.LOAD, Op.STORE) and self.base_addr < 0:
+            raise ValueError("memory instruction needs a non-negative address")
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op in (Op.LOAD, Op.STORE)
+
+
+@dataclass
+class WarpTrace:
+    """The ordered instruction stream of one warp."""
+
+    warp_id: int
+    instrs: List[WarpInstr] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __iter__(self) -> Iterator[WarpInstr]:
+        return iter(self.instrs)
+
+    def loads(self) -> List[WarpInstr]:
+        return [i for i in self.instrs if i.op is Op.LOAD]
+
+    def append(self, instr: WarpInstr) -> None:
+        self.instrs.append(instr)
+
+
+@dataclass
+class CTA:
+    """A cooperative thread array: a group of warps launched together."""
+
+    cta_id: int
+    warps: List[WarpTrace] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.warps)
+
+    @property
+    def num_instrs(self) -> int:
+        return sum(len(w) for w in self.warps)
+
+
+@dataclass
+class KernelTrace:
+    """A full kernel launch: CTAs in dispatch order, plus a label."""
+
+    name: str
+    ctas: List[CTA] = field(default_factory=list)
+
+    @property
+    def num_warps(self) -> int:
+        return sum(len(c) for c in self.ctas)
+
+    @property
+    def num_instrs(self) -> int:
+        return sum(c.num_instrs for c in self.ctas)
+
+    def all_warps(self) -> List[WarpTrace]:
+        return [w for c in self.ctas for w in c.warps]
+
+    def representative_warp(self) -> WarpTrace:
+        """The warp executing the most load instructions (used by the paper's
+        chain analysis, Figs 9-11)."""
+        warps = self.all_warps()
+        if not warps:
+            raise ValueError("kernel %r has no warps" % self.name)
+        return max(warps, key=lambda w: len(w.loads()))
+
+
+def renumber_warps(ctas: Sequence[CTA]) -> None:
+    """Assign globally unique, dense warp ids across CTAs (dispatch order)."""
+    next_id = 0
+    for cta in ctas:
+        for warp in cta.warps:
+            warp.warp_id = next_id
+            next_id += 1

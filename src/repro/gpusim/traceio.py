@@ -1,0 +1,105 @@
+"""Kernel-trace serialization.
+
+A :class:`~repro.gpusim.trace.KernelTrace` can be saved to (and loaded
+from) a compact JSON-lines format, so traces can be generated once, kept
+under version control, or produced by external tools (e.g. converted from
+an Accel-Sim SASS trace) and replayed through this simulator.
+
+Format (one JSON object per line):
+
+* header line: ``{"kernel": name, "version": 1}``
+* CTA line:    ``{"cta": id}`` — opens a CTA; warps follow
+* warp line:   ``{"warp": id, "instrs": [[pc, op, base, stride, size, div], ...]}``
+
+Memory operands are omitted for non-memory ops, keeping files small.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from .trace import CTA, KernelTrace, Op, WarpInstr, WarpTrace
+
+FORMAT_VERSION = 1
+
+_OP_CODE = {op: op.value for op in Op}
+_CODE_OP = {op.value: op for op in Op}
+
+
+def _encode_instr(instr: WarpInstr) -> list:
+    if instr.is_mem:
+        return [
+            instr.pc,
+            instr.op.value,
+            instr.base_addr,
+            instr.thread_stride,
+            instr.size_bytes,
+            int(instr.divergent),
+        ]
+    return [instr.pc, instr.op.value]
+
+
+def _decode_instr(record: list) -> WarpInstr:
+    if len(record) == 2:
+        return WarpInstr(pc=record[0], op=_CODE_OP[record[1]])
+    pc, op, base, stride, size, divergent = record
+    return WarpInstr(
+        pc=pc,
+        op=_CODE_OP[op],
+        base_addr=base,
+        thread_stride=stride,
+        size_bytes=size,
+        divergent=bool(divergent),
+    )
+
+
+def save_trace(kernel: KernelTrace, path: Union[str, Path]) -> Path:
+    """Write a kernel trace as JSON lines; returns the path written."""
+    path = Path(path)
+    with path.open("w") as handle:
+        handle.write(
+            json.dumps({"kernel": kernel.name, "version": FORMAT_VERSION}) + "\n"
+        )
+        for cta in kernel.ctas:
+            handle.write(json.dumps({"cta": cta.cta_id}) + "\n")
+            for warp in cta.warps:
+                record = {
+                    "warp": warp.warp_id,
+                    "instrs": [_encode_instr(i) for i in warp.instrs],
+                }
+                handle.write(json.dumps(record) + "\n")
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> KernelTrace:
+    """Read a kernel trace written by :func:`save_trace`."""
+    path = Path(path)
+    with path.open() as handle:
+        header = json.loads(handle.readline())
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                "unsupported trace version %r (expected %d)"
+                % (header.get("version"), FORMAT_VERSION)
+            )
+        kernel = KernelTrace(name=header["kernel"])
+        current: List[WarpTrace] = []
+        for line in handle:
+            record = json.loads(line)
+            if "cta" in record:
+                cta = CTA(cta_id=record["cta"])
+                kernel.ctas.append(cta)
+                current = cta.warps
+            elif "warp" in record:
+                if not kernel.ctas:
+                    raise ValueError("warp record before any CTA record")
+                current.append(
+                    WarpTrace(
+                        warp_id=record["warp"],
+                        instrs=[_decode_instr(r) for r in record["instrs"]],
+                    )
+                )
+            else:
+                raise ValueError("unrecognized trace record: %r" % record)
+    return kernel

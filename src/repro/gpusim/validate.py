@@ -1,0 +1,116 @@
+"""Kernel-trace validation.
+
+External traces (hand-written or converted via :mod:`repro.gpusim.traceio`)
+can violate assumptions the simulator relies on; :func:`validate_kernel`
+checks them up front and reports every problem found instead of failing
+deep inside a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .trace import KernelTrace, Op
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One problem found in a trace."""
+
+    severity: str  # "error" | "warning"
+    location: str
+    message: str
+
+    def __str__(self) -> str:
+        return "[%s] %s: %s" % (self.severity, self.location, self.message)
+
+
+def validate_kernel(
+    kernel: KernelTrace, max_addr: int = 1 << 48
+) -> List[ValidationIssue]:
+    """Check a kernel trace; returns all issues (empty list == valid).
+
+    Errors make a run incorrect (duplicate warp ids, absurd addresses);
+    warnings flag suspicious-but-legal structure (empty warps, CTAs with no
+    loads, barrier-deadlock candidates).
+    """
+    issues: List[ValidationIssue] = []
+
+    if not kernel.ctas:
+        issues.append(ValidationIssue("error", kernel.name, "kernel has no CTAs"))
+        return issues
+
+    seen_warp_ids = set()
+    seen_cta_ids = set()
+    for cta in kernel.ctas:
+        where = "%s/cta%d" % (kernel.name, cta.cta_id)
+        if cta.cta_id in seen_cta_ids:
+            issues.append(
+                ValidationIssue("error", where, "duplicate CTA id %d" % cta.cta_id)
+            )
+        seen_cta_ids.add(cta.cta_id)
+        if not cta.warps:
+            issues.append(ValidationIssue("warning", where, "CTA has no warps"))
+
+        barrier_counts = set()
+        for warp in cta.warps:
+            warp_where = "%s/warp%d" % (where, warp.warp_id)
+            if warp.warp_id in seen_warp_ids:
+                issues.append(
+                    ValidationIssue(
+                        "error", warp_where,
+                        "duplicate warp id %d" % warp.warp_id,
+                    )
+                )
+            seen_warp_ids.add(warp.warp_id)
+            if not warp.instrs:
+                issues.append(
+                    ValidationIssue("warning", warp_where, "warp has no instructions")
+                )
+
+            barriers = 0
+            for idx, instr in enumerate(warp.instrs):
+                instr_where = "%s/i%d" % (warp_where, idx)
+                if instr.is_mem:
+                    if instr.base_addr >= max_addr:
+                        issues.append(
+                            ValidationIssue(
+                                "error", instr_where,
+                                "address %#x beyond %#x" % (instr.base_addr, max_addr),
+                            )
+                        )
+                    if instr.size_bytes < 1:
+                        issues.append(
+                            ValidationIssue(
+                                "error", instr_where, "non-positive access size"
+                            )
+                        )
+                if instr.op is Op.BARRIER:
+                    barriers += 1
+            barrier_counts.add(barriers)
+
+        if len(barrier_counts) > 1:
+            issues.append(
+                ValidationIssue(
+                    "error", where,
+                    "warps execute different barrier counts %s - the CTA "
+                    "would deadlock" % sorted(barrier_counts),
+                )
+            )
+
+        if all(not i.is_mem for w in cta.warps for i in w.instrs):
+            issues.append(
+                ValidationIssue("warning", where, "CTA performs no memory accesses")
+            )
+
+    return issues
+
+
+def assert_valid(kernel: KernelTrace) -> None:
+    """Raise ``ValueError`` listing every *error*-severity issue."""
+    errors = [i for i in validate_kernel(kernel) if i.severity == "error"]
+    if errors:
+        raise ValueError(
+            "invalid kernel trace:\n" + "\n".join(str(e) for e in errors)
+        )

@@ -1,0 +1,101 @@
+"""Prefetcher interface.
+
+A prefetcher lives next to an SM's L1.  The SM calls :meth:`Prefetcher.observe`
+with an :class:`AccessEvent` each time a warp issues a demand load (before the
+access is serviced) and gets back a list of :class:`PrefetchRequest` — *base*
+(first-thread) addresses to prefetch.  The SM expands each base address into
+cache lines using the triggering instruction's thread stride, checks the
+throttle, and pushes the lines into the L1's prefetch path.
+
+Prefetchers that model the paper's Ideal oracle set ``uses_magic`` so the SM
+routes their requests to the zero-latency, infinite-capacity magic fill path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One warp-level demand load as seen by the prefetcher."""
+
+    warp_id: int
+    cta_id: int
+    pc: int
+    base_addr: int
+    line_addr: int
+    now: int
+    thread_stride: int = 0
+    divergent: bool = False
+    app_id: int = 0  # which concurrently-running application issued this
+
+
+@dataclass(frozen=True)
+class PrefetchRequest:
+    """A predicted future warp-level access (base address of thread 0)."""
+
+    base_addr: int
+    depth: int = 1  # chain distance from the triggering access
+
+    def __post_init__(self) -> None:
+        if self.base_addr < 0:
+            raise ValueError("prefetch address must be non-negative")
+        if self.depth < 1:
+            raise ValueError("depth must be >= 1")
+
+
+class Prefetcher:
+    """Base class: the null prefetcher (baseline GPU)."""
+
+    name = "none"
+    uses_magic = False
+
+    def observe(self, event: AccessEvent) -> List[PrefetchRequest]:
+        """Digest a demand access; return addresses to prefetch."""
+        return []
+
+    @property
+    def trained(self) -> bool:
+        """Whether training completed (gates Snake's 50 % demand-space cap;
+        mechanisms without a training phase report True)."""
+        return True
+
+    def table_accesses(self) -> int:
+        """Metadata-table lookups performed so far (energy accounting)."""
+        return 0
+
+
+_REGISTRY: Dict[str, Callable[..., Prefetcher]] = {}
+
+
+def register(name: str):
+    """Class decorator registering a prefetcher under ``name``."""
+
+    def deco(cls):
+        if name in _REGISTRY:
+            raise ValueError("prefetcher %r already registered" % name)
+        _REGISTRY[name] = cls
+        cls.name = name
+        return cls
+
+    return deco
+
+
+def create(name: str, **kwargs) -> Prefetcher:
+    """Instantiate a registered prefetcher by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            "unknown prefetcher %r; known: %s" % (name, ", ".join(sorted(_REGISTRY)))
+        ) from None
+    return factory(**kwargs)
+
+
+def available() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+register("none")(Prefetcher)

@@ -1,0 +1,41 @@
+"""Intra-warp stride prefetcher (INTRA comparison point; Lee et al. [29]).
+
+Each (warp, load PC) pair trains a classic stride detector; once the stride
+repeats, the next loop iteration's address is prefetched.  Effective only in
+the presence of deep loops — exactly the limitation §2 attributes to it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .base import AccessEvent, Prefetcher, PrefetchRequest, register
+from .stride import StrideTracker
+
+
+@register("intra")
+class IntraWarpPrefetcher(Prefetcher):
+    """Prefetch ``addr + k * stride`` for the same warp's next iterations."""
+
+    def __init__(self, degree: int = 2) -> None:
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.degree = degree
+        self._trackers: Dict[Tuple[int, int], StrideTracker] = {}
+        self._accesses = 0
+
+    def observe(self, event: AccessEvent) -> List[PrefetchRequest]:
+        self._accesses += 1
+        key = (event.warp_id, event.pc)
+        tracker = self._trackers.setdefault(key, StrideTracker())
+        stride = tracker.update(event.base_addr)
+        if stride is None:
+            return []
+        return [
+            PrefetchRequest(base_addr=event.base_addr + k * stride, depth=k)
+            for k in range(1, self.degree + 1)
+            if event.base_addr + k * stride >= 0
+        ]
+
+    def table_accesses(self) -> int:
+        return self._accesses

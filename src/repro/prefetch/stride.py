@@ -1,0 +1,54 @@
+"""Shared stride-detection helpers used by the fixed-stride baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class StrideTracker:
+    """Classic two-delta stride detector: remembers the last address and
+    stride and counts consecutive confirmations."""
+
+    last_addr: Optional[int] = None
+    stride: Optional[int] = None
+    confirmations: int = 0
+
+    def update(self, addr: int) -> Optional[int]:
+        """Feed an address; returns the stride once it has been confirmed at
+        least once (two equal deltas in a row), else None."""
+        confirmed = None
+        if self.last_addr is not None:
+            delta = addr - self.last_addr
+            if delta != 0 and delta == self.stride:
+                self.confirmations += 1
+                confirmed = delta
+            else:
+                self.stride = delta if delta != 0 else None
+                self.confirmations = 0
+        self.last_addr = addr
+        return confirmed
+
+
+@dataclass
+class ConsensusTracker:
+    """Detects a stride agreed on by a minimum number of distinct voters
+    (warps or CTAs) — the paper's three-warp promotion rule."""
+
+    threshold: int = 3
+
+    def __post_init__(self) -> None:
+        self._votes: dict = {}  # stride -> set of voter ids
+        self.trained_stride: Optional[int] = None
+
+    def vote(self, voter: int, stride: int) -> Optional[int]:
+        """Register that ``voter`` observed ``stride``.  Returns the trained
+        stride once ``threshold`` distinct voters agree."""
+        if stride == 0:
+            return self.trained_stride
+        voters = self._votes.setdefault(stride, set())
+        voters.add(voter)
+        if len(voters) >= self.threshold:
+            self.trained_stride = stride
+        return self.trained_stride

@@ -1,0 +1,56 @@
+"""Tree spatial prefetcher (Tree comparison point; Ganguly et al. [15]).
+
+The paper adapts this CPU-GPU unified-memory prefetcher to the GPU context:
+the global address space is viewed as 64 KB chunks and, once a chunk is
+touched, its lines are prefetched into the L1.  We model the tree's
+progressive expansion with a per-chunk cursor: every demand access to a
+chunk prefetches the next ``burst`` not-yet-requested lines of that chunk.
+The aggression (lots of possibly-unused data) is the point — it is what
+makes Tree polluting in Figs 16-18.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import AccessEvent, Prefetcher, PrefetchRequest, register
+
+CHUNK_BYTES = 64 * 1024
+
+
+@register("tree")
+class TreePrefetcher(Prefetcher):
+    """Chunk-based spatial prefetcher."""
+
+    def __init__(self, burst: int = 8, line_bytes: int = 128) -> None:
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.burst = burst
+        self.line_bytes = line_bytes
+        self._cursor: Dict[int, int] = {}  # chunk id -> next line offset
+        self._accesses = 0
+
+    def observe(self, event: AccessEvent) -> List[PrefetchRequest]:
+        self._accesses += 1
+        chunk = event.base_addr // CHUNK_BYTES
+        chunk_base = chunk * CHUNK_BYTES
+        cursor = self._cursor.get(
+            chunk, (event.base_addr - chunk_base) // self.line_bytes + 1
+        )
+        lines_per_chunk = CHUNK_BYTES // self.line_bytes
+        requests: List[PrefetchRequest] = []
+        for _ in range(self.burst):
+            if cursor >= lines_per_chunk:
+                break
+            requests.append(
+                PrefetchRequest(
+                    base_addr=chunk_base + cursor * self.line_bytes,
+                    depth=len(requests) + 1,
+                )
+            )
+            cursor += 1
+        self._cursor[chunk] = cursor
+        return requests
+
+    def table_accesses(self) -> int:
+        return self._accesses

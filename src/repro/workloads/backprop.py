@@ -1,0 +1,59 @@
+"""Back Propagation (Backprop, Rodinia [31]).
+
+A two-phase neural-network kernel: the forward pass streams the input and
+weight matrices as a two-load inter-thread chain; a barrier separates it
+from the backward pass, which walks the weight matrix with a different
+(transposed) stride — so the chain table must retrain mid-kernel.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpusim.trace import KernelTrace, WarpTrace
+
+from .patterns import (
+    ChainLink,
+    GridShape,
+    WarpProgram,
+    array_base,
+    assemble,
+    scaled_iters,
+)
+
+ROW = 2_048  # weight matrix row pitch in bytes
+FORWARD = [
+    ChainLink(pc=0x500, offset=0),  # input unit
+    ChainLink(pc=0x520, offset=1 << 21),  # weight (second array)
+]
+BACKWARD = [
+    ChainLink(pc=0x580, offset=1 << 21),  # weight, transposed walk
+    ChainLink(pc=0x5A0, offset=0),  # delta
+]
+
+
+def build(
+    scale: float = 1.0, seed: int = 0, grid: GridShape = GridShape()
+) -> KernelTrace:
+    """Build the Backprop kernel trace."""
+    iters = scaled_iters(14, scale)
+    data = array_base(0)
+    warp_lists: List[List[WarpTrace]] = []
+    for cta in range(grid.num_ctas):
+        warps = []
+        for w in range(grid.warps_per_cta):
+            slot = grid.warp_slot(cta, w)
+            program = WarpProgram(warp_id=0)
+            pointer = data + slot * 128
+            for _ in range(iters):
+                program.chain_iteration(FORWARD, pointer, alu_between=1)
+                pointer += ROW
+            program.barrier(0x560)
+            pointer = data + slot * 256
+            for _ in range(iters):
+                program.chain_iteration(BACKWARD, pointer, alu_between=1)
+                pointer += 2 * ROW  # transposed: different stride
+            program.store(0x5C0, data + (3 << 21) + slot * 128)
+            warps.append(program.build())
+        warp_lists.append(warps)
+    return assemble("backprop", warp_lists)

@@ -1,0 +1,55 @@
+"""Coulombic Potential (CP, ISPASS [5]).
+
+Every thread computes the potential at one grid point by looping over the
+shared atom array.  Each atom is a 16-byte (x, y, z, q) record, so one loop
+iteration issues a four-load inter-thread chain with strides (4, 4, 4) and
+the loop advances the pointer by 16 bytes — a textbook chain-of-strides
+workload with heavy cross-warp sharing (all warps stream the same atoms).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpusim.trace import KernelTrace, WarpTrace
+
+from .patterns import (
+    ChainLink,
+    GridShape,
+    WarpProgram,
+    array_base,
+    assemble,
+    scaled_iters,
+)
+
+ATOM_BYTES = 16
+CHAIN = [
+    ChainLink(pc=0x200, offset=0, thread_stride=0),  # atom.x (broadcast)
+    ChainLink(pc=0x220, offset=4, thread_stride=0),  # atom.y
+    ChainLink(pc=0x240, offset=8, thread_stride=0),  # atom.z
+    ChainLink(pc=0x260, offset=12, thread_stride=0),  # atom.q
+]
+
+
+def build(
+    scale: float = 1.0, seed: int = 0, grid: GridShape = GridShape()
+) -> KernelTrace:
+    """Build the CP kernel trace."""
+    iters = scaled_iters(24, scale)
+    atoms = array_base(0)
+    grid_out = array_base(1)
+    warp_lists: List[List[WarpTrace]] = []
+    for cta in range(grid.num_ctas):
+        warps = []
+        for w in range(grid.warps_per_cta):
+            slot = grid.warp_slot(cta, w)
+            program = WarpProgram(warp_id=0)
+            pointer = atoms
+            for _ in range(iters):
+                program.chain_iteration(CHAIN, pointer, alu_between=2)
+                pointer += ATOM_BYTES
+            # one result store per grid point
+            program.store(0x280, grid_out + slot * 128)
+            warps.append(program.build())
+        warp_lists.append(warps)
+    return assemble("cp", warp_lists)

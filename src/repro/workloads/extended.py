@@ -1,0 +1,171 @@
+"""Extended workload suite — four classic GPU kernels beyond Table 2.
+
+The paper evaluates on eleven apps; these four (from the same Rodinia /
+Parboil universes) exercise access-pattern corners the Table 2 set leaves
+thin, and are used to check that Snake generalizes rather than overfitting
+to the calibrated eleven:
+
+* ``spmv``   — CSR sparse matrix-vector: a regular three-load chain per
+  non-zero (row ptr / col idx / value) plus an irregular x-vector gather.
+* ``bfs``    — frontier expansion: regular frontier scan, irregular
+  neighbour visits whose count varies per node.
+* ``kmeans`` — point stream with a broadcast centroid table re-read per
+  point (hot shared lines + long streams).
+* ``stream`` — the STREAM triad: three pure sequential streams, the
+  best case for any stride prefetcher.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.gpusim.trace import KernelTrace, WarpTrace
+
+from .patterns import (
+    ChainLink,
+    GridShape,
+    LINE,
+    WarpProgram,
+    array_base,
+    assemble,
+    scaled_iters,
+)
+
+
+def build_spmv(
+    scale: float = 1.0, seed: int = 0, grid: GridShape = GridShape()
+) -> KernelTrace:
+    """CSR sparse matrix-vector multiply."""
+    rows = scaled_iters(12, scale)
+    nnz_per_row = 4
+    col_idx = array_base(0)
+    values = array_base(1)
+    x_vec = array_base(2)
+    y_vec = array_base(3)
+    rng = random.Random(seed)
+
+    warp_lists: List[List[WarpTrace]] = []
+    for cta in range(grid.num_ctas):
+        warps = []
+        for w in range(grid.warps_per_cta):
+            slot = grid.warp_slot(cta, w)
+            program = WarpProgram(warp_id=0)
+            warp_rng = random.Random(rng.randrange(1 << 30))
+            nnz_base = slot * rows * nnz_per_row * 4
+            for r in range(rows):
+                for _ in range(nnz_per_row):
+                    # regular CSR streams: column index then value
+                    program.load(0xD00, col_idx + nnz_base)
+                    program.load(0xD20, values + (1 << 22) + nnz_base)
+                    # irregular gather from the x vector
+                    gather = x_vec + warp_rng.randrange(1 << 18) // LINE * LINE
+                    program.load(0xD40, gather, divergent=True)
+                    program.alu(0xD60, 1)
+                    nnz_base += 4
+                program.store(0xD80, y_vec + slot * rows * 4 + r * 4)
+            warps.append(program.build())
+        warp_lists.append(warps)
+    return assemble("spmv", warp_lists)
+
+
+def build_bfs(
+    scale: float = 1.0, seed: int = 0, grid: GridShape = GridShape()
+) -> KernelTrace:
+    """Breadth-first search frontier expansion."""
+    frontier_nodes = scaled_iters(10, scale)
+    graph = array_base(0)
+    frontier = array_base(4)
+    visited = array_base(5)
+    rng = random.Random(seed)
+
+    warp_lists: List[List[WarpTrace]] = []
+    for cta in range(grid.num_ctas):
+        warps = []
+        for w in range(grid.warps_per_cta):
+            slot = grid.warp_slot(cta, w)
+            program = WarpProgram(warp_id=0)
+            warp_rng = random.Random(rng.randrange(1 << 30))
+            ptr = frontier + slot * frontier_nodes * 8
+            for _ in range(frontier_nodes):
+                program.load(0xE00, ptr)  # next frontier node (regular)
+                ptr += 8
+                # visit a data-dependent number of neighbours
+                for _ in range(warp_rng.randint(1, 3)):
+                    node = graph + warp_rng.randrange(1 << 22) // 256 * 256
+                    program.load(0xE20, node, divergent=True)  # adjacency
+                    program.load(0xE40, node + 128, divergent=True)  # flags
+                    program.alu(0xE60, 1)
+                program.store(0xE80, visited + slot * 128)
+            warps.append(program.build())
+        warp_lists.append(warps)
+    return assemble("bfs", warp_lists)
+
+
+def build_kmeans(
+    scale: float = 1.0, seed: int = 0, grid: GridShape = GridShape()
+) -> KernelTrace:
+    """K-means assignment step: stream points, re-read the centroid table."""
+    points = scaled_iters(16, scale)
+    k_centroids = 4
+    point_data = array_base(0)
+    centroids = array_base(6)
+    labels = array_base(7)
+
+    warp_lists: List[List[WarpTrace]] = []
+    for cta in range(grid.num_ctas):
+        warps = []
+        for w in range(grid.warps_per_cta):
+            slot = grid.warp_slot(cta, w)
+            program = WarpProgram(warp_id=0)
+            ptr = point_data + slot * points * 256
+            for _ in range(points):
+                program.load(0xF00, ptr)  # the point (streaming)
+                ptr += 256
+                for c in range(k_centroids):
+                    # hot broadcast lines every warp re-reads per point
+                    program.load(0xF20, centroids + c * 128, thread_stride=0)
+                    program.alu(0xF40, 1)
+                program.store(0xF60, labels + slot * 128)
+            warps.append(program.build())
+        warp_lists.append(warps)
+    return assemble("kmeans", warp_lists)
+
+
+def build_stream(
+    scale: float = 1.0, seed: int = 0, grid: GridShape = GridShape()
+) -> KernelTrace:
+    """STREAM triad: a[i] = b[i] + s * c[i] — three sequential streams."""
+    iters = scaled_iters(24, scale)
+    a = array_base(0)
+    b = array_base(1)
+    c = array_base(2)
+
+    chain = [
+        ChainLink(pc=0x1000, offset=0),  # b[i]
+        ChainLink(pc=0x1020, offset=(c - b)),  # c[i]
+    ]
+    warp_lists: List[List[WarpTrace]] = []
+    for cta in range(grid.num_ctas):
+        warps = []
+        for w in range(grid.warps_per_cta):
+            slot = grid.warp_slot(cta, w)
+            program = WarpProgram(warp_id=0)
+            pointer = b + slot * LINE
+            step = LINE * grid.total_warps
+            for _ in range(iters):
+                program.chain_iteration(chain, pointer, alu_between=1)
+                program.store(0x1040, a + (pointer - b))
+                pointer += step
+            warps.append(program.build())
+        warp_lists.append(warps)
+    return assemble("stream", warp_lists)
+
+
+#: names -> builders for the extended suite
+EXTENDED_BENCHMARKS = {
+    "spmv": build_spmv,
+    "bfs": build_bfs,
+    "kmeans": build_kmeans,
+    "stream": build_stream,
+}

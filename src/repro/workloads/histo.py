@@ -1,0 +1,56 @@
+"""Histogram (histo, Parboil [44]).
+
+Input elements stream in regularly (predictable), but each element's bin
+update is a data-dependent read-modify-write into the histogram region —
+a scatter no stride prefetcher covers.  The regular half gives prefetchers
+moderate coverage; the scatter half produces the bursty misses and
+congestion stalls the paper highlights for histo's 33 % Snake speedup.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.gpusim.trace import KernelTrace, WarpTrace
+
+from .patterns import (
+    GridShape,
+    LINE,
+    WarpProgram,
+    array_base,
+    assemble,
+    scaled_iters,
+)
+
+BINS_BYTES = 1 << 20
+INPUT_STEP = 1_024  # per-warp input pitch per iteration
+
+
+def build(
+    scale: float = 1.0, seed: int = 0, grid: GridShape = GridShape()
+) -> KernelTrace:
+    """Build the histo kernel trace."""
+    iters = scaled_iters(24, scale)
+    inputs = array_base(0)
+    bins = array_base(7)
+    rng = random.Random(seed)
+    warp_lists: List[List[WarpTrace]] = []
+    for cta in range(grid.num_ctas):
+        warps = []
+        for w in range(grid.warps_per_cta):
+            slot = grid.warp_slot(cta, w)
+            program = WarpProgram(warp_id=0)
+            pointer = inputs + slot * (iters * INPUT_STEP)
+            warp_rng = random.Random(rng.randrange(1 << 30))
+            for _ in range(iters):
+                program.load(0xA00, pointer)  # input sample, low word
+                program.load(0xA10, pointer + 256)  # paired high word
+                pointer += INPUT_STEP
+                bin_addr = bins + warp_rng.randrange(BINS_BYTES // LINE) * LINE
+                program.load(0xA20, bin_addr, divergent=True)  # bin scatter
+                program.alu(0xA40, 1)
+                program.store(0xA60, bin_addr)  # bin write-back
+            warps.append(program.build())
+        warp_lists.append(warps)
+    return assemble("histo", warp_lists)

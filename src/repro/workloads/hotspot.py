@@ -1,0 +1,61 @@
+"""HotSpot (Rodinia [31]).
+
+Thermal simulation over a 2D grid: every iteration reads the five-point
+stencil (centre, north, south, west, east) of the temperature grid plus the
+power grid — a six-load inter-thread chain with variable strides (row pitch
+up and down, element left and right, array hop) — then advances one row.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpusim.trace import KernelTrace, WarpTrace
+
+from .patterns import (
+    ChainLink,
+    ELEM,
+    GridShape,
+    WarpProgram,
+    array_base,
+    assemble,
+    scaled_iters,
+)
+
+ROW = 4_096  # grid row pitch in bytes
+CHAIN = [
+    ChainLink(pc=0x600, offset=0),  # centre
+    ChainLink(pc=0x620, offset=-ROW),  # north
+    ChainLink(pc=0x640, offset=+ROW),  # south
+    ChainLink(pc=0x660, offset=-ELEM),  # west
+    ChainLink(pc=0x680, offset=+ELEM),  # east
+    ChainLink(pc=0x6A0, offset=1 << 22),  # power grid
+]
+
+
+def build(
+    scale: float = 1.0, seed: int = 0, grid: GridShape = GridShape()
+) -> KernelTrace:
+    """Build the HotSpot kernel trace."""
+    iters = scaled_iters(16, scale)
+    temp = array_base(0)
+    out = array_base(4)
+    warp_lists: List[List[WarpTrace]] = []
+    for cta in range(grid.num_ctas):
+        warps = []
+        for w in range(grid.warps_per_cta):
+            slot = grid.warp_slot(cta, w)
+            program = WarpProgram(warp_id=0)
+            pointer = temp + ROW + slot * 128
+            coeffs = array_base(10)
+            for i in range(iters):
+                # shared conduction coefficients: a hot 8-line table every
+                # warp re-reads each iteration (demand-reuse the decoupled
+                # policy must protect from prefetch pollution)
+                program.load(0x6E0, coeffs + (i % 8) * 128, thread_stride=0)
+                program.chain_iteration(CHAIN, pointer, alu_between=1)
+                program.store(0x6C0, out + (pointer - temp))
+                pointer += ROW
+            warps.append(program.build())
+        warp_lists.append(warps)
+    return assemble("hotspot", warp_lists)

@@ -1,0 +1,64 @@
+"""3D Laplace Solver (LPS, ISPASS [5]) — the paper's running example.
+
+Figure 7 of the paper shows the kernel body::
+
+    for (k = 0; k < NZ; k++) {
+        u1[ind - KOFF] = u1[ind];        // load PC1, store
+        u1[ind]        = u1[ind + KOFF]; // load PC2, store
+    }
+
+with ``ind`` derived from thread/block indices and ``KOFF`` the z-plane
+pitch.  Figure 8 extracts the resulting inter-thread chain between four load
+PCs with strides (-400, +40400, -400) and an intra-warp stride of 40000 —
+we reproduce exactly those constants.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpusim.trace import KernelTrace, WarpTrace
+
+from .patterns import (
+    ChainLink,
+    ELEM,
+    GridShape,
+    WarpProgram,
+    array_base,
+    assemble,
+    scaled_iters,
+)
+
+#: Figure 8's chain: byte offsets of the four load PCs from the rolling
+#: plane pointer.  Deltas between consecutive links: -400, +40400, -400.
+CHAIN = [
+    ChainLink(pc=0x100, offset=0),
+    ChainLink(pc=0x120, offset=-400),
+    ChainLink(pc=0x140, offset=40_000),
+    ChainLink(pc=0x160, offset=39_600),
+]
+PLANE_STRIDE = 40_000  # intra-warp stride per k iteration (Fig 8)
+WARP_SPAN = 128  # byte offset between neighbouring warps' ind
+
+
+def build(
+    scale: float = 1.0, seed: int = 0, grid: GridShape = GridShape()
+) -> KernelTrace:
+    """Build the LPS kernel trace."""
+    iters = scaled_iters(20, scale)
+    u1 = array_base(0)
+    warp_lists: List[List[WarpTrace]] = []
+    for cta in range(grid.num_ctas):
+        warps = []
+        for w in range(grid.warps_per_cta):
+            slot = grid.warp_slot(cta, w)
+            program = WarpProgram(warp_id=0)
+            pointer = u1 + 1_000_000 + slot * WARP_SPAN
+            for _ in range(iters):
+                program.chain_iteration(CHAIN, pointer, alu_between=2)
+                program.store(0x180, pointer - 40_000 - 400)
+                program.store(0x1A0, pointer)
+                pointer += PLANE_STRIDE
+            warps.append(program.build())
+        warp_lists.append(warps)
+    return assemble("lps", warp_lists)

@@ -1,0 +1,56 @@
+"""LU Decomposition (lud, Rodinia [31]).
+
+Blocked triangular factorization: each outer iteration eliminates one block
+column, so the row/column walks shrink and their strides shift every phase.
+Chains exist but keep changing — the prefetcher must retrain repeatedly,
+yielding the middling coverage the paper shows for lud.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpusim.trace import KernelTrace, WarpTrace
+
+from .patterns import (
+    ChainLink,
+    GridShape,
+    WarpProgram,
+    array_base,
+    assemble,
+    scaled_iters,
+)
+
+N_ROW = 4_096  # matrix row pitch in bytes
+
+
+def build(
+    scale: float = 1.0, seed: int = 0, grid: GridShape = GridShape()
+) -> KernelTrace:
+    """Build the lud kernel trace."""
+    outer = scaled_iters(5, scale, minimum=2)
+    inner = scaled_iters(6, scale, minimum=2)
+    matrix = array_base(0)
+    warp_lists: List[List[WarpTrace]] = []
+    for cta in range(grid.num_ctas):
+        warps = []
+        for w in range(grid.warps_per_cta):
+            slot = grid.warp_slot(cta, w)
+            program = WarpProgram(warp_id=0)
+            for k in range(outer):
+                # the active trailing submatrix starts at the (k, k) block;
+                # the row/column chain strides depend on k
+                diag = matrix + k * (N_ROW + 128)
+                chain = [
+                    ChainLink(pc=0x800, offset=0),  # pivot row element
+                    ChainLink(pc=0x820, offset=(k + 1) * N_ROW),  # column elem
+                    ChainLink(pc=0x840, offset=(k + 1) * N_ROW + 128),
+                ]
+                pointer = diag + slot * 128
+                for _ in range(inner):
+                    program.chain_iteration(chain, pointer, alu_between=1)
+                    pointer += N_ROW
+                program.store(0x860, diag + slot * 128)
+            warps.append(program.build())
+        warp_lists.append(warps)
+    return assemble("lud", warp_lists)

@@ -1,0 +1,54 @@
+"""MRI Q-matrix computation (MRQ / mri-q, Parboil [44]).
+
+Every thread loops over the k-space trajectory reading the (kx, ky, kz,
+phi) sample — a four-load broadcast chain — and evaluates trigonometric
+terms (SFU work).  Regular and shared across all warps, but compute-salted:
+coverage is high while the speedup is capped by the SFU latency.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpusim.trace import KernelTrace, WarpTrace
+
+from .patterns import (
+    ChainLink,
+    GridShape,
+    WarpProgram,
+    array_base,
+    assemble,
+    scaled_iters,
+)
+
+SAMPLE_BYTES = 16
+CHAIN = [
+    ChainLink(pc=0xB00, offset=0, thread_stride=0),  # kx
+    ChainLink(pc=0xB20, offset=4, thread_stride=0),  # ky
+    ChainLink(pc=0xB40, offset=8, thread_stride=0),  # kz
+    ChainLink(pc=0xB60, offset=12, thread_stride=0),  # phi
+]
+
+
+def build(
+    scale: float = 1.0, seed: int = 0, grid: GridShape = GridShape()
+) -> KernelTrace:
+    """Build the MRQ kernel trace."""
+    iters = scaled_iters(20, scale)
+    kspace = array_base(0)
+    q_out = array_base(8)
+    warp_lists: List[List[WarpTrace]] = []
+    for cta in range(grid.num_ctas):
+        warps = []
+        for w in range(grid.warps_per_cta):
+            slot = grid.warp_slot(cta, w)
+            program = WarpProgram(warp_id=0)
+            pointer = kspace
+            for _ in range(iters):
+                program.chain_iteration(CHAIN, pointer, alu_between=1)
+                program.sfu(0xB80)  # sin/cos of the phase
+                pointer += SAMPLE_BYTES
+            program.store(0xBA0, q_out + slot * 128)
+            warps.append(program.build())
+        warp_lists.append(warps)
+    return assemble("mrq", warp_lists)

@@ -1,0 +1,59 @@
+"""MUMmerGPU (MUM, ISPASS [5]).
+
+Genome alignment by suffix-tree traversal: each query walks the tree making
+data-dependent jumps, so the address stream is dominated by irregular
+accesses no stride prefetcher can learn.  A small regular component remains
+(query-string streaming), which is why the paper's prefetchers retain some
+residual coverage on MUM.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.gpusim.trace import KernelTrace, WarpTrace
+
+from .patterns import (
+    GridShape,
+    WarpProgram,
+    array_base,
+    assemble,
+    scaled_iters,
+)
+
+TREE_BYTES = 1 << 24  # suffix tree region (16 MB)
+QUERY_STEP = 256
+
+
+def build(
+    scale: float = 1.0, seed: int = 0, grid: GridShape = GridShape()
+) -> KernelTrace:
+    """Build the MUM kernel trace."""
+    iters = scaled_iters(16, scale)
+    tree = array_base(0)
+    queries = array_base(2)
+    rng = random.Random(seed)
+    warp_lists: List[List[WarpTrace]] = []
+    for cta in range(grid.num_ctas):
+        warps = []
+        for w in range(grid.warps_per_cta):
+            slot = grid.warp_slot(cta, w)
+            program = WarpProgram(warp_id=0)
+            query_ptr = queries + slot * (iters * QUERY_STEP)
+            warp_rng = random.Random(rng.randrange(1 << 30))
+            for _ in range(iters):
+                # regular: read the next chunk of the query string
+                program.load(0x400, query_ptr)
+                query_ptr += QUERY_STEP
+                # irregular: pointer-chasing hops through the tree; each hop
+                # lands on a random node but then reads the node's fields at
+                # fixed offsets (a short chain off a random base)
+                for _ in range(2):
+                    node = tree + warp_rng.randrange(0, TREE_BYTES // 256) * 256
+                    program.load(0x420, node)          # node header
+                    program.load(0x440, node + 128)    # child pointers
+                    program.alu(0x460, 1)
+            warps.append(program.build())
+        warp_lists.append(warps)
+    return assemble("mum", warp_lists)

@@ -1,0 +1,68 @@
+"""Needleman-Wunsch (nw, Rodinia [31]).
+
+Wavefront dynamic programming over the alignment matrix: each diagonal phase
+reads the north, west and north-west neighbours — a regular chain — but a
+phase only lasts a couple of iterations before the diagonal (and with it the
+working addresses) moves on.  The paper singles nw out: *regular* patterns
+with a *low repetition count*, hence low coverage for every mechanism
+(Fig 16, seventh observation).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpusim.trace import KernelTrace, WarpTrace
+
+from .patterns import (
+    ChainLink,
+    ELEM,
+    GridShape,
+    WarpProgram,
+    array_base,
+    assemble,
+    scaled_iters,
+)
+
+ROW = 8_192
+
+
+def build(
+    scale: float = 1.0, seed: int = 0, grid: GridShape = GridShape()
+) -> KernelTrace:
+    """Build the nw kernel trace."""
+    diagonals = scaled_iters(10, scale)
+    per_diag = 2  # repetitions within a diagonal before it moves on
+    score = array_base(0)
+    ref = array_base(6)
+    warp_lists: List[List[WarpTrace]] = []
+    for cta in range(grid.num_ctas):
+        warps = []
+        for w in range(grid.warps_per_cta):
+            slot = grid.warp_slot(cta, w)
+            program = WarpProgram(warp_id=0)
+            for d in range(diagonals):
+                # each diagonal uses distinct PCs (unrolled phases in the
+                # real kernel) so learned chains rarely get reused
+                pc = 0x900 + 0x100 * (d % 4)
+                # the effective pitch changes every diagonal (the wavefront
+                # shortens), so the chain strides never repeat long enough
+                # to train — the paper's "regular but unrepeated" pattern
+                pitch = ROW + 256 * d
+                chain = [
+                    ChainLink(pc=pc, offset=-pitch),  # north
+                    ChainLink(pc=pc + 0x20, offset=-ELEM),  # west
+                    ChainLink(pc=pc + 0x40, offset=-pitch - ELEM),  # north-west
+                    ChainLink(pc=pc + 0x60, offset=(ref - score) + 512 * d),
+                ]
+                # the wavefront re-maps warps to cells every diagonal, so
+                # the warp-to-warp offset changes phase to phase and the
+                # inter-warp stride never stays trainable for long
+                pointer = score + ROW + d * (ROW + 512) + slot * (128 + 64 * (d % 3))
+                for _ in range(per_diag):
+                    program.chain_iteration(chain, pointer, alu_between=1)
+                    program.store(pc + 0x80, pointer)
+                    pointer += ROW + ELEM  # move along the diagonal
+            warps.append(program.build())
+        warp_lists.append(warps)
+    return assemble("nw", warp_lists)

@@ -1,0 +1,63 @@
+"""Speckle Reducing Anisotropic Diffusion (Srad, Rodinia [31]).
+
+Image-denoising stencil.  Like HotSpot it reads a 4-neighbour stencil chain,
+but the accesses arrive in *bursts* (the kernel computes gradients for a
+whole tile back-to-back before the divergence update), so the baseline shows
+a good hit rate punctuated by bursty misses and congestion — the behaviour
+the paper cites when explaining Srad's 29 % speedup.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpusim.trace import KernelTrace, WarpTrace
+
+from .patterns import (
+    ChainLink,
+    ELEM,
+    GridShape,
+    WarpProgram,
+    array_base,
+    assemble,
+    scaled_iters,
+)
+
+ROW = 2_048
+CHAIN = [
+    ChainLink(pc=0x700, offset=0),
+    ChainLink(pc=0x720, offset=-ROW),
+    ChainLink(pc=0x740, offset=+ROW),
+    ChainLink(pc=0x760, offset=+ELEM),
+]
+BURST = 4  # stencil iterations issued back-to-back without ALU gaps
+
+
+def build(
+    scale: float = 1.0, seed: int = 0, grid: GridShape = GridShape()
+) -> KernelTrace:
+    """Build the Srad kernel trace."""
+    bursts = scaled_iters(5, scale)
+    image = array_base(0)
+    coeff = array_base(5)
+    warp_lists: List[List[WarpTrace]] = []
+    for cta in range(grid.num_ctas):
+        warps = []
+        for w in range(grid.warps_per_cta):
+            slot = grid.warp_slot(cta, w)
+            program = WarpProgram(warp_id=0)
+            pointer = image + ROW + slot * 128
+            lut = array_base(11)
+            for b in range(bursts):
+                # shared diffusion-coefficient lookup (hot, reused lines)
+                program.load(0x7C0, lut + (b % 8) * 128, thread_stride=0)
+                # burst: several stencil rows with no compute in between
+                for _ in range(BURST):
+                    program.chain_iteration(CHAIN, pointer, alu_between=0)
+                    pointer += ROW
+                # then the divergence update: compute + coefficient store
+                program.alu(0x780, 6)
+                program.store(0x7A0, coeff + (pointer - image))
+            warps.append(program.build())
+        warp_lists.append(warps)
+    return assemble("srad", warp_lists)

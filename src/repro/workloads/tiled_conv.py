@@ -1,0 +1,94 @@
+"""Tiled convolution (modeled by matrix multiplication) for §5.6.
+
+The tiling sensitivity study varies the tile size from 0 % (no tiling) to
+100 % of the unified cache.  A tiled kernel loads one tile, reuses it for
+several compute passes, then hops to the next tile — the inter-tile hop is
+itself a stride Snake learns, letting it prefetch the next tile's lines
+while the current tile is being consumed.
+
+``tile_frac = 0`` produces the untiled baseline: a single streaming pass
+over the whole matrix with no reuse.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpusim.trace import KernelTrace, WarpTrace
+
+from .patterns import (
+    GridShape,
+    LINE,
+    GridShape as _GridShape,
+    WarpProgram,
+    array_base,
+    assemble,
+    scaled_iters,
+)
+
+REUSE_PASSES = 3  # compute passes over a resident tile
+
+
+def build(
+    tile_frac: float = 0.75,
+    unified_bytes: int = 16 * 1024,
+    scale: float = 1.0,
+    seed: int = 0,
+    grid: GridShape = GridShape(num_ctas=4, warps_per_cta=8),
+) -> KernelTrace:
+    """Build the tiled-convolution trace.
+
+    ``tile_frac`` is the tile's share of the unified cache; ``unified_bytes``
+    should match the simulated GPU's L1 size so the occupancy effects line
+    up with the paper's x-axis.
+    """
+    if not 0.0 <= tile_frac <= 1.0:
+        raise ValueError("tile_frac must be within [0, 1]")
+    total_bytes = scaled_iters(12, scale) * unified_bytes // 2
+    matrix = array_base(0)
+    out = array_base(9)
+
+    warp_lists: List[List[WarpTrace]] = []
+    for cta in range(grid.num_ctas):
+        warps = []
+        for w in range(grid.warps_per_cta):
+            slot = grid.warp_slot(cta, w)
+            program = WarpProgram(warp_id=0)
+            if tile_frac == 0.0:
+                # untiled: no shared-memory staging, so every one of the
+                # REUSE_PASSES compute passes re-loads the matrix from global
+                # memory (same useful work as the tiled variants)
+                lines = total_bytes // LINE
+                step = LINE * grid.total_warps
+                for _ in range(REUSE_PASSES):
+                    pointer = matrix + slot * LINE
+                    for _ in range(lines // grid.total_warps):
+                        program.load(0xC00, pointer)
+                        program.alu(0xC20, 8)  # the convolution's MACs
+                        pointer += step
+            else:
+                tile_bytes = max(LINE, int(unified_bytes * tile_frac))
+                lines_per_tile = max(1, tile_bytes // LINE)
+                num_tiles = max(1, total_bytes // tile_bytes)
+                warp_lines = max(1, lines_per_tile // grid.total_warps)
+                for tile in range(num_tiles):
+                    tile_base = matrix + tile * tile_bytes
+                    # stage the tile once (cooperative load into shared mem)
+                    pointer = tile_base + slot * LINE
+                    for _ in range(warp_lines):
+                        program.load(0xC00, pointer)
+                        pointer += LINE * grid.total_warps
+                    # compute passes run from the staged tile (no re-loads);
+                    # matmul does O(tile) MACs per staged element, so the
+                    # compute phase is comparable to the tile-load phase
+                    for _ in range(REUSE_PASSES):
+                        program.alu(0xC20, 8 * warp_lines)
+                    # tiled kernels synchronize before moving on — the cold
+                    # burst at each tile boundary is what next-tile
+                    # prefetching hides
+                    program.barrier(0xC60)
+            program.store(0xC40, out + slot * LINE)
+            warps.append(program.build())
+        warp_lists.append(warps)
+    name = "tiled_conv_%d" % round(tile_frac * 100)
+    return assemble(name, warp_lists)

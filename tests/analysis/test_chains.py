@@ -1,0 +1,103 @@
+"""Offline chain analysis (Figs 9-11) on hand-built traces."""
+
+import pytest
+
+from repro.analysis.chains import (
+    chain_pc_fraction,
+    chain_predictable_fraction,
+    load_transitions,
+    max_chain_repetition,
+    mta_predictable_fraction,
+    repeated_transitions,
+)
+from repro.gpusim.trace import CTA, KernelTrace, Op, WarpInstr, WarpTrace
+
+
+def warp_from(pairs, warp_id=0):
+    return WarpTrace(
+        warp_id=warp_id,
+        instrs=[
+            WarpInstr(pc=pc, op=Op.LOAD, base_addr=addr, thread_stride=4)
+            for pc, addr in pairs
+        ],
+    )
+
+
+def kernel_from(*warps):
+    return KernelTrace(name="t", ctas=[CTA(cta_id=0, warps=list(warps))])
+
+
+class TestTransitions:
+    def test_load_transitions(self):
+        warp = warp_from([(1, 0), (2, 400), (3, 40800)])
+        assert load_transitions(warp) == [(1, 2, 400), (2, 3, 40400)]
+
+    def test_repeated_transitions_threshold(self):
+        warp = warp_from([(1, 0), (2, 400), (1, 1000), (2, 1400), (3, 9)])
+        repeated = repeated_transitions(warp)
+        assert repeated == {(1, 2, 400): 2}
+
+
+class TestFig9:
+    def test_pure_chain_is_full_fraction(self):
+        pairs = [(1, 0), (2, 400)] * 5
+        # addresses must make the stride repeat
+        pairs = [(1, i * 1000), (2, i * 1000 + 400)] if False else None
+        warp = warp_from(
+            [(pc, i * 1000 + (400 if pc == 2 else 0))
+             for i in range(5) for pc in (1, 2)]
+        )
+        assert chain_pc_fraction(kernel_from(warp)) == 1.0
+
+    def test_random_trace_is_zero(self):
+        warp = warp_from([(i, i * 7919 % 100_000) for i in range(20)])
+        assert chain_pc_fraction(kernel_from(warp)) == 0.0
+
+    def test_empty_loads(self):
+        warp = WarpTrace(warp_id=0, instrs=[WarpInstr(pc=1, op=Op.ALU)])
+        assert chain_pc_fraction(kernel_from(warp)) == 0.0
+
+
+class TestFig10:
+    def test_repetition_count(self):
+        warp = warp_from(
+            [(pc, i * 1000 + (400 if pc == 2 else 0))
+             for i in range(7) for pc in (1, 2)]
+        )
+        assert max_chain_repetition(kernel_from(warp)) == 7
+
+    def test_no_chains_is_zero(self):
+        warp = warp_from([(i, i * 7919 % 100_000) for i in range(10)])
+        assert max_chain_repetition(kernel_from(warp)) == 0
+
+
+class TestFig11:
+    def test_chain_fraction_counts_cross_warp_learning(self):
+        # warp 0 teaches the chain; warp 1's accesses are all predictable
+        w0 = warp_from([(1, 0), (2, 400), (1, 1000), (2, 1400)], warp_id=0)
+        w1 = warp_from([(1, 50_000), (2, 50_400)], warp_id=1)
+        fraction = chain_predictable_fraction(kernel_from(w0, w1))
+        # transitions: w0 has 3 (1 repeated), w1 has 1 (known) -> 2/6 loads...
+        # predictable accesses: w0's second (1,2,400) and w1's (1,2,400)
+        assert fraction == pytest.approx(2 / 6)
+
+    def test_mta_intra_detection(self):
+        w = warp_from([(1, 0), (1, 512), (1, 1024), (1, 1536)])
+        assert mta_predictable_fraction(kernel_from(w)) == pytest.approx(2 / 4)
+
+    def test_chains_superset_on_variable_strides(self):
+        # alternating strides: MTA's fixed-stride detector fails, chains win
+        pairs = []
+        addr = 0
+        for i in range(8):
+            pairs.append((1, addr))
+            pairs.append((2, addr + 400))
+            addr += 10_000
+        w = warp_from(pairs)
+        kernel = kernel_from(w)
+        assert chain_predictable_fraction(kernel) > mta_predictable_fraction(kernel)
+
+    def test_empty_kernel(self):
+        w = WarpTrace(warp_id=0)
+        assert chain_predictable_fraction(kernel_from(w)) == 0.0
+        assert mta_predictable_fraction(kernel_from(w)) == 0.0

@@ -1,0 +1,40 @@
+"""CLI entry point."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestArgs:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig16" in out and "table3" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "448" in out and "320" in out
+
+    def test_fig21_needs_no_simulation(self, capsys):
+        assert main(["fig21"]) == 0
+        assert "bytes" in capsys.readouterr().out
+
+    def test_series_experiment_with_scale(self, capsys):
+        assert main(["fig9", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "lps" in out and "mean" in out
+
+
+class TestRegistryCompleteness:
+    def test_every_eval_figure_present(self):
+        expected = {
+            "fig3", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11",
+            "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+            "fig22", "fig23", "fig24", "fig25", "table3",
+        }
+        assert expected == set(EXPERIMENTS)

@@ -1,0 +1,88 @@
+"""Experiment harness: smoke runs at tiny scale plus structural checks."""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.workloads import BENCHMARKS
+
+SCALE = 0.15  # keep unit tests fast; benches run the full scale
+SEED = 2
+
+
+class TestRunApp:
+    def test_baseline(self):
+        stats = experiments.run_app("lps", "none", scale=SCALE, seed=SEED)
+        assert stats.instructions > 0
+
+    def test_mechanism_kwargs_forwarded(self):
+        stats = experiments.run_app(
+            "lps", "snake", scale=SCALE, seed=SEED, eviction="pop"
+        )
+        assert stats.instructions > 0
+
+
+class TestSweepCache:
+    def test_memoized(self):
+        a = experiments.comparison_sweep(["none"], apps=["lps"], scale=SCALE, seed=SEED)
+        b = experiments.comparison_sweep(["none"], apps=["lps"], scale=SCALE, seed=SEED)
+        assert a is b
+
+    def test_distinct_keys(self):
+        a = experiments.comparison_sweep(["none"], apps=["lps"], scale=SCALE, seed=SEED)
+        b = experiments.comparison_sweep(["none"], apps=["lps"], scale=SCALE, seed=SEED + 1)
+        assert a is not b
+
+
+class TestMotivationFigures:
+    def test_fig3_rates_in_unit_range(self):
+        series = experiments.figure3(scale=SCALE, seed=SEED)
+        assert set(BENCHMARKS) <= set(series)
+        assert all(0.0 <= v <= 1.0 for v in series.values())
+        assert "mean" in series
+
+    def test_fig4_bandwidth(self):
+        series = experiments.figure4(scale=SCALE, seed=SEED)
+        assert all(0.0 <= v <= 1.0 for v in series.values())
+
+    def test_fig5_memory_stalls_dominate(self):
+        series = experiments.figure5(scale=SCALE, seed=SEED)
+        assert series["mean"] > 0.5  # memory-bound by construction
+
+
+class TestChainFigures:
+    def test_fig9(self):
+        series = experiments.figure9(scale=SCALE, seed=SEED)
+        assert series["lps"] > 0.8
+        assert all(0.0 <= v <= 1.0 for v in series.values())
+
+    def test_fig10(self):
+        series = experiments.figure10(scale=SCALE, seed=SEED)
+        assert series["mean"] > 1.0
+
+    def test_fig11_chains_beat_mta(self):
+        data = experiments.figure11(scale=0.5, seed=SEED)
+        assert data["chains"]["mean"] > data["mta"]["mean"]
+
+
+class TestSensitivity:
+    def test_fig21_monotonic(self):
+        sweep = experiments.figure21((2, 10, 40))
+        assert sweep[2] < sweep[10] < sweep[40]
+
+    def test_table3_matches_paper(self):
+        table = experiments.table3()
+        assert table["head"]["total_bytes"] == 448
+        assert table["tail"]["total_bytes"] == 320
+
+
+class TestTiling:
+    def test_fig24_structure(self):
+        data = experiments.figure24(tile_fracs=(0.5,), scale=0.3, seed=SEED)
+        assert set(data) == {0.5}
+        assert set(data[0.5]) == {"tiled", "snake+tiled"}
+        ipc, energy = data[0.5]["tiled"]
+        assert ipc > 0 and energy > 0
+
+    def test_tiling_beats_streaming(self):
+        data = experiments.figure24(tile_fracs=(0.5,), scale=0.3, seed=SEED)
+        assert data[0.5]["tiled"][0] > 1.0  # reuse must help IPC

@@ -1,0 +1,76 @@
+"""Structural tests of the matrix experiments at a tiny scale: every
+comparison point appears with every app, and the key orderings hold even
+on very short traces."""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.prefetch import COMPARISON_POINTS
+from repro.workloads import BENCHMARKS
+
+SCALE = 0.12
+SEED = 4
+
+
+@pytest.fixture(scope="module")
+def fig16():
+    return experiments.figure16(scale=SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def fig17():
+    return experiments.figure17(scale=SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def fig18():
+    return experiments.figure18(scale=SCALE, seed=SEED)
+
+
+class TestShape:
+    def test_all_mechanisms_present(self, fig16):
+        assert set(fig16) == set(COMPARISON_POINTS)
+
+    def test_all_apps_present(self, fig16):
+        for series in fig16.values():
+            assert set(BENCHMARKS) <= set(series)
+            assert "mean" in series
+
+    def test_values_in_unit_range(self, fig16, fig17):
+        for matrix in (fig16, fig17):
+            for series in matrix.values():
+                assert all(0.0 <= v <= 1.0 for v in series.values())
+
+    def test_ipc_ratios_positive(self, fig18):
+        for series in fig18.values():
+            assert all(v > 0 for v in series.values())
+
+
+class TestOrderings:
+    def test_accuracy_bounded_by_coverage(self, fig16, fig17):
+        for mech in COMPARISON_POINTS:
+            assert fig17[mech]["mean"] <= fig16[mech]["mean"] + 1e-9
+
+    def test_snake_family_covers_more_than_fixed_strides(self, fig16):
+        assert fig16["snake"]["mean"] > fig16["intra"]["mean"]
+        assert fig16["snake"]["mean"] > fig16["inter"]["mean"]
+
+    def test_tree_has_lowest_accuracy(self, fig17):
+        tree = fig17["tree"]["mean"]
+        assert tree <= min(
+            fig17[m]["mean"] for m in ("snake", "mta", "s-snake")
+        )
+
+    def test_figures_share_the_sweep(self, fig16):
+        # the memoized sweep means figure17 on the same key is instant and
+        # consistent with figure16
+        again = experiments.figure16(scale=SCALE, seed=SEED)
+        assert again == fig16
+
+
+class TestEnergy:
+    def test_fig19_structure(self):
+        fig19 = experiments.figure19(scale=SCALE, seed=SEED)
+        assert set(fig19) == set(COMPARISON_POINTS)
+        for series in fig19.values():
+            assert all(v > 0 for v in series.values())

@@ -1,0 +1,57 @@
+"""CSV/JSON export of experiment results."""
+
+import csv
+import json
+
+from repro.analysis.export import flatten, to_csv, to_json
+
+
+class TestFlatten:
+    def test_series(self):
+        header, rows = flatten({"cp": 0.5, "lps": 0.7})
+        assert header == ["key", "value"]
+        assert ["cp", 0.5] in rows
+
+    def test_matrix(self):
+        header, rows = flatten({"snake": {"cp": 0.9}})
+        assert header == ["row", "column", "value"]
+        assert rows == [["snake", "cp", 0.9]]
+
+    def test_sweep_tuples(self):
+        header, rows = flatten({50: (0.7, 0.75)})
+        assert header == ["key", "value_0", "value_1"]
+        assert rows == [[50, 0.7, 0.75]]
+
+    def test_empty(self):
+        header, rows = flatten({})
+        assert rows == []
+
+
+class TestWriters:
+    def test_csv_roundtrip(self, tmp_path):
+        path = to_csv({"cp": 1, "lps": 2}, tmp_path / "out.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["key", "value"]
+        assert ["lps", "2"] in rows
+
+    def test_json_roundtrip(self, tmp_path):
+        path = to_json({50: (0.7, 0.8)}, tmp_path / "out.json")
+        data = json.loads(path.read_text())
+        assert data == {"50": [0.7, 0.8]}
+
+    def test_json_nested(self, tmp_path):
+        path = to_json({"snake": {"cp": 0.9}}, tmp_path / "m.json")
+        assert json.loads(path.read_text()) == {"snake": {"cp": 0.9}}
+
+
+class TestCLIExport:
+    def test_cli_writes_files(self, tmp_path, capsys):
+        from repro.cli import main
+
+        csv_path = tmp_path / "t3.csv"
+        json_path = tmp_path / "t3.json"
+        assert main(["table3", "--csv", str(csv_path), "--json", str(json_path)]) == 0
+        assert csv_path.exists() and json_path.exists()
+        data = json.loads(json_path.read_text())
+        assert data["head"]["total_bytes"] == 448

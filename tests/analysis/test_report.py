@@ -1,0 +1,50 @@
+"""Report rendering."""
+
+from repro.analysis.report import (
+    render_matrix,
+    render_pairs,
+    render_series,
+    render_sweep,
+)
+
+
+class TestRenderSeries:
+    def test_percent_formatting(self):
+        out = render_series("T", {"cp": 0.5}, percent=True)
+        assert "50.0%" in out and "cp" in out and out.startswith("T")
+
+    def test_float_formatting(self):
+        assert "1.170" in render_series("T", {"cp": 1.17})
+
+    def test_int_formatting(self):
+        assert "42" in render_series("T", {"cp": 42})
+
+
+class TestRenderMatrix:
+    def test_rows_and_columns(self):
+        out = render_matrix("M", {"snake": {"cp": 0.8, "lps": 0.9}}, percent=True)
+        lines = out.splitlines()
+        assert "cp" in lines[2] and "lps" in lines[2]
+        assert lines[3].startswith("snake")
+        assert "80.0%" in lines[3]
+
+    def test_missing_cell_defaults_zero(self):
+        out = render_matrix("M", {"a": {"x": 1.0}, "b": {}})
+        assert "0.000" in out
+
+    def test_empty_matrix(self):
+        assert render_matrix("M", {}) == "M"
+
+
+class TestRenderSweep:
+    def test_sweep(self):
+        out = render_sweep("S", {10: 0.5, 20: 0.6}, x_label="entries", percent=True)
+        assert "entries" in out and "10" in out and "60.0%" in out
+
+
+class TestRenderPairs:
+    def test_pairs(self):
+        out = render_pairs("P", {50: (0.8, 0.7)}, labels=["cov", "acc"],
+                           percent=True)
+        assert "cov" in out and "acc" in out
+        assert "80.0%" in out and "70.0%" in out

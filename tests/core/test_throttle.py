@@ -1,0 +1,91 @@
+"""Throttling mechanism (§3.3)."""
+
+import pytest
+
+from repro.core.throttle import NullThrottle, Throttle
+
+
+class FakeL1:
+    """Minimal stand-in exposing the two space metrics the throttle reads."""
+
+    def __init__(self, free=1.0, backlog=0.0):
+        self.free = free
+        self.backlog = backlog
+        self.throttled_until = -1
+
+    def free_space_fraction(self, now):
+        return self.free
+
+    def unused_prefetch_fraction(self, now):
+        return self.backlog
+
+
+class TestBandwidthTrigger:
+    def test_allows_below_high_watermark(self):
+        throttle = Throttle(bw_high=0.7, bw_low=0.5)
+        assert throttle.allow(0, FakeL1(), utilization=0.6)
+
+    def test_halts_at_high_watermark(self):
+        throttle = Throttle(bw_high=0.7, bw_low=0.5)
+        assert not throttle.allow(0, FakeL1(), utilization=0.75)
+        assert throttle.bw_halts == 1
+
+    def test_hysteresis_keeps_halted_until_low_watermark(self):
+        throttle = Throttle(bw_high=0.7, bw_low=0.5)
+        throttle.allow(0, FakeL1(), utilization=0.75)
+        assert not throttle.allow(1, FakeL1(), utilization=0.6)
+        assert throttle.allow(2, FakeL1(), utilization=0.4)
+
+    def test_recovers_and_can_halt_again(self):
+        throttle = Throttle(bw_high=0.7, bw_low=0.5)
+        throttle.allow(0, FakeL1(), utilization=0.9)
+        throttle.allow(1, FakeL1(), utilization=0.1)
+        assert not throttle.allow(2, FakeL1(), utilization=0.9)
+        assert throttle.bw_halts == 2
+
+
+class TestSpaceTrigger:
+    def test_full_cache_with_backlog_halts_for_interval(self):
+        throttle = Throttle(interval=50)
+        l1 = FakeL1(free=0.0, backlog=0.9)
+        assert not throttle.allow(100, l1, utilization=0.0)
+        assert throttle.space_halts == 1
+        assert not throttle.allow(120, l1, utilization=0.0)  # inside window
+        assert throttle.allow(150, FakeL1(free=0.5), utilization=0.0)
+
+    def test_confines_l1_demand_side(self):
+        throttle = Throttle(interval=50)
+        l1 = FakeL1(free=0.0, backlog=0.9)
+        throttle.allow(100, l1, utilization=0.0)
+        assert l1.throttled_until == 150
+
+    def test_full_cache_without_backlog_allows(self):
+        """Space exhaustion alone is normal steady state; only a rotting
+        prefetch backlog triggers the halt."""
+        throttle = Throttle()
+        assert throttle.allow(0, FakeL1(free=0.0, backlog=0.0), utilization=0.0)
+
+    def test_free_cache_allows(self):
+        throttle = Throttle()
+        assert throttle.allow(0, FakeL1(free=0.9, backlog=0.9), utilization=0.0)
+
+
+class TestValidation:
+    def test_rejects_negative_interval(self):
+        with pytest.raises(ValueError):
+            Throttle(interval=-1)
+
+    def test_rejects_inverted_watermarks(self):
+        with pytest.raises(ValueError):
+            Throttle(bw_high=0.4, bw_low=0.6)
+
+    def test_rejects_bad_space_threshold(self):
+        with pytest.raises(ValueError):
+            Throttle(space_threshold=1.5)
+
+
+class TestNullThrottle:
+    def test_always_allows(self):
+        throttle = NullThrottle()
+        assert throttle.allow(0, FakeL1(free=0.0, backlog=1.0), utilization=1.0)
+        assert throttle.space_halts == 0

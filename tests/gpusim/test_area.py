@@ -1,0 +1,51 @@
+"""Hardware cost model (Table 3 / Fig 21 / §5.5)."""
+
+from repro.gpusim.area import (
+    HeadTableLayout,
+    TailTableLayout,
+    area_overhead_fraction,
+    snake_storage_bytes,
+    tail_cost_sweep,
+)
+
+
+class TestTable3:
+    """The paper's Table 3 numbers must be reproduced exactly."""
+
+    def test_head_bytes_per_entry(self):
+        assert HeadTableLayout().bytes_per_entry == 14
+
+    def test_head_total(self):
+        assert HeadTableLayout().total_bytes == 448
+
+    def test_tail_bytes_per_entry(self):
+        assert TailTableLayout().bytes_per_entry == 32
+
+    def test_tail_total(self):
+        assert TailTableLayout().total_bytes == 320
+
+    def test_combined_storage(self):
+        assert snake_storage_bytes() == 448 + 320
+
+
+class TestAreaOverhead:
+    def test_under_one_percent_of_v100(self):
+        """§5.5: less than 1 % of the 815 mm^2 die."""
+        assert area_overhead_fraction(num_sms=80) < 0.01
+
+    def test_scales_with_sms(self):
+        assert area_overhead_fraction(num_sms=80) > area_overhead_fraction(num_sms=40)
+
+    def test_scales_with_entries(self):
+        assert area_overhead_fraction(tail_entries=40) > area_overhead_fraction(tail_entries=10)
+
+
+class TestSweep:
+    def test_monotonic_in_entries(self):
+        sweep = tail_cost_sweep([2, 5, 10, 20, 40])
+        values = list(sweep.values())
+        assert values == sorted(values)
+
+    def test_includes_head_cost(self):
+        sweep = tail_cost_sweep([10])
+        assert sweep[10] == 448 + 320

@@ -1,0 +1,77 @@
+"""Memory-access coalescer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpusim.coalescer import coalesce, line_of, num_transactions
+from repro.gpusim.trace import Op, WarpInstr
+
+
+def load(addr, stride, size=4):
+    return WarpInstr(pc=0, op=Op.LOAD, base_addr=addr, thread_stride=stride, size_bytes=size)
+
+
+class TestLineOf:
+    def test_alignment(self):
+        assert line_of(0, 128) == 0
+        assert line_of(127, 128) == 0
+        assert line_of(128, 128) == 128
+        assert line_of(300, 128) == 256
+
+
+class TestCoalesce:
+    def test_broadcast_is_one_line(self):
+        assert coalesce(load(512, 0), warp_size=32, line_bytes=128) == [512]
+
+    def test_unit_stride_words_fill_one_line(self):
+        # 32 threads x 4 bytes = 128 bytes = exactly one line
+        assert coalesce(load(0, 4), warp_size=32, line_bytes=128) == [0]
+
+    def test_unit_stride_unaligned_spans_two_lines(self):
+        lines = coalesce(load(64, 4), warp_size=32, line_bytes=128)
+        assert lines == [0, 128]
+
+    def test_line_stride_touches_every_line(self):
+        lines = coalesce(load(0, 128), warp_size=32, line_bytes=128)
+        assert len(lines) == 32
+        assert lines[0] == 0 and lines[-1] == 31 * 128
+
+    def test_wide_access_spans_lines(self):
+        lines = coalesce(load(0, 0, size=256), warp_size=32, line_bytes=128)
+        assert lines == [0, 128]
+
+    def test_rejects_non_memory(self):
+        with pytest.raises(ValueError):
+            coalesce(WarpInstr(pc=0, op=Op.ALU), 32, 128)
+
+    def test_rejects_bad_line_size(self):
+        with pytest.raises(ValueError):
+            coalesce(load(0, 4), 32, 0)
+
+    def test_num_transactions(self):
+        assert num_transactions(load(0, 4), 32, 128) == 1
+        assert num_transactions(load(0, 128), 32, 128) == 32
+
+
+class TestCoalesceProperties:
+    @given(
+        addr=st.integers(min_value=0, max_value=1 << 30),
+        stride=st.integers(min_value=0, max_value=512),
+        size=st.integers(min_value=1, max_value=256),
+    )
+    def test_lines_unique_aligned_and_cover_footprint(self, addr, stride, size):
+        lines = coalesce(load(addr, stride, size=size), 32, 128)
+        assert len(lines) == len(set(lines))
+        assert all(l % 128 == 0 for l in lines)
+        # every thread's first and last byte must be covered
+        covered = set(lines)
+        for t in range(32):
+            start = addr + t * stride
+            assert line_of(start, 128) in covered
+            assert line_of(start + size - 1, 128) in covered
+
+    @given(stride=st.integers(min_value=0, max_value=1024))
+    def test_at_most_two_lines_per_thread_for_small_accesses(self, stride):
+        # a 4-byte access can straddle a line boundary, so up to 2 per thread
+        lines = coalesce(load(0, stride), 32, 128)
+        assert 1 <= len(lines) <= 64

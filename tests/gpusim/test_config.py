@@ -1,0 +1,119 @@
+"""GPUConfig / CacheConfig / DRAMTimings (Table 1)."""
+
+import pytest
+
+from repro.gpusim.config import CacheConfig, DRAMTimings, GPUConfig
+
+
+class TestCacheConfig:
+    def test_geometry(self):
+        cache = CacheConfig(size_bytes=128 * 1024, assoc=256, line_bytes=128, latency=28)
+        assert cache.num_lines == 1024
+        assert cache.num_sets == 4
+
+    def test_rejects_indivisible_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, assoc=3, line_bytes=128, latency=1)
+
+    def test_rejects_bad_assoc(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1024, assoc=0, line_bytes=128, latency=1)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1024, assoc=1, line_bytes=128, latency=-1)
+
+
+class TestTable1Defaults:
+    """The volta_v100 preset must match Table 1 of the paper."""
+
+    def test_sm_count(self):
+        assert GPUConfig.volta_v100().num_sms == 80
+
+    def test_core_clock(self):
+        assert GPUConfig.volta_v100().core_clock_mhz == 1530
+
+    def test_scheduler_is_gto(self):
+        assert GPUConfig.volta_v100().scheduler == "gto"
+
+    def test_schedulers_per_sm(self):
+        assert GPUConfig.volta_v100().schedulers_per_sm == 4
+
+    def test_threads_per_sm(self):
+        config = GPUConfig.volta_v100()
+        assert config.max_threads_per_sm == 2048
+        assert config.max_warps_per_sm == 64
+
+    def test_register_file(self):
+        assert GPUConfig.volta_v100().registers_per_sm == 65536
+
+    def test_unified_cache(self):
+        l1 = GPUConfig.volta_v100().l1
+        assert l1.size_bytes == 128 * 1024
+        assert l1.assoc == 256
+        assert l1.line_bytes == 128
+        assert l1.latency == 28
+
+    def test_mshr(self):
+        config = GPUConfig.volta_v100()
+        assert config.mshr_entries == 512
+        assert config.mshr_merge == 8
+
+    def test_l2(self):
+        l2 = GPUConfig.volta_v100().l2
+        assert l2.size_bytes == 96 * 1024
+        assert l2.assoc == 24
+        assert l2.line_bytes == 128
+
+    def test_l2_banks(self):
+        assert GPUConfig.volta_v100().l2_banks == 64
+
+    def test_dram_timings(self):
+        dram = GPUConfig.volta_v100().dram
+        assert dram == DRAMTimings(
+            t_ccd=1, t_rrd=3, t_rcd=12, t_ras=28, t_rp=12, t_rc=40,
+            t_cl=12, t_wl=2, t_cdlr=3, t_wr=10, t_ccdl=2, t_rtpl=3,
+        )
+
+    def test_snake_defaults(self):
+        config = GPUConfig.volta_v100()
+        assert config.tail_entries == 10
+        assert config.head_entries == 32
+        assert config.throttle_interval == 50
+        assert config.train_threshold == 3
+
+
+class TestValidation:
+    def test_rejects_zero_sms(self):
+        with pytest.raises(ValueError):
+            GPUConfig(num_sms=0)
+
+    def test_rejects_bad_clock_ratio(self):
+        with pytest.raises(ValueError):
+            GPUConfig(dram_clock_ratio=0.0)
+
+    def test_rejects_shared_mem_eating_cache(self):
+        with pytest.raises(ValueError):
+            GPUConfig(shared_mem_bytes=128 * 1024)
+
+
+class TestScaledPreset:
+    def test_same_per_sm_knobs(self):
+        scaled = GPUConfig.scaled()
+        full = GPUConfig.volta_v100()
+        assert scaled.warp_size == full.warp_size
+        assert scaled.scheduler == full.scheduler
+        assert scaled.tail_entries == full.tail_entries
+        assert scaled.train_threshold == full.train_threshold
+
+    def test_sm_count_override(self):
+        assert GPUConfig.scaled(num_sms=4).num_sms == 4
+
+    def test_with_replaces_fields(self):
+        config = GPUConfig.scaled().with_(tail_entries=20)
+        assert config.tail_entries == 20
+        assert config.num_sms == GPUConfig.scaled().num_sms
+
+    def test_l1_data_bytes(self):
+        config = GPUConfig.scaled()
+        assert config.l1_data_bytes == config.l1.size_bytes

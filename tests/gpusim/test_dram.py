@@ -1,0 +1,84 @@
+"""Row-buffer DRAM model."""
+
+import pytest
+
+from repro.gpusim.config import DRAMTimings
+from repro.gpusim.dram import DRAM
+
+
+def make_dram(channels=2, banks=4):
+    return DRAM(
+        timings=DRAMTimings(),
+        channels=channels,
+        banks_per_channel=banks,
+        row_bytes=2048,
+        clock_ratio=0.5,
+        line_bytes=128,
+    )
+
+
+class TestRowBuffer:
+    def test_first_access_is_row_miss(self):
+        dram = make_dram()
+        dram.access(0, now=0)
+        assert dram.row_misses == 1 and dram.row_hits == 0
+
+    def test_same_row_hits(self):
+        dram = make_dram(channels=1, banks=1)
+        dram.access(0, now=0)
+        dram.access(128, now=1000)
+        assert dram.row_hits == 1
+
+    def test_row_hit_faster_than_miss(self):
+        hit_dram = make_dram(channels=1, banks=1)
+        hit_dram.access(0, now=0)
+        hit_done = hit_dram.access(128, now=10_000) - 10_000
+
+        miss_dram = make_dram(channels=1, banks=1)
+        miss_dram.access(0, now=0)
+        # different row (row_bytes=2048, 1 channel)
+        miss_done = miss_dram.access(1 << 20, now=10_000) - 10_000
+        assert hit_done < miss_done
+
+    def test_row_conflict_reopens(self):
+        dram = make_dram(channels=1, banks=1)
+        dram.access(0, now=0)
+        dram.access(1 << 20, now=10_000)
+        assert dram.row_misses == 2
+
+    def test_row_hit_rate(self):
+        dram = make_dram(channels=1, banks=1)
+        dram.access(0, now=0)
+        dram.access(128, now=1000)
+        assert dram.row_hit_rate == pytest.approx(0.5)
+
+
+class TestContention:
+    def test_same_bank_serializes(self):
+        dram = make_dram(channels=1, banks=1)
+        first = dram.access(0, now=0)
+        second = dram.access(128, now=0)
+        assert second > first
+
+    def test_different_channels_parallel(self):
+        dram = make_dram(channels=2, banks=1)
+        a = dram.access(0, now=0)      # channel 0
+        b = dram.access(128, now=0)    # channel 1 (line 1)
+        assert a == b  # identical row-miss latency, no serialization
+
+    def test_counts_reads_not_writes(self):
+        dram = make_dram()
+        dram.access(0, now=0)
+        dram.access(128, now=0, is_write=True)
+        assert dram.reads == 1
+
+
+class TestValidation:
+    def test_rejects_zero_channels(self):
+        with pytest.raises(ValueError):
+            DRAM(DRAMTimings(), 0, 1, 2048, 0.5, 128)
+
+    def test_completion_after_request(self):
+        dram = make_dram()
+        for i in range(20):
+            assert dram.access(i * 128, now=i * 3) > i * 3

@@ -1,0 +1,54 @@
+"""Energy model."""
+
+import pytest
+
+from repro.gpusim.energy import EnergyParams, energy_of
+from repro.gpusim.stats import SimStats
+
+
+def stats(cycles=1000, instructions=500, dram_reads=10):
+    s = SimStats(cycles=cycles, instructions=instructions,
+                 l1_hits=100, l1_misses=20, dram_reads=dram_reads,
+                 l2_hits=10, l2_misses=10, icnt_bytes=2000)
+    return s
+
+
+class TestEnergy:
+    def test_total_is_sum_of_parts(self):
+        breakdown = energy_of(stats(), num_sms=2)
+        parts = (breakdown.static_j + breakdown.core_j + breakdown.l1_j
+                 + breakdown.l2_j + breakdown.dram_j + breakdown.icnt_j
+                 + breakdown.prefetcher_j)
+        assert breakdown.total_j == pytest.approx(parts)
+
+    def test_longer_runtime_costs_more(self):
+        short = energy_of(stats(cycles=1000), num_sms=2).total_j
+        long = energy_of(stats(cycles=5000), num_sms=2).total_j
+        assert long > short
+
+    def test_dram_traffic_costs(self):
+        low = energy_of(stats(dram_reads=10), num_sms=2).total_j
+        high = energy_of(stats(dram_reads=10_000), num_sms=2).total_j
+        assert high > low
+
+    def test_prefetcher_statics_and_table_energy(self):
+        s = stats()
+        s.prefetch.table_accesses = 100_000
+        without = energy_of(s, num_sms=2, prefetcher_present=False)
+        with_pf = energy_of(s, num_sms=2, prefetcher_present=True)
+        assert with_pf.prefetcher_j > 0
+        assert without.prefetcher_j == 0
+        assert with_pf.total_j > without.total_j
+
+    def test_prefetcher_overhead_is_small(self):
+        """§5.5: Snake's power overhead is <1 %."""
+        s = stats(cycles=100_000, instructions=50_000, dram_reads=1_000)
+        s.prefetch.table_accesses = 50_000
+        base = energy_of(s, num_sms=2, prefetcher_present=False).total_j
+        snake = energy_of(s, num_sms=2, prefetcher_present=True).total_j
+        assert (snake - base) / base < 0.01
+
+    def test_custom_params(self):
+        params = EnergyParams(dram_access_pj=0.0)
+        breakdown = energy_of(stats(), num_sms=1, params=params)
+        assert breakdown.dram_j == 0.0

@@ -1,0 +1,84 @@
+"""GPU top level and the simulate() convenience API."""
+
+import pytest
+
+from repro.gpusim import GPU, GPUConfig, simulate
+from repro.gpusim.trace import CTA, KernelTrace, Op, WarpInstr, WarpTrace, renumber_warps
+
+
+def small_kernel(num_ctas=4, warps=4, iters=10):
+    ctas = []
+    for c in range(num_ctas):
+        cta_warps = []
+        for w in range(warps):
+            instrs = []
+            base = (c * warps + w) * 4096
+            for i in range(iters):
+                instrs.append(
+                    WarpInstr(pc=0x10, op=Op.LOAD, base_addr=base + i * 512,
+                              thread_stride=4)
+                )
+                instrs.append(WarpInstr(pc=0x18, op=Op.ALU))
+            cta_warps.append(WarpTrace(warp_id=0, instrs=instrs))
+        ctas.append(CTA(cta_id=c, warps=cta_warps))
+    renumber_warps(ctas)
+    return KernelTrace(name="small", ctas=ctas)
+
+
+class TestGPU:
+    def test_runs_to_completion(self):
+        gpu = GPU(config=GPUConfig.scaled())
+        stats = gpu.run(small_kernel())
+        assert stats.warps_finished == 16
+        assert stats.instructions == small_kernel().num_instrs
+
+    def test_rejects_empty_kernel(self):
+        with pytest.raises(ValueError):
+            GPU(config=GPUConfig.scaled()).run(KernelTrace(name="empty"))
+
+    def test_ctas_distributed_round_robin(self):
+        gpu = GPU(config=GPUConfig.scaled(num_sms=2))
+        gpu.run(small_kernel(num_ctas=4))
+        for sm in gpu.sms:
+            assert sm.stats.warps_finished == 8
+
+    def test_l2_and_dram_stats_collected(self):
+        gpu = GPU(config=GPUConfig.scaled())
+        stats = gpu.run(small_kernel())
+        assert stats.l2_misses > 0
+        assert stats.dram_reads > 0
+
+    def test_cycles_are_max_across_sms(self):
+        gpu = GPU(config=GPUConfig.scaled(num_sms=2))
+        stats = gpu.run(small_kernel())
+        assert stats.cycles == max(sm.stats.cycles for sm in gpu.sms)
+
+
+class TestSimulateAPI:
+    def test_baseline(self):
+        stats = simulate(small_kernel(), prefetcher="none")
+        assert stats.coverage == 0.0
+        assert stats.ipc > 0
+
+    def test_every_comparison_point_runs(self):
+        kernel = small_kernel(num_ctas=2, warps=2, iters=5)
+        from repro.prefetch import COMPARISON_POINTS
+
+        for mech in COMPARISON_POINTS + ["ideal", "isolated-snake", "none"]:
+            stats = simulate(kernel, prefetcher=mech)
+            assert stats.instructions == kernel.num_instrs, mech
+
+    def test_unknown_mechanism(self):
+        with pytest.raises(ValueError):
+            simulate(small_kernel(), prefetcher="does-not-exist")
+
+    def test_intra_prefetcher_covers_strided_loop(self):
+        stats = simulate(small_kernel(iters=30), prefetcher="intra")
+        assert stats.coverage > 0.3
+
+    def test_deterministic(self):
+        kernel = small_kernel()
+        a = simulate(kernel, prefetcher="snake")
+        b = simulate(kernel, prefetcher="snake")
+        assert a.cycles == b.cycles
+        assert a.prefetch.issued == b.prefetch.issued

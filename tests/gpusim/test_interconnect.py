@@ -1,0 +1,80 @@
+"""Bandwidth-limited interconnect."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpusim.interconnect import Interconnect
+
+
+class TestTiming:
+    def test_latency_applied(self):
+        icnt = Interconnect(bytes_per_cycle=8, latency=20)
+        assert icnt.send(now=0, nbytes=8) == 1 + 20
+
+    def test_serialization_under_load(self):
+        icnt = Interconnect(bytes_per_cycle=8, latency=0)
+        first = icnt.send(0, 64)   # 8 cycles of channel time
+        second = icnt.send(0, 64)  # must wait for the first
+        assert first == 8
+        assert second == 16
+
+    def test_idle_channel_no_queueing(self):
+        icnt = Interconnect(bytes_per_cycle=8, latency=0)
+        icnt.send(0, 8)
+        assert icnt.send(100, 8) == 101
+
+    def test_rejects_empty_transfer(self):
+        with pytest.raises(ValueError):
+            Interconnect(8, 0).send(0, 0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            Interconnect(0, 0)
+        with pytest.raises(ValueError):
+            Interconnect(8, -1)
+
+
+class TestUtilization:
+    def test_idle_is_zero(self):
+        icnt = Interconnect(8, 0, window=100)
+        assert icnt.measured_utilization(now=50) == 0.0
+
+    def test_fully_busy_approaches_one(self):
+        icnt = Interconnect(8, 0, window=100)
+        for t in range(100):
+            icnt.send(t, 8)
+        assert icnt.measured_utilization(now=100) == pytest.approx(1.0)
+
+    def test_old_traffic_falls_out_of_window(self):
+        icnt = Interconnect(8, 0, window=100)
+        icnt.send(0, 800)
+        assert icnt.measured_utilization(now=500) == 0.0
+
+    def test_peak_bytes(self):
+        assert Interconnect(8, 0).peak_bytes(100) == 800
+
+    def test_bytes_accounted(self):
+        icnt = Interconnect(8, 0)
+        icnt.send(0, 40)
+        icnt.send(0, 24)
+        assert icnt.bytes_transferred == 64
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(st.integers(0, 1000), st.integers(1, 256)),
+                    min_size=1, max_size=50))
+    def test_arrivals_after_send_time(self, transfers):
+        icnt = Interconnect(8, 5)
+        transfers.sort()
+        for now, nbytes in transfers:
+            arrival = icnt.send(now, nbytes)
+            assert arrival > now
+
+    @given(st.lists(st.integers(1, 512), min_size=1, max_size=50))
+    def test_next_free_monotonic(self, sizes):
+        icnt = Interconnect(8, 0)
+        prev = 0
+        for nbytes in sizes:
+            icnt.send(0, nbytes)
+            assert icnt.next_free >= prev
+            prev = icnt.next_free

@@ -1,0 +1,70 @@
+"""Shared banked L2."""
+
+import pytest
+
+from repro.gpusim.config import CacheConfig, DRAMTimings
+from repro.gpusim.dram import DRAM
+from repro.gpusim.l2 import L2Cache
+
+
+def make_l2(banks=4, latency=100):
+    dram = DRAM(DRAMTimings(), channels=2, banks_per_channel=4,
+                row_bytes=2048, clock_ratio=0.5, line_bytes=128)
+    config = CacheConfig(size_bytes=16 * 1024, assoc=8, line_bytes=128, latency=latency)
+    return L2Cache(config, banks=banks, dram=dram), dram
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self):
+        l2, dram = make_l2()
+        first = l2.access(0, now=0)
+        second = l2.access(0, now=first + 1)
+        assert l2.misses == 1 and l2.hits == 1
+        assert second - (first + 1) < first  # hit is faster than the miss
+
+    def test_miss_goes_to_dram(self):
+        l2, dram = make_l2()
+        l2.access(0, now=0)
+        assert dram.reads == 1
+
+    def test_hit_does_not_touch_dram(self):
+        l2, dram = make_l2()
+        done = l2.access(0, now=0)
+        l2.access(0, now=done + 1)
+        assert dram.reads == 1
+
+    def test_hit_rate(self):
+        l2, _ = make_l2()
+        done = l2.access(0, now=0)
+        l2.access(0, now=done + 1)
+        assert l2.hit_rate == pytest.approx(0.5)
+
+
+class TestMerging:
+    def test_inflight_merge_costs_one_dram_read(self):
+        l2, dram = make_l2()
+        first = l2.access(0, now=0)
+        merged = l2.access(0, now=1)  # before the fill returns
+        assert dram.reads == 1
+        assert merged >= first - 128  # data cannot appear before the fill
+
+    def test_merge_counts_as_hit(self):
+        l2, _ = make_l2()
+        l2.access(0, now=0)
+        l2.access(0, now=1)
+        assert l2.hits == 1
+
+
+class TestBanking:
+    def test_same_bank_serializes(self):
+        l2, _ = make_l2(banks=4)
+        line = 128 * 4  # same bank as line 0 when banks=4
+        a = l2.access(0, now=0)
+        b = l2.access(line, now=0)
+        assert b > a or l2._bank_next_free[0] > 4
+
+    def test_rejects_zero_banks(self):
+        dram = DRAM(DRAMTimings(), 1, 1, 2048, 0.5, 128)
+        config = CacheConfig(size_bytes=1024, assoc=1, line_bytes=128, latency=10)
+        with pytest.raises(ValueError):
+            L2Cache(config, banks=0, dram=dram)

@@ -1,0 +1,80 @@
+"""MSHR file: allocate / merge / fill."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpusim.cache import MSHR
+
+
+class TestAllocate:
+    def test_allocate_and_lookup(self):
+        mshr = MSHR(entries=4, merge_width=2)
+        entry = mshr.allocate(0x100, fill_time=50)
+        assert mshr.lookup(0x100) is entry
+        assert mshr.occupancy == 1
+
+    def test_full(self):
+        mshr = MSHR(entries=2, merge_width=2)
+        mshr.allocate(0x100, 10)
+        mshr.allocate(0x200, 10)
+        assert mshr.full
+        with pytest.raises(RuntimeError):
+            mshr.allocate(0x300, 10)
+
+    def test_double_allocate_rejected(self):
+        mshr = MSHR(entries=4, merge_width=2)
+        mshr.allocate(0x100, 10)
+        with pytest.raises(RuntimeError):
+            mshr.allocate(0x100, 20)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            MSHR(entries=0, merge_width=1)
+        with pytest.raises(ValueError):
+            MSHR(entries=1, merge_width=0)
+
+
+class TestMerge:
+    def test_merge_within_width(self):
+        mshr = MSHR(entries=4, merge_width=3)
+        mshr.allocate(0x100, 10)
+        assert mshr.try_merge(0x100, is_demand=True) is not None
+        assert mshr.try_merge(0x100, is_demand=True) is not None
+        # width 3 = 1 original + 2 merges
+        assert mshr.try_merge(0x100, is_demand=True) is None
+
+    def test_merge_unknown_line(self):
+        mshr = MSHR(entries=4, merge_width=2)
+        assert mshr.try_merge(0x500, is_demand=True) is None
+
+    def test_demand_join_marks_prefetch_entry(self):
+        mshr = MSHR(entries=4, merge_width=4)
+        entry = mshr.allocate(0x100, 10, is_prefetch=True)
+        mshr.try_merge(0x100, is_demand=True)
+        assert entry.demand_joined
+
+    def test_prefetch_merge_does_not_mark(self):
+        mshr = MSHR(entries=4, merge_width=4)
+        entry = mshr.allocate(0x100, 10, is_prefetch=True)
+        mshr.try_merge(0x100, is_demand=False)
+        assert not entry.demand_joined
+
+
+class TestFill:
+    def test_pop_filled_removes_due_entries(self):
+        mshr = MSHR(entries=4, merge_width=2)
+        mshr.allocate(0x100, fill_time=10)
+        mshr.allocate(0x200, fill_time=20)
+        filled = mshr.pop_filled(now=15)
+        assert [e.line_addr for e in filled] == [0x100]
+        assert mshr.lookup(0x100) is None
+        assert mshr.lookup(0x200) is not None
+
+    @given(st.lists(st.tuples(st.integers(0, 100), st.integers(0, 200)),
+                    min_size=1, max_size=50, unique_by=lambda t: t[0]))
+    def test_pop_filled_is_exhaustive_at_horizon(self, entries):
+        mshr = MSHR(entries=64, merge_width=2)
+        for line_no, fill in entries:
+            mshr.allocate(line_no * 128, fill)
+        mshr.pop_filled(now=200)
+        assert mshr.occupancy == 0

@@ -1,0 +1,121 @@
+"""Demand-priority scheduling across the memory path.
+
+GPU memory systems serve demand responses ahead of best-effort prefetch
+traffic; these tests pin the virtual-channel semantics of the interconnect,
+L2 banks, and DRAM, plus the promotion of merged prefetch fills.
+"""
+
+import pytest
+
+from repro.gpusim.config import CacheConfig, DRAMTimings, GPUConfig
+from repro.gpusim.dram import DRAM
+from repro.gpusim.interconnect import Interconnect
+from repro.gpusim.l2 import L2Cache
+from repro.gpusim.stats import SimStats
+from repro.gpusim.unified_cache import L1Outcome, StorageMode, UnifiedL1Cache
+
+
+class TestInterconnectPriority:
+    def test_priority_unaffected_by_best_effort_backlog(self):
+        icnt = Interconnect(bytes_per_cycle=8, latency=0)
+        icnt.send(0, 8_000)  # best-effort backlog: 1000 cycles of channel
+        arrival = icnt.send(0, 8, priority=True)
+        assert arrival == 1  # jumps the backlog
+
+    def test_best_effort_queues_behind_priority(self):
+        icnt = Interconnect(bytes_per_cycle=8, latency=0)
+        icnt.send(0, 800, priority=True)  # 100 cycles of priority traffic
+        arrival = icnt.send(0, 8)
+        assert arrival >= 100
+
+    def test_priority_queues_behind_priority(self):
+        icnt = Interconnect(bytes_per_cycle=8, latency=0)
+        a = icnt.send(0, 80, priority=True)
+        b = icnt.send(0, 80, priority=True)
+        assert b == a + 10
+
+    def test_all_traffic_counted_in_utilization(self):
+        icnt = Interconnect(bytes_per_cycle=8, latency=0, window=100)
+        icnt.send(0, 400, priority=True)
+        icnt.send(0, 400)
+        assert icnt.bytes_transferred == 800
+
+
+class TestDRAMPriority:
+    def _dram(self):
+        return DRAM(DRAMTimings(), channels=1, banks_per_channel=1,
+                    row_bytes=2048, clock_ratio=0.5, line_bytes=128)
+
+    def test_demand_not_blocked_by_future_prefetch_activate(self):
+        dram = self._dram()
+        # a best-effort prefetch scheduled far in the future (its queueing
+        # starts late) opens a row and sets activate state
+        dram.access(1 << 20, now=5_000, priority=False)
+        # demand arriving *now* must not wait for the future activate
+        done = dram.access(2 << 20, now=0, priority=True)
+        assert done < 1_000
+
+    def test_priority_respects_own_trc(self):
+        dram = self._dram()
+        first = dram.access(1 << 20, now=0, priority=True)
+        second = dram.access(2 << 20, now=0, priority=True)
+        assert second > first  # same bank, back-to-back activates spaced
+
+    def test_best_effort_queues_behind_everything(self):
+        dram = self._dram()
+        dram.access(1 << 20, now=0, priority=True)
+        late = dram.access(2 << 20, now=0, priority=False)
+        fresh = self._dram().access(2 << 20, now=0, priority=False)
+        assert late >= fresh
+
+
+class TestL2Priority:
+    def _l2(self):
+        dram = DRAM(DRAMTimings(), 2, 4, 2048, 0.5, 128)
+        config = CacheConfig(size_bytes=16 * 1024, assoc=8, line_bytes=128,
+                             latency=100)
+        return L2Cache(config, banks=4, dram=dram)
+
+    def test_priority_bank_slot_jumps_best_effort(self):
+        l2 = self._l2()
+        for i in range(10):
+            l2.access(i * 4 * 128, now=0, priority=False)  # bank 0 backlog
+        fast = self._l2()
+        unloaded = fast.access(40 * 128, now=0, priority=True)
+        loaded = l2.access(40 * 128, now=0, priority=True)
+        assert loaded <= unloaded + 200
+
+    def test_demand_merge_promotes_inflight_prefetch(self):
+        l2 = self._l2()
+        l2.access(0, now=0, priority=False)  # prefetch in flight
+        merged = l2.access(0, now=1, priority=True)
+        # promoted: no later than roughly an unloaded access
+        assert merged <= 1 + l2.config.latency + 50
+
+
+class TestL1Promotion:
+    def _l1(self):
+        config = GPUConfig.scaled()
+        dram = DRAM(config.dram, 2, 4, 2048, 0.5, 128)
+        l2 = L2Cache(config.l2, 4, dram)
+        stats = SimStats()
+        l1 = UnifiedL1Cache(
+            config,
+            Interconnect(config.icnt_bytes_per_cycle, config.icnt_latency),
+            Interconnect(config.icnt_bytes_per_cycle, config.icnt_latency),
+            l2, stats, mode=StorageMode.COUPLED,
+        )
+        return l1, stats
+
+    def test_demand_merge_into_late_prefetch_is_bounded(self):
+        l1, stats = self._l1()
+        # saturate the best-effort response channel so the prefetch is late
+        l1._icnt_resp.send(0, 50_000)
+        assert l1.prefetch(0, now=0)
+        outcome, ready = l1.demand_load(0, now=10)
+        assert outcome is L1Outcome.RESERVED
+        assert ready - 10 <= l1._unloaded_round_trip() + 1
+
+    def test_unloaded_round_trip_positive(self):
+        l1, _ = self._l1()
+        assert l1._unloaded_round_trip() > l1.config.l2.latency

@@ -1,0 +1,75 @@
+"""SimStats accounting and merging."""
+
+import pytest
+
+from repro.gpusim.stats import PrefetchStats, SimStats
+
+
+class TestRates:
+    def test_empty_stats_are_zero(self):
+        stats = SimStats()
+        assert stats.ipc == 0.0
+        assert stats.l1_hit_rate == 0.0
+        assert stats.coverage == 0.0
+        assert stats.memory_stall_fraction == 0.0
+
+    def test_ipc(self):
+        stats = SimStats(cycles=100, instructions=250)
+        assert stats.ipc == 2.5
+
+    def test_hit_rate_excludes_fails(self):
+        stats = SimStats(l1_hits=6, l1_misses=2, l1_reserved=2,
+                         l1_reservation_fails=90)
+        assert stats.l1_hit_rate == pytest.approx(0.6)
+
+    def test_reservation_fail_rate_includes_fails(self):
+        stats = SimStats(l1_hits=5, l1_misses=3, l1_reserved=2,
+                         l1_reservation_fails=10)
+        assert stats.reservation_fail_rate == pytest.approx(0.5)
+
+    def test_bandwidth_capped_at_one(self):
+        stats = SimStats(icnt_bytes=200, icnt_peak_bytes=100)
+        assert stats.bandwidth_utilization == 1.0
+
+    def test_coverage_and_accuracy(self):
+        stats = SimStats(l1_hits=8, l1_misses=2)
+        stats.prefetch.demand_covered = 5
+        stats.prefetch.demand_timely = 4
+        assert stats.coverage == pytest.approx(0.5)
+        assert stats.accuracy == pytest.approx(0.4)
+
+
+class TestMerge:
+    def test_cycles_take_max(self):
+        a = SimStats(cycles=100, instructions=10)
+        b = SimStats(cycles=70, instructions=20)
+        a.merge(b)
+        assert a.cycles == 100
+        assert a.instructions == 30
+
+    def test_counters_sum(self):
+        a = SimStats(l1_hits=1, icnt_bytes=10)
+        b = SimStats(l1_hits=2, icnt_bytes=5)
+        a.prefetch.issued = 3
+        b.prefetch.issued = 4
+        a.merge(b)
+        assert a.l1_hits == 3
+        assert a.icnt_bytes == 15
+        assert a.prefetch.issued == 7
+
+    def test_as_dict_keys(self):
+        d = SimStats(cycles=1, instructions=1).as_dict()
+        for key in ("ipc", "coverage", "accuracy", "l1_hit_rate"):
+            assert key in d
+
+
+class TestPrefetchStats:
+    def test_rates_guard_zero(self):
+        p = PrefetchStats()
+        assert p.coverage(0) == 0.0
+        assert p.accuracy(0) == 0.0
+
+    def test_rates(self):
+        p = PrefetchStats(demand_covered=3, demand_timely=2)
+        assert p.coverage(10) == pytest.approx(0.3)
+        assert p.accuracy(10) == pytest.approx(0.2)

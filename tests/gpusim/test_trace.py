@@ -1,0 +1,82 @@
+"""Trace model types."""
+
+import pytest
+
+from repro.gpusim.trace import (
+    CTA,
+    KernelTrace,
+    Op,
+    WarpInstr,
+    WarpTrace,
+    renumber_warps,
+)
+
+
+def load(pc, addr, stride=4):
+    return WarpInstr(pc=pc, op=Op.LOAD, base_addr=addr, thread_stride=stride)
+
+
+class TestWarpInstr:
+    def test_is_mem(self):
+        assert load(0x10, 0).is_mem
+        assert WarpInstr(pc=0x10, op=Op.STORE, base_addr=0).is_mem
+        assert not WarpInstr(pc=0x10, op=Op.ALU).is_mem
+
+    def test_rejects_negative_pc(self):
+        with pytest.raises(ValueError):
+            WarpInstr(pc=-1, op=Op.ALU)
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            WarpInstr(pc=0, op=Op.LOAD, base_addr=-4)
+
+    def test_frozen(self):
+        instr = load(0x10, 0)
+        with pytest.raises(AttributeError):
+            instr.pc = 5
+
+
+class TestWarpTrace:
+    def test_loads_filters(self):
+        trace = WarpTrace(warp_id=0, instrs=[load(1, 0), WarpInstr(pc=2, op=Op.ALU)])
+        assert [i.pc for i in trace.loads()] == [1]
+
+    def test_len_and_iter(self):
+        trace = WarpTrace(warp_id=0)
+        trace.append(load(1, 0))
+        trace.append(load(2, 4))
+        assert len(trace) == 2
+        assert [i.pc for i in trace] == [1, 2]
+
+
+class TestKernelTrace:
+    def _kernel(self):
+        w0 = WarpTrace(warp_id=0, instrs=[load(1, 0)])
+        w1 = WarpTrace(warp_id=1, instrs=[load(1, 0), load(2, 8)])
+        return KernelTrace(name="k", ctas=[CTA(cta_id=0, warps=[w0, w1])])
+
+    def test_counts(self):
+        kernel = self._kernel()
+        assert kernel.num_warps == 2
+        assert kernel.num_instrs == 3
+
+    def test_representative_warp_has_most_loads(self):
+        assert self._kernel().representative_warp().warp_id == 1
+
+    def test_representative_warp_empty_kernel(self):
+        with pytest.raises(ValueError):
+            KernelTrace(name="empty").representative_warp()
+
+    def test_all_warps_in_cta_order(self):
+        assert [w.warp_id for w in self._kernel().all_warps()] == [0, 1]
+
+
+class TestRenumberWarps:
+    def test_dense_global_ids(self):
+        ctas = [
+            CTA(cta_id=0, warps=[WarpTrace(warp_id=99), WarpTrace(warp_id=99)]),
+            CTA(cta_id=1, warps=[WarpTrace(warp_id=99)]),
+        ]
+        renumber_warps(ctas)
+        ids = [w.warp_id for c in ctas for w in c.warps]
+        assert ids == [0, 1, 2]

@@ -1,0 +1,101 @@
+"""Kernel-trace serialization."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim.trace import CTA, KernelTrace, Op, WarpInstr, WarpTrace
+from repro.gpusim.traceio import load_trace, save_trace
+from repro.workloads import build_kernel
+
+
+def instr_strategy():
+    mem = st.builds(
+        WarpInstr,
+        pc=st.integers(0, 1 << 20),
+        op=st.sampled_from([Op.LOAD, Op.STORE]),
+        base_addr=st.integers(0, 1 << 30),
+        thread_stride=st.integers(0, 512),
+        size_bytes=st.integers(1, 64),
+        divergent=st.booleans(),
+    )
+    alu = st.builds(
+        WarpInstr, pc=st.integers(0, 1 << 20),
+        op=st.sampled_from([Op.ALU, Op.SFU, Op.BARRIER]),
+    )
+    return st.one_of(mem, alu)
+
+
+class TestRoundTrip:
+    def test_benchmark_trace_roundtrips(self, tmp_path):
+        kernel = build_kernel("lps", scale=0.25, seed=1)
+        path = save_trace(kernel, tmp_path / "lps.trace")
+        loaded = load_trace(path)
+        assert loaded.name == kernel.name
+        assert loaded.num_warps == kernel.num_warps
+        assert [
+            (i.pc, i.op, i.base_addr, i.thread_stride, i.size_bytes, i.divergent)
+            for w in loaded.all_warps() for i in w.instrs
+        ] == [
+            (i.pc, i.op, i.base_addr, i.thread_stride, i.size_bytes, i.divergent)
+            for w in kernel.all_warps() for i in w.instrs
+        ]
+
+    @settings(max_examples=25)
+    @given(st.lists(instr_strategy(), min_size=0, max_size=30))
+    def test_arbitrary_instrs_roundtrip(self, instrs):
+        import tempfile
+        from pathlib import Path
+
+        kernel = KernelTrace(
+            name="prop",
+            ctas=[CTA(cta_id=0, warps=[WarpTrace(warp_id=0, instrs=instrs)])],
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            loaded = load_trace(save_trace(kernel, Path(tmp) / "k.trace"))
+        assert loaded.num_instrs == len(instrs)
+        for orig, back in zip(instrs, loaded.all_warps()[0].instrs):
+            assert back.pc == orig.pc and back.op is orig.op
+            if orig.is_mem:
+                assert back.base_addr == orig.base_addr
+                assert back.divergent == orig.divergent
+
+
+class TestValidation:
+    def test_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(json.dumps({"kernel": "x", "version": 99}) + "\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_rejects_warp_before_cta(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(
+            json.dumps({"kernel": "x", "version": 1}) + "\n"
+            + json.dumps({"warp": 0, "instrs": []}) + "\n"
+        )
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_rejects_unknown_record(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(
+            json.dumps({"kernel": "x", "version": 1}) + "\n"
+            + json.dumps({"mystery": 1}) + "\n"
+        )
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+
+class TestSimulationEquivalence:
+    def test_loaded_trace_simulates_identically(self, tmp_path):
+        from repro.gpusim import simulate
+
+        kernel = build_kernel("hotspot", scale=0.25, seed=2)
+        loaded = load_trace(save_trace(kernel, tmp_path / "h.trace"))
+        a = simulate(kernel, prefetcher="snake")
+        b = simulate(loaded, prefetcher="snake")
+        assert (a.cycles, a.instructions, a.prefetch.issued) == (
+            b.cycles, b.instructions, b.prefetch.issued
+        )

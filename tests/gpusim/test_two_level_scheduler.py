@@ -1,0 +1,67 @@
+"""Two-level warp scheduler."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.gpusim.scheduler import TwoLevelScheduler, make_scheduler
+
+
+@dataclass
+class FakeWarp:
+    warp_id: int
+
+
+def warps(*ids):
+    return [FakeWarp(i) for i in ids]
+
+
+class TestActiveSet:
+    def test_schedules_within_active_set(self):
+        sched = TwoLevelScheduler(active_size=2)
+        ready = warps(0, 1, 2, 3)
+        seen = set()
+        for _ in range(8):
+            warp = sched.pick(ready)
+            sched.note_issued(warp)
+            seen.add(warp.warp_id)
+        assert seen == {0, 1}  # only the active pair is scheduled
+
+    def test_refills_when_active_warp_stalls(self):
+        sched = TwoLevelScheduler(active_size=2)
+        sched.pick(warps(0, 1, 2))
+        # warp 0 stalls (no longer ready): 2 rotates in
+        picked = {sched.pick(warps(1, 2)).warp_id for _ in range(4)}
+        assert picked <= {1, 2}
+
+    def test_round_robin_within_set(self):
+        sched = TwoLevelScheduler(active_size=3)
+        ready = warps(0, 1, 2)
+        order = []
+        for _ in range(6):
+            warp = sched.pick(ready)
+            sched.note_issued(warp)
+            order.append(warp.warp_id)
+        assert order == [0, 1, 2, 0, 1, 2]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TwoLevelScheduler().pick([])
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            TwoLevelScheduler(active_size=0)
+
+
+class TestFactory:
+    def test_factory_name(self):
+        assert isinstance(make_scheduler("two_level"), TwoLevelScheduler)
+
+    def test_end_to_end(self):
+        from repro.gpusim import GPUConfig, simulate
+        from repro.workloads import build_kernel
+
+        kernel = build_kernel("lps", scale=0.25, seed=1)
+        config = GPUConfig.scaled().with_(scheduler="two_level")
+        stats = simulate(kernel, prefetcher="snake", config=config)
+        assert stats.instructions == kernel.num_instrs

@@ -1,0 +1,92 @@
+"""Trace validation."""
+
+import pytest
+
+from repro.gpusim.trace import CTA, KernelTrace, Op, WarpInstr, WarpTrace
+from repro.gpusim.validate import assert_valid, validate_kernel
+from repro.workloads import BENCHMARKS, build_kernel
+
+
+def load(pc=0x10, addr=0):
+    return WarpInstr(pc=pc, op=Op.LOAD, base_addr=addr, thread_stride=4)
+
+
+def kernel_of(*ctas):
+    return KernelTrace(name="t", ctas=list(ctas))
+
+
+class TestErrors:
+    def test_empty_kernel(self):
+        issues = validate_kernel(KernelTrace(name="e"))
+        assert any(i.severity == "error" for i in issues)
+
+    def test_duplicate_warp_ids(self):
+        cta = CTA(cta_id=0, warps=[
+            WarpTrace(warp_id=5, instrs=[load()]),
+            WarpTrace(warp_id=5, instrs=[load()]),
+        ])
+        issues = validate_kernel(kernel_of(cta))
+        assert any("duplicate warp id" in i.message for i in issues)
+
+    def test_duplicate_cta_ids(self):
+        ctas = [CTA(cta_id=1, warps=[WarpTrace(warp_id=0, instrs=[load()])]),
+                CTA(cta_id=1, warps=[WarpTrace(warp_id=1, instrs=[load()])])]
+        issues = validate_kernel(kernel_of(*ctas))
+        assert any("duplicate CTA id" in i.message for i in issues)
+
+    def test_huge_address(self):
+        cta = CTA(cta_id=0, warps=[
+            WarpTrace(warp_id=0, instrs=[load(addr=1 << 60)]),
+        ])
+        issues = validate_kernel(kernel_of(cta))
+        assert any("beyond" in i.message for i in issues)
+
+    def test_mismatched_barriers_deadlock(self):
+        bar = WarpInstr(pc=0x50, op=Op.BARRIER)
+        cta = CTA(cta_id=0, warps=[
+            WarpTrace(warp_id=0, instrs=[load(), bar]),
+            WarpTrace(warp_id=1, instrs=[load()]),
+        ])
+        issues = validate_kernel(kernel_of(cta))
+        assert any("deadlock" in i.message for i in issues)
+
+    def test_assert_valid_raises_with_details(self):
+        cta = CTA(cta_id=0, warps=[
+            WarpTrace(warp_id=5, instrs=[load()]),
+            WarpTrace(warp_id=5, instrs=[load()]),
+        ])
+        with pytest.raises(ValueError, match="duplicate warp id"):
+            assert_valid(kernel_of(cta))
+
+
+class TestWarnings:
+    def test_empty_warp_warns(self):
+        cta = CTA(cta_id=0, warps=[WarpTrace(warp_id=0)])
+        issues = validate_kernel(kernel_of(cta))
+        assert any(i.severity == "warning" and "no instructions" in i.message
+                   for i in issues)
+
+    def test_no_memory_cta_warns(self):
+        cta = CTA(cta_id=0, warps=[
+            WarpTrace(warp_id=0, instrs=[WarpInstr(pc=1, op=Op.ALU)]),
+        ])
+        issues = validate_kernel(kernel_of(cta))
+        assert any("no memory accesses" in i.message for i in issues)
+
+    def test_warnings_do_not_raise(self):
+        cta = CTA(cta_id=0, warps=[WarpTrace(warp_id=0)])
+        assert_valid(kernel_of(cta))  # warnings only
+
+
+class TestBenchmarksAreValid:
+    @pytest.mark.parametrize("app", BENCHMARKS)
+    def test_builtin_workloads_have_no_errors(self, app):
+        kernel = build_kernel(app, scale=0.25, seed=1)
+        errors = [i for i in validate_kernel(kernel) if i.severity == "error"]
+        assert errors == []
+
+    def test_issue_str(self):
+        from repro.gpusim.validate import ValidationIssue
+
+        issue = ValidationIssue("error", "k/cta0", "boom")
+        assert "error" in str(issue) and "boom" in str(issue)

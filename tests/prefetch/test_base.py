@@ -1,0 +1,96 @@
+"""Prefetcher API, registry, and machine setups."""
+
+import pytest
+
+from repro.gpusim.config import GPUConfig
+from repro.gpusim.unified_cache import StorageMode
+from repro.prefetch import COMPARISON_POINTS, build_setup
+from repro.prefetch.base import (
+    AccessEvent,
+    Prefetcher,
+    PrefetchRequest,
+    available,
+    create,
+)
+
+
+class TestRequestValidation:
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            PrefetchRequest(base_addr=-1)
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(ValueError):
+            PrefetchRequest(base_addr=0, depth=0)
+
+
+class TestRegistry:
+    def test_known_names(self):
+        for name in ("none", "intra", "inter", "mta", "cta", "tree", "ideal"):
+            assert name in available()
+            assert isinstance(create(name), Prefetcher)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            create("nope")
+
+    def test_null_prefetcher_is_silent(self):
+        event = AccessEvent(warp_id=0, cta_id=0, pc=0, base_addr=0,
+                            line_addr=0, now=0)
+        assert create("none").observe(event) == []
+
+
+class TestBuildSetup:
+    def test_all_comparison_points_resolve(self):
+        config = GPUConfig.scaled()
+        for name in COMPARISON_POINTS + ["none", "ideal", "isolated-snake"]:
+            setup = build_setup(name, config)
+            assert setup.prefetcher_factory() is not None
+
+    def test_snake_uses_decoupled_storage_and_throttle(self):
+        from repro.core.throttle import Throttle
+
+        setup = build_setup("snake", GPUConfig.scaled())
+        assert setup.storage_mode is StorageMode.DECOUPLED
+        assert isinstance(setup.throttle_factory(), Throttle)
+
+    def test_snake_dt_is_coupled_unthrottled(self):
+        from repro.core.throttle import NullThrottle
+
+        setup = build_setup("snake-dt", GPUConfig.scaled())
+        assert setup.storage_mode is StorageMode.COUPLED
+        assert isinstance(setup.throttle_factory(), NullThrottle)
+
+    def test_snake_t_is_decoupled_unthrottled(self):
+        from repro.core.throttle import NullThrottle
+
+        setup = build_setup("snake-t", GPUConfig.scaled())
+        assert setup.storage_mode is StorageMode.DECOUPLED
+        assert isinstance(setup.throttle_factory(), NullThrottle)
+
+    def test_isolated_snake(self):
+        setup = build_setup("isolated-snake", GPUConfig.scaled())
+        assert setup.storage_mode is StorageMode.ISOLATED
+
+    def test_s_snake_disables_fixed_strides(self):
+        setup = build_setup("s-snake", GPUConfig.scaled())
+        snake = setup.prefetcher_factory()
+        assert snake.use_chains and not snake.use_intra and not snake.use_inter_warp
+
+    def test_decoupled_flag_upgrades_baselines(self):
+        setup = build_setup("mta", GPUConfig.scaled(), decoupled=True)
+        assert setup.storage_mode is StorageMode.DECOUPLED
+
+    def test_snake_config_knobs_propagate(self):
+        config = GPUConfig.scaled().with_(tail_entries=7, train_threshold=2)
+        snake = build_setup("snake", config).prefetcher_factory()
+        assert snake.tail.capacity == 7
+        assert snake.train_threshold == 2
+
+    def test_unknown_mechanism(self):
+        with pytest.raises(ValueError):
+            build_setup("bogus", GPUConfig.scaled())
+
+    def test_fresh_prefetcher_per_call(self):
+        setup = build_setup("snake", GPUConfig.scaled())
+        assert setup.prefetcher_factory() is not setup.prefetcher_factory()

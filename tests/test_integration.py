@@ -1,0 +1,101 @@
+"""End-to-end shape tests: the orderings the paper's evaluation reports must
+hold in the reproduction (absolute numbers may differ — see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.gpusim import GPUConfig, simulate
+from repro.workloads import build_kernel
+
+SCALE = 0.5
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def lps():
+    return build_kernel("lps", scale=SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def results(lps):
+    mechs = ["none", "mta", "cta", "snake", "s-snake", "ideal", "tree"]
+    return {m: simulate(lps, prefetcher=m) for m in mechs}
+
+
+class TestCoverageOrdering:
+    def test_snake_beats_mta(self, results):
+        """Fig 16: Snake's chains find more than MTA's fixed strides."""
+        assert results["snake"].coverage > results["mta"].coverage
+
+    def test_snake_beats_cta(self, results):
+        assert results["snake"].coverage > results["cta"].coverage
+
+    def test_ideal_is_upper_bound(self, results):
+        for mech in ("snake", "mta", "cta"):
+            assert results["ideal"].coverage >= results[mech].coverage - 0.05
+
+    def test_snake_coverage_high_on_stencil(self, results):
+        """Snake reaches ~80 % coverage on chain-rich apps (Fig 16)."""
+        assert results["snake"].coverage > 0.6
+
+
+class TestPerformance:
+    def test_snake_improves_ipc(self, results):
+        assert results["snake"].ipc > results["none"].ipc
+
+    def test_snake_improves_hit_rate(self, results):
+        """Fig 25: Snake raises the L1 hit rate substantially."""
+        assert results["snake"].l1_hit_rate > results["none"].l1_hit_rate + 0.1
+
+    def test_tree_pollutes(self, results):
+        """Fig 18: the aggressive spatial prefetcher trails Snake."""
+        assert results["snake"].ipc > results["tree"].ipc
+
+
+class TestAccuracy:
+    def test_accuracy_never_exceeds_coverage(self, results):
+        for stats in results.values():
+            assert stats.accuracy <= stats.coverage + 1e-9
+
+    def test_s_snake_close_to_snake_on_chain_app(self, results):
+        """s-Snake keeps most of the coverage on a chain-dominated app."""
+        assert results["s-snake"].coverage > 0.5 * results["snake"].coverage
+
+
+class TestEnergy:
+    def test_snake_reduces_energy_on_latency_bound_app(self):
+        """Fig 19: the runtime saved on latency-bound apps outweighs the
+        prefetcher's own energy (LIB is the paper's biggest winner)."""
+        from repro.gpusim.energy import energy_of
+
+        config = GPUConfig.scaled()
+        kernel = build_kernel("lib", scale=SCALE, seed=SEED)
+        base = energy_of(simulate(kernel, prefetcher="none"),
+                         config.num_sms).total_j
+        snake = energy_of(simulate(kernel, prefetcher="snake"),
+                          config.num_sms, prefetcher_present=True).total_j
+        assert snake < base
+
+    def test_prefetcher_energy_overhead_is_small(self, results):
+        """§5.5: the tables' own energy is a negligible fraction."""
+        from repro.gpusim.energy import energy_of
+
+        config = GPUConfig.scaled()
+        breakdown = energy_of(results["snake"], config.num_sms,
+                              prefetcher_present=True)
+        assert breakdown.prefetcher_j < 0.02 * breakdown.total_j
+
+
+class TestIrregularApp:
+    def test_everything_struggles_on_mum(self):
+        """Fig 16: pointer chasing defeats every stride mechanism."""
+        kernel = build_kernel("mum", scale=SCALE, seed=SEED)
+        for mech in ("mta", "snake"):
+            assert simulate(kernel, prefetcher=mech).coverage < 0.5
+
+
+class TestDecouplingStudy:
+    def test_isolated_snake_hit_rate_at_least_baseline(self, lps):
+        baseline = simulate(lps, prefetcher="none").l1_hit_rate
+        isolated = simulate(lps, prefetcher="isolated-snake").l1_hit_rate
+        assert isolated > baseline

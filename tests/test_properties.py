@@ -1,0 +1,93 @@
+"""Cross-cutting property-based tests: randomized synthetic kernels must
+uphold the simulator's global invariants under every mechanism."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim import GPUConfig, simulate
+from repro.gpusim.trace import CTA, KernelTrace, Op, WarpInstr, WarpTrace, renumber_warps
+
+MECHS = ["none", "mta", "cta", "tree", "snake", "ideal"]
+
+
+@st.composite
+def random_kernel(draw):
+    """A small random kernel mixing strided, chained and random accesses."""
+    rng = random.Random(draw(st.integers(0, 2**31)))
+    num_ctas = draw(st.integers(1, 3))
+    warps_per_cta = draw(st.integers(1, 4))
+    iters = draw(st.integers(1, 8))
+    pattern = draw(st.sampled_from(["stride", "chain", "random", "mixed"]))
+
+    ctas = []
+    for c in range(num_ctas):
+        warps = []
+        for w in range(warps_per_cta):
+            instrs = []
+            base = (c * warps_per_cta + w) * 8192 + (1 << 26)
+            for i in range(iters):
+                if pattern in ("stride", "mixed"):
+                    instrs.append(WarpInstr(pc=0x10, op=Op.LOAD,
+                                            base_addr=base + i * 512,
+                                            thread_stride=4))
+                if pattern in ("chain", "mixed"):
+                    instrs.append(WarpInstr(pc=0x20, op=Op.LOAD,
+                                            base_addr=base + i * 512 + 4096,
+                                            thread_stride=4))
+                if pattern in ("random", "mixed"):
+                    instrs.append(WarpInstr(
+                        pc=0x30, op=Op.LOAD,
+                        base_addr=(1 << 27) + rng.randrange(0, 1 << 20) // 128 * 128,
+                        thread_stride=4, divergent=True))
+                instrs.append(WarpInstr(pc=0x40, op=Op.ALU))
+            warps.append(WarpTrace(warp_id=0, instrs=instrs))
+        ctas.append(CTA(cta_id=c, warps=warps))
+    renumber_warps(ctas)
+    return KernelTrace(name="prop-%s" % pattern, ctas=ctas)
+
+
+class TestGlobalInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(kernel=random_kernel(), mech=st.sampled_from(MECHS))
+    def test_all_instructions_retire(self, kernel, mech):
+        stats = simulate(kernel, prefetcher=mech)
+        assert stats.instructions == kernel.num_instrs
+        assert stats.warps_finished == kernel.num_warps
+
+    @settings(max_examples=15, deadline=None)
+    @given(kernel=random_kernel(), mech=st.sampled_from(MECHS))
+    def test_metric_bounds(self, kernel, mech):
+        stats = simulate(kernel, prefetcher=mech)
+        assert 0.0 <= stats.coverage <= 1.0
+        assert 0.0 <= stats.accuracy <= stats.coverage + 1e-9
+        assert 0.0 <= stats.l1_hit_rate <= 1.0
+        assert 0.0 <= stats.bandwidth_utilization <= 1.0
+        assert stats.cycles > 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(kernel=random_kernel())
+    def test_deterministic_replay(self, kernel):
+        a = simulate(kernel, prefetcher="snake")
+        b = simulate(kernel, prefetcher="snake")
+        assert a.cycles == b.cycles
+        assert a.prefetch.issued == b.prefetch.issued
+        assert a.l1_hits == b.l1_hits
+
+    @settings(max_examples=10, deadline=None)
+    @given(kernel=random_kernel())
+    def test_l1_accounting_balances(self, kernel):
+        stats = simulate(kernel, prefetcher="snake")
+        assert stats.total_l1_accesses == (
+            stats.l1_hits + stats.l1_misses + stats.l1_reserved
+            + stats.l1_reservation_fails
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(kernel=random_kernel())
+    def test_prefetching_never_loses_work(self, kernel):
+        """Prefetchers may change timing but never correctness: every run
+        retires the same instruction count as the baseline."""
+        base = simulate(kernel, prefetcher="none")
+        snake = simulate(kernel, prefetcher="snake")
+        assert base.instructions == snake.instructions

@@ -1,0 +1,127 @@
+"""Structural assertions per benchmark: each app's trace must exhibit the
+access structure its paper description promises."""
+
+from collections import Counter
+
+from repro.analysis.chains import (
+    chain_pc_fraction,
+    chain_predictable_fraction,
+    load_transitions,
+)
+from repro.gpusim.trace import Op
+from repro.workloads import build_kernel
+from repro.workloads.lps import CHAIN as LPS_CHAIN, PLANE_STRIDE
+from repro.workloads.tiled_conv import build as build_tiled
+
+
+class TestLPS:
+    """LPS must reproduce exactly the Fig 8 chain."""
+
+    def test_fig8_chain_strides(self):
+        kernel = build_kernel("lps")
+        warp = kernel.representative_warp()
+        transitions = Counter(
+            (t[0], t[1], t[2]) for t in load_transitions(warp)
+        )
+        pcs = [link.pc for link in LPS_CHAIN]
+        assert transitions[(pcs[0], pcs[1], -400)] > 1
+        assert transitions[(pcs[1], pcs[2], 40_400)] > 1
+        assert transitions[(pcs[2], pcs[3], -400)] > 1
+
+    def test_intra_warp_plane_stride(self):
+        kernel = build_kernel("lps")
+        warp = kernel.representative_warp()
+        by_pc = {}
+        for instr in warp.loads():
+            by_pc.setdefault(instr.pc, []).append(instr.base_addr)
+        first_pc_addrs = by_pc[LPS_CHAIN[0].pc]
+        deltas = {b - a for a, b in zip(first_pc_addrs, first_pc_addrs[1:])}
+        assert deltas == {PLANE_STRIDE}  # Fig 8's intra-warp stride of 40000
+
+    def test_inter_warp_stride_fixed(self):
+        kernel = build_kernel("lps")
+        w0, w1 = kernel.ctas[0].warps[0], kernel.ctas[0].warps[1]
+        a0 = w0.loads()[0].base_addr
+        a1 = w1.loads()[0].base_addr
+        assert a1 - a0 == 128
+
+
+class TestIrregularApps:
+    def test_mum_is_mostly_unpredictable(self):
+        kernel = build_kernel("mum", seed=5)
+        assert chain_predictable_fraction(kernel) < 0.5
+
+    def test_histo_bins_are_scattered(self):
+        kernel = build_kernel("histo", seed=5)
+        warp = kernel.representative_warp()
+        bin_addrs = [i.base_addr for i in warp.loads() if i.pc == 0xA20]
+        # effectively no repeated bins for a small sample of a 1 MB region
+        assert len(set(bin_addrs)) > len(bin_addrs) * 0.8
+
+    def test_nw_chains_do_not_repeat(self):
+        kernel = build_kernel("nw")
+        assert chain_predictable_fraction(kernel) < chain_predictable_fraction(
+            build_kernel("lps")
+        )
+
+
+class TestRegularApps:
+    def test_cp_broadcast_shared_across_warps(self):
+        kernel = build_kernel("cp")
+        first = [w.loads()[0].base_addr for w in kernel.all_warps()]
+        assert len(set(first)) == 1  # every warp streams the same atoms
+
+    def test_lib_has_no_reuse(self):
+        kernel = build_kernel("lib")
+        warp = kernel.representative_warp()
+        addrs = [i.base_addr for i in warp.loads()]
+        assert len(set(addrs)) == len(addrs)
+
+    def test_backprop_has_barrier_and_two_phases(self):
+        kernel = build_kernel("backprop")
+        warp = kernel.all_warps()[0]
+        ops = [i.op for i in warp.instrs]
+        assert Op.BARRIER in ops
+
+    def test_stencils_have_high_chain_fraction(self):
+        for app in ("lps", "hotspot", "srad"):
+            assert chain_pc_fraction(build_kernel(app)) > 0.7, app
+
+
+class TestTiledConv:
+    def test_zero_frac_reloads_every_pass(self):
+        # untiled: no shared-memory staging, so each of the REUSE_PASSES
+        # compute passes re-reads the matrix from global memory
+        from repro.workloads.tiled_conv import REUSE_PASSES
+
+        kernel = build_tiled(tile_frac=0.0, unified_bytes=16 * 1024)
+        warp = kernel.representative_warp()
+        counts = Counter(i.base_addr for i in warp.loads())
+        assert max(counts.values()) == REUSE_PASSES
+
+    def test_tiled_stages_each_line_once(self):
+        # tiled: every tile line is loaded once (into shared memory) and the
+        # reuse happens in the compute phase, ending with a barrier
+        from repro.gpusim.trace import Op
+
+        kernel = build_tiled(tile_frac=0.5, unified_bytes=16 * 1024)
+        warp = kernel.representative_warp()
+        counts = Counter(i.base_addr for i in warp.loads())
+        assert max(counts.values()) == 1
+        assert any(i.op is Op.BARRIER for i in warp.instrs)
+
+    def test_tiled_does_fewer_global_loads(self):
+        untiled = build_tiled(tile_frac=0.0, unified_bytes=16 * 1024)
+        tiled = build_tiled(tile_frac=0.5, unified_bytes=16 * 1024)
+        untiled_loads = len(untiled.representative_warp().loads())
+        tiled_loads = len(tiled.representative_warp().loads())
+        assert tiled_loads < untiled_loads
+
+    def test_bad_frac_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            build_tiled(tile_frac=1.5)
+
+    def test_name_encodes_frac(self):
+        assert build_tiled(tile_frac=0.75).name == "tiled_conv_75"

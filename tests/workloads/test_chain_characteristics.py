@@ -1,0 +1,63 @@
+"""Per-app chain characteristics: each benchmark's trace must exhibit the
+chain structure that drives its position in Figs 9-11 and 16."""
+
+import pytest
+
+from repro.analysis.chains import (
+    chain_pc_fraction,
+    chain_predictable_fraction,
+    max_chain_repetition,
+    mta_predictable_fraction,
+)
+from repro.workloads import BENCHMARKS, build_kernel
+
+
+@pytest.fixture(scope="module")
+def kernels():
+    return {app: build_kernel(app, scale=1.0, seed=1) for app in BENCHMARKS}
+
+
+class TestChainPCFraction:
+    """Fig 9 per-app structure."""
+
+    @pytest.mark.parametrize("app", ["cp", "lps", "lib", "mrq", "backprop"])
+    def test_chain_rich_apps(self, kernels, app):
+        assert chain_pc_fraction(kernels[app]) == 1.0
+
+    def test_mum_has_partial_chains(self, kernels):
+        # the node-field chain exists, the pointer hops do not
+        fraction = chain_pc_fraction(kernels["mum"])
+        assert 0.0 < fraction < 1.0
+
+
+class TestRepetition:
+    """Fig 10: chains must repeat enough to train on (3-warp rule)."""
+
+    @pytest.mark.parametrize("app", ["cp", "lps", "lib", "hotspot", "mrq"])
+    def test_regular_apps_repeat_enough(self, kernels, app):
+        assert max_chain_repetition(kernels[app]) >= 3
+
+    def test_scale_grows_repetition(self):
+        small = max_chain_repetition(build_kernel("lps", scale=0.5, seed=1))
+        large = max_chain_repetition(build_kernel("lps", scale=2.0, seed=1))
+        assert large > small
+
+
+class TestPredictability:
+    """Fig 11 per-app orderings."""
+
+    def test_chains_beat_mta_on_variable_stride_apps(self, kernels):
+        for app in ("lps", "lud", "nw"):
+            kernel = kernels[app]
+            assert chain_predictable_fraction(kernel) > mta_predictable_fraction(
+                kernel
+            ), app
+
+    def test_irregular_apps_resist_both(self, kernels):
+        for app in ("mum", "histo"):
+            kernel = kernels[app]
+            assert chain_predictable_fraction(kernel) < 0.6, app
+
+    def test_streaming_apps_nearly_fully_predictable(self, kernels):
+        for app in ("cp", "lib", "mrq"):
+            assert chain_predictable_fraction(kernels[app]) > 0.9, app

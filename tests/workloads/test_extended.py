@@ -1,0 +1,70 @@
+"""Extended workload suite (spmv / bfs / kmeans / stream)."""
+
+import pytest
+
+from repro.gpusim import simulate
+from repro.gpusim.validate import validate_kernel
+from repro.workloads import EXTENDED_BENCHMARKS, build_kernel
+
+
+class TestStructure:
+    @pytest.mark.parametrize("app", sorted(EXTENDED_BENCHMARKS))
+    def test_builds_and_validates(self, app):
+        kernel = build_kernel(app, scale=0.25, seed=1)
+        errors = [i for i in validate_kernel(kernel) if i.severity == "error"]
+        assert errors == []
+        assert kernel.representative_warp().loads()
+
+    @pytest.mark.parametrize("app", sorted(EXTENDED_BENCHMARKS))
+    def test_deterministic(self, app):
+        a = build_kernel(app, scale=0.25, seed=5)
+        b = build_kernel(app, scale=0.25, seed=5)
+        assert [
+            (i.pc, i.base_addr) for w in a.all_warps() for i in w.instrs
+        ] == [(i.pc, i.base_addr) for w in b.all_warps() for i in w.instrs]
+
+    def test_spmv_gather_is_divergent(self):
+        kernel = build_kernel("spmv", scale=0.25, seed=1)
+        warp = kernel.representative_warp()
+        gathers = [i for i in warp.loads() if i.pc == 0xD40]
+        assert gathers and all(i.divergent for i in gathers)
+
+    def test_kmeans_centroids_are_broadcast(self):
+        kernel = build_kernel("kmeans", scale=0.25, seed=1)
+        warp = kernel.representative_warp()
+        centroid_loads = [i for i in warp.loads() if i.pc == 0xF20]
+        assert centroid_loads and all(i.thread_stride == 0 for i in centroid_loads)
+
+    def test_stream_is_pure_streaming(self):
+        kernel = build_kernel("stream", scale=0.25, seed=1)
+        warp = kernel.representative_warp()
+        addrs = [i.base_addr for i in warp.loads()]
+        assert len(set(addrs)) == len(addrs)  # no reuse
+
+
+class TestGeneralization:
+    """Snake must help (or at least not hurt) workloads it was not
+    calibrated on."""
+
+    def test_stream_benefits(self):
+        kernel = build_kernel("stream", scale=0.5, seed=1)
+        base = simulate(kernel, prefetcher="none")
+        snake = simulate(kernel, prefetcher="snake")
+        assert snake.ipc >= base.ipc * 0.95
+        assert snake.coverage > 0.3
+
+    def test_kmeans_benefits(self):
+        kernel = build_kernel("kmeans", scale=0.5, seed=1)
+        base = simulate(kernel, prefetcher="none")
+        snake = simulate(kernel, prefetcher="snake")
+        assert snake.ipc > base.ipc
+
+    def test_spmv_regular_chain_covered(self):
+        kernel = build_kernel("spmv", scale=0.5, seed=1)
+        snake = simulate(kernel, prefetcher="snake")
+        assert snake.coverage > 0.5  # the CSR streams dominate
+
+    def test_bfs_mostly_uncoverable(self):
+        kernel = build_kernel("bfs", scale=0.5, seed=1)
+        snake = simulate(kernel, prefetcher="snake")
+        assert snake.coverage < 0.6  # adjacency walks are data-dependent
