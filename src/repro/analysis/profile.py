@@ -1,27 +1,33 @@
 """Per-PC profiling: where does a prefetcher win or lose?
 
-Wraps a simulation with a recording prefetcher/L1 pair and reports, for
-every static load PC of a kernel, its access count, L1 hit rate and how
-much of it the prefetcher covered.  This is the tool you reach for when a
-benchmark underperforms — it shows exactly which loads the Tail table
-failed to learn.
+Built on the :mod:`repro.obs` telemetry layer: the simulation runs with a
+:class:`repro.obs.PCMetricsSink` attached, which attributes every demand
+line transaction (:class:`repro.obs.CacheAccessEvent`) to its load PC.
+The report shows, for every static load PC of a kernel, its access count,
+L1 hit rate and how much of it the prefetcher covered.  This is the tool
+you reach for when a benchmark underperforms — it shows exactly which
+loads the Tail table failed to learn.
 
 Example::
 
     from repro.analysis.profile import profile_kernel
     rows = profile_kernel("histo", "snake")
     for row in rows:
-        print(row)
+        print(row.as_row())
+
+For the richer view (per-PC prefetch issue counts, chain-walk depths,
+per-warp tables, time series), use :func:`repro.obs.runner.traced_run`
+directly or the ``snake-repro profile`` / ``snake-repro trace`` commands.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.gpusim import GPUConfig
 from repro.gpusim.gpu import GPU
-from repro.gpusim.unified_cache import L1Outcome
+from repro.obs import EventBus, PCMetricsSink
 from repro.prefetch import build_setup
 from repro.workloads import build_kernel
 
@@ -59,43 +65,6 @@ class PCProfile:
         )
 
 
-class _RecordingL1:
-    """Proxy that attributes each demand access's outcome to its load PC."""
-
-    def __init__(self, l1, profiles: Dict[int, PCProfile]) -> None:
-        self._l1 = l1
-        self._profiles = profiles
-        self.current_pc: Optional[int] = None
-
-    def __getattr__(self, name):
-        return getattr(self._l1, name)
-
-    def demand_load(self, line_addr: int, now: int, sector_mask: int = -1):
-        before_covered = self._l1.stats.prefetch.demand_covered
-        before_timely = self._l1.stats.prefetch.demand_timely
-        outcome, ready = self._l1.demand_load(
-            line_addr, now, sector_mask=sector_mask
-        )
-        if self.current_pc is not None:
-            profile = self._profiles.setdefault(
-                self.current_pc, PCProfile(pc=self.current_pc)
-            )
-            profile.accesses += 1
-            if outcome is L1Outcome.HIT:
-                profile.hits += 1
-            elif outcome is L1Outcome.MISS:
-                profile.misses += 1
-            elif outcome is L1Outcome.RESERVED:
-                profile.reserved += 1
-            profile.covered += (
-                self._l1.stats.prefetch.demand_covered - before_covered
-            )
-            profile.timely += (
-                self._l1.stats.prefetch.demand_timely - before_timely
-            )
-        return outcome, ready
-
-
 def profile_kernel(
     app: str,
     mechanism: str = "snake",
@@ -104,29 +73,33 @@ def profile_kernel(
     seed: int = 1,
 ) -> List[PCProfile]:
     """Run ``app`` under ``mechanism`` and return per-PC profiles sorted by
-    access count (descending)."""
+    access count (descending).  Accesses are per line transaction and
+    include replayed reservation fails, so totals are at least one per
+    static load executed."""
     config = config or GPUConfig.scaled()
     kernel = build_kernel(app, scale=scale, seed=seed)
     setup = build_setup(mechanism, config)
+
+    metrics = PCMetricsSink()
     gpu = GPU(
         config=setup.config,
         prefetcher_factory=setup.prefetcher_factory,
         throttle_factory=setup.throttle_factory,
         storage_mode=setup.storage_mode,
+        obs=EventBus([metrics]),
     )
-
-    profiles: Dict[int, PCProfile] = {}
-    for sm in gpu.sms:
-        recorder = _RecordingL1(sm.l1, profiles)
-        sm.l1 = recorder
-
-        def make_hook(sm=sm, recorder=recorder, original=sm._feed_prefetcher):
-            def hook(warp, instr, line_addr):
-                recorder.current_pc = instr.pc
-                original(warp, instr, line_addr)
-
-            return hook
-
-        sm._feed_prefetcher = make_hook()
     gpu.run(kernel)
-    return sorted(profiles.values(), key=lambda p: -p.accesses)
+
+    profiles = [
+        PCProfile(
+            pc=row.pc,
+            accesses=row.accesses,
+            hits=row.hits,
+            misses=row.misses,
+            reserved=row.reserved,
+            covered=row.covered,
+            timely=row.timely,
+        )
+        for row in metrics.per_pc.values()
+    ]
+    return sorted(profiles, key=lambda p: -p.accesses)

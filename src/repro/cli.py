@@ -1,4 +1,5 @@
-"""Command-line entry point: regenerate any of the paper's experiments.
+"""Command-line entry point: regenerate any of the paper's experiments,
+or trace/profile a single workload through the telemetry layer.
 
 Usage::
 
@@ -6,6 +7,13 @@ Usage::
     snake-repro fig16                # coverage of the ten mechanisms
     snake-repro fig23 --scale 0.5    # faster, smaller traces
     snake-repro all                  # everything (slow)
+
+    snake-repro trace lps            # Chrome-trace JSON + per-PC metrics
+    snake-repro profile histo        # per-PC / per-warp metric tables
+
+(The ``repro`` entry point is an alias of ``snake-repro``.)  ``trace``
+and ``profile`` run one workload with the :mod:`repro.obs` telemetry bus
+attached — see ``docs/OBSERVABILITY.md`` for the full walkthrough.
 """
 
 from __future__ import annotations
@@ -148,14 +156,97 @@ RAW_EXPERIMENTS = {
 }
 
 
+def _obs_parser(command: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="snake-repro " + command,
+        description="Run one workload with the repro.obs telemetry bus "
+        "attached and report %s."
+        % (
+            "a Chrome-trace JSON plus per-PC metrics"
+            if command == "trace"
+            else "per-PC and per-warp metric tables"
+        ),
+    )
+    parser.add_argument("app", help="workload name (see repro.workloads)")
+    parser.add_argument(
+        "--mechanism", default="snake", help="prefetcher configuration"
+    )
+    parser.add_argument("--scale", type=float, default=1.0, help="trace-size multiplier")
+    parser.add_argument("--seed", type=int, default=1, help="workload seed")
+    parser.add_argument(
+        "--bucket", type=int, default=None,
+        help="time-series bucket width in cycles "
+        "(default: GPUConfig.telemetry_bucket_cycles)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=20, help="rows per metrics table"
+    )
+    if command == "trace":
+        parser.add_argument(
+            "--out", metavar="PATH", default=None,
+            help="Chrome-trace JSON path (default <app>.trace.json)",
+        )
+    return parser
+
+
+def _run_obs_command(command: str, argv) -> int:
+    from repro.gpusim.config import GPUConfig
+    from repro.obs.runner import traced_run
+
+    args = _obs_parser(command).parse_args(argv)
+    bucket = (
+        args.bucket
+        if args.bucket is not None
+        else GPUConfig().telemetry_bucket_cycles
+    )
+    try:
+        result = traced_run(
+            args.app,
+            mechanism=args.mechanism,
+            scale=args.scale,
+            seed=args.seed,
+            bucket_cycles=bucket,
+            chrome=command == "trace",
+        )
+    except (KeyError, ValueError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+    print("%s under %s (scale=%g seed=%d)" % (
+        args.app, args.mechanism, args.scale, args.seed
+    ))
+    for key, value in result.stats.as_dict().items():
+        print("  %-24s %.4f" % (key, value))
+    print()
+    print("per-PC metrics")
+    print(result.pc_metrics.render_pc_table(top=args.top))
+    print()
+    if command == "trace":
+        out = args.out or "%s.trace.json" % args.app
+        result.chrome.export(out)
+        print(result.sampler.render_summary())
+        print()
+        print("chrome trace written to %s (open at chrome://tracing or "
+              "https://ui.perfetto.dev)" % out)
+    else:
+        print("per-warp metrics")
+        print(result.pc_metrics.render_warp_table(top=args.top))
+    return 0
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in ("trace", "profile"):
+        return _run_obs_command(argv[0], argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="snake-repro",
         description="Reproduce the Snake (MICRO 2023) evaluation.",
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (fig3..fig25, table3), 'list', or 'all'",
+        help="experiment id (fig3..fig25, table3), 'list', 'all', "
+        "'trace <app>' or 'profile <app>'",
     )
     parser.add_argument("--scale", type=float, default=1.0, help="trace-size multiplier")
     parser.add_argument("--seed", type=int, default=1, help="workload seed")
@@ -164,7 +255,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
-        print("\n".join(sorted(EXPERIMENTS) + ["claims"]))
+        print("\n".join(sorted(EXPERIMENTS) + ["claims", "profile", "trace"]))
         return 0
     if args.experiment == "claims":
         from repro.analysis.claims import check_claims, render_claims

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.events import ChainWalkEvent
 from repro.prefetch.base import AccessEvent, Prefetcher, PrefetchRequest
 from repro.prefetch.stride import ConsensusTracker
 
@@ -245,6 +246,17 @@ class SnakePrefetcher(Prefetcher):
             if request.base_addr not in seen:
                 seen.add(request.base_addr)
                 unique.append(request)
+        if unique and self.obs.enabled:
+            self.obs.emit(
+                ChainWalkEvent(
+                    cycle=event.now,
+                    sm_id=self.obs_sm_id,
+                    warp_id=event.warp_id,
+                    pc=event.pc,
+                    depth=max(r.depth for r in unique),
+                    requests=len(unique),
+                )
+            )
         return unique
 
     @property

@@ -120,6 +120,13 @@ class GPUConfig:
     max_chain_depth: int = 8
     decouple_grace: int = 4096  # cycles an unused prefetched line is protected
 
+    # Observability (repro.obs).  ``telemetry=True`` makes the GPU build an
+    # event bus even when no explicit ``obs`` bus is passed; sinks attached
+    # to ``GPU.obs`` then see every event.  ``telemetry_bucket_cycles`` is
+    # the default time-series/trace bucket width for the CLI harness.
+    telemetry: bool = False
+    telemetry_bucket_cycles: int = 1000
+
     def __post_init__(self) -> None:
         if self.num_sms < 1:
             raise ValueError("num_sms must be >= 1")
@@ -127,6 +134,8 @@ class GPUConfig:
             raise ValueError("warp_size must be >= 1")
         if not 0.0 < self.dram_clock_ratio <= 1.0:
             raise ValueError("dram_clock_ratio must be in (0, 1]")
+        if self.telemetry_bucket_cycles < 1:
+            raise ValueError("telemetry_bucket_cycles must be >= 1")
         if self.shared_mem_bytes >= self.l1.size_bytes:
             raise ValueError("shared memory cannot consume the whole unified cache")
 

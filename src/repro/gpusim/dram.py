@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.obs.events import DramRowActivateEvent, NULL_BUS
+
 from .config import DRAMTimings
 
 
@@ -47,9 +49,11 @@ class DRAM:
         row_bytes: int,
         clock_ratio: float,
         line_bytes: int,
+        obs=None,
     ) -> None:
         if channels < 1 or banks_per_channel < 1:
             raise ValueError("need at least one channel and bank")
+        self._obs = obs if obs is not None else NULL_BUS
         self.timings = timings
         self.row_bytes = row_bytes
         self.clock_ratio = clock_ratio
@@ -65,13 +69,13 @@ class DRAM:
     def _core_cycles(self, mem_cycles: int) -> int:
         return max(1, round(mem_cycles / self.clock_ratio))
 
-    def _map(self, line_addr: int) -> "tuple[int, _BankState, int]":
+    def _map(self, line_addr: int) -> "tuple[int, int, _BankState, int]":
         line_no = line_addr // self.line_bytes
         ch_idx = line_no % len(self._channels)
         channel = self._channels[ch_idx]
         bank_no = (line_no // len(self._channels)) % len(channel.banks)
         row = line_addr // (self.row_bytes * len(self._channels))
-        return ch_idx, channel.banks[bank_no], row
+        return ch_idx, bank_no, channel.banks[bank_no], row
 
     def access(
         self, line_addr: int, now: int, is_write: bool = False,
@@ -81,7 +85,7 @@ class DRAM:
         cycles).  Demand requests (``priority=True``) schedule ahead of
         best-effort prefetch traffic, which queues behind everything."""
         t = self.timings
-        ch_idx, bank, row = self._map(line_addr)
+        ch_idx, bank_no, bank, row = self._map(line_addr)
         channel = self._channels[ch_idx]
         if priority:
             start = max(now, bank.priority_next_free, channel.priority_next_free)
@@ -105,6 +109,13 @@ class DRAM:
                     bank.last_priority_activate, start
                 )
             bank.open_row = row
+            if self._obs.enabled:
+                self._obs.emit(
+                    DramRowActivateEvent(
+                        cycle=start, sm_id=-1, channel=ch_idx, bank=bank_no,
+                        row=row,
+                    )
+                )
             access_mem_cycles = t.t_rp + t.t_rcd + t.t_cl
             if is_write:
                 access_mem_cycles += t.t_wl

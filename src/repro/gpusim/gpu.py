@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.obs.events import EventBus, NULL_BUS
 from repro.prefetch.base import Prefetcher, create as create_prefetcher
 
 from .config import GPUConfig
@@ -30,6 +31,7 @@ class GPU:
         prefetcher_factory: Optional[Callable[[], Prefetcher]] = None,
         throttle_factory: Optional[Callable[[], object]] = None,
         storage_mode: StorageMode = StorageMode.COUPLED,
+        obs=None,
     ) -> None:
         from repro.core.throttle import NullThrottle
 
@@ -40,6 +42,14 @@ class GPU:
         self._throttle_factory = throttle_factory or NullThrottle
         self.storage_mode = storage_mode
 
+        # Telemetry (repro.obs): an explicit bus wins; otherwise the config
+        # flag builds an empty bus callers can attach sinks to.  The default
+        # is the shared NULL_BUS, whose `enabled` check is the only overhead
+        # the timing model pays.
+        if obs is None:
+            obs = EventBus() if self.config.telemetry else NULL_BUS
+        self.obs = obs
+
         self.dram = DRAM(
             timings=self.config.dram,
             channels=self.config.dram_channels,
@@ -47,8 +57,9 @@ class GPU:
             row_bytes=self.config.dram_row_bytes,
             clock_ratio=self.config.dram_clock_ratio,
             line_bytes=self.config.l2.line_bytes,
+            obs=obs,
         )
-        self.l2 = L2Cache(self.config.l2, self.config.l2_banks, self.dram)
+        self.l2 = L2Cache(self.config.l2, self.config.l2_banks, self.dram, obs=obs)
         self.sms = [
             SM(
                 sm_id=i,
@@ -57,9 +68,16 @@ class GPU:
                 prefetcher=self._prefetcher_factory(),
                 throttle=self._throttle_factory(),
                 storage_mode=storage_mode,
+                obs=obs,
             )
             for i in range(self.config.num_sms)
         ]
+        for sm in self.sms:
+            # Prefetchers are built by an opaque factory; hand them the bus
+            # after the fact so mechanism-internal events (chain walks)
+            # reach the same sinks.
+            sm.prefetcher.obs = obs
+            sm.prefetcher.obs_sm_id = sm.sm_id
 
     def run(self, kernel: KernelTrace) -> SimStats:
         """Execute one kernel to completion; returns merged statistics."""
@@ -112,6 +130,7 @@ def simulate(
     kernel: KernelTrace,
     prefetcher: str = "none",
     config: Optional[GPUConfig] = None,
+    obs=None,
     **variant_kwargs,
 ) -> SimStats:
     """One-call convenience API: build a GPU with the named prefetcher
@@ -119,6 +138,8 @@ def simulate(
 
     ``prefetcher`` accepts any registered mechanism name (see
     :func:`repro.prefetch.base.available`), including the Snake variants.
+    ``obs`` optionally passes a :class:`repro.obs.EventBus` whose sinks
+    receive the run's telemetry (see ``docs/OBSERVABILITY.md``).
     """
     from repro.prefetch import build_setup
 
@@ -128,5 +149,6 @@ def simulate(
         prefetcher_factory=setup.prefetcher_factory,
         throttle_factory=setup.throttle_factory,
         storage_mode=setup.storage_mode,
+        obs=obs,
     )
     return gpu.run(kernel)

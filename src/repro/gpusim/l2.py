@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro.obs.events import L2AccessEvent, NULL_BUS
+
 from .cache import SetAssocCache
 from .config import CacheConfig
 from .dram import DRAM
@@ -20,9 +22,12 @@ _BANK_SERVICE_CYCLES = 4
 class L2Cache:
     """The GPU's shared last-level cache in front of DRAM."""
 
-    def __init__(self, config: CacheConfig, banks: int, dram: DRAM) -> None:
+    def __init__(
+        self, config: CacheConfig, banks: int, dram: DRAM, obs=None
+    ) -> None:
         if banks < 1:
             raise ValueError("need at least one L2 bank")
+        self._obs = obs if obs is not None else NULL_BUS
         self.config = config
         self.dram = dram
         self._store = SetAssocCache(config)
@@ -59,9 +64,19 @@ class L2Cache:
 
         if self._store.touch(line_addr, start) is not None:
             self.hits += 1
+            if self._obs.enabled:
+                self._obs.emit(
+                    L2AccessEvent(
+                        cycle=now, sm_id=-1, line_addr=line_addr, hit=True
+                    )
+                )
             return start + self.config.latency
 
         pending = self._inflight.get(line_addr)
+        if pending is not None and self._obs.enabled:
+            self._obs.emit(
+                L2AccessEvent(cycle=now, sm_id=-1, line_addr=line_addr, hit=True)
+            )
         if pending is not None:
             # Merge with an in-flight miss.  A demand (priority) request
             # promotes a starved best-effort prefetch: the memory controller
@@ -78,6 +93,10 @@ class L2Cache:
             return merged
 
         self.misses += 1
+        if self._obs.enabled:
+            self._obs.emit(
+                L2AccessEvent(cycle=now, sm_id=-1, line_addr=line_addr, hit=False)
+            )
         fill_time = self.dram.access(
             line_addr, start + _BANK_SERVICE_CYCLES, is_write=is_write,
             priority=priority,

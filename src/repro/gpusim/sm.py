@@ -19,6 +19,12 @@ from typing import Deque, Dict, List, Optional
 
 from collections import deque
 
+from repro.obs.events import (
+    CacheAccessEvent,
+    NULL_BUS,
+    PrefetchIssueEvent,
+    ThrottleEvent,
+)
 from repro.prefetch.base import AccessEvent, Prefetcher, PrefetchRequest
 
 from .coalescer import coalesce, coalesce_sectors
@@ -67,14 +73,17 @@ class SM:
         prefetcher: Prefetcher,
         throttle,
         storage_mode: StorageMode = StorageMode.COUPLED,
+        obs=None,
     ) -> None:
         self.sm_id = sm_id
         self.config = config
         self.stats = SimStats()
+        self.obs = obs if obs is not None else NULL_BUS
         self.icnt_req = Interconnect(config.icnt_bytes_per_cycle, config.icnt_latency)
         self.icnt_resp = Interconnect(config.icnt_bytes_per_cycle, config.icnt_latency)
         self.l1 = UnifiedL1Cache(
-            config, self.icnt_req, self.icnt_resp, l2, self.stats, mode=storage_mode
+            config, self.icnt_req, self.icnt_resp, l2, self.stats,
+            mode=storage_mode, obs=self.obs, sm_id=sm_id,
         )
         self.prefetcher = prefetcher
         self.throttle = throttle
@@ -252,13 +261,32 @@ class SM:
         ready = self.now
         remaining: List[int] = []
         failed = False
+        observing = self.obs.enabled
         for idx, line in enumerate(lines):
             if failed:
                 remaining.append(line)
                 continue
+            if observing:
+                prefetch_stats = self.stats.prefetch
+                covered_before = prefetch_stats.demand_covered
+                timely_before = prefetch_stats.demand_timely
             outcome, when = self.l1.demand_load(
                 line, self.now, sector_mask=warp.sector_masks.get(line, -1)
             )
+            if observing:
+                instr = warp.current_instr
+                self.obs.emit(
+                    CacheAccessEvent(
+                        cycle=self.now,
+                        sm_id=self.sm_id,
+                        warp_id=warp.warp_id,
+                        pc=instr.pc if instr is not None else -1,
+                        line_addr=line,
+                        outcome=outcome.value,
+                        covered=prefetch_stats.demand_covered > covered_before,
+                        timely=prefetch_stats.demand_timely > timely_before,
+                    )
+                )
             if outcome is L1Outcome.RESERVATION_FAIL:
                 failed = True
                 remaining.append(line)
@@ -340,6 +368,17 @@ class SM:
         )
         if not self.throttle.allow(self.now, self.l1, utilization):
             self.stats.prefetch.dropped_throttled += 1
+            if self.obs.enabled:
+                reason = (
+                    "bandwidth" if getattr(self.throttle, "bw_halted", False)
+                    else "space"
+                )
+                self.obs.emit(
+                    ThrottleEvent(
+                        cycle=self.now, sm_id=self.sm_id, reason=reason,
+                        utilization=utilization,
+                    )
+                )
             return
         footprint = WarpInstr(
             pc=instr.pc,
@@ -352,7 +391,14 @@ class SM:
         # request can leave the prefetcher (§5.5 reports 2 cycles).
         issue_at = self.now + self.config.prefetcher_latency
         for line in coalesce(footprint, self.config.warp_size, self.l1.line_bytes):
-            self.l1.prefetch(line, issue_at)
+            sent = self.l1.prefetch(line, issue_at)
+            if sent and self.obs.enabled:
+                self.obs.emit(
+                    PrefetchIssueEvent(
+                        cycle=issue_at, sm_id=self.sm_id, pc=instr.pc,
+                        line_addr=line, depth=request.depth,
+                    )
+                )
 
     # ------------------------------------------------------------------
     # Barriers

@@ -17,10 +17,16 @@ from typing import Dict
 class PrefetchStats:
     """Prefetcher-side counters.
 
-    *Coverage* = correctly predicted demand addresses / total demand
-    addresses.  *Accuracy* (the paper's timely accuracy) = correctly
-    predicted addresses that were resident before the demand arrived / total
-    demand addresses.
+    Two normalizations coexist (the full reconciliation lives in
+    ``docs/METRICS.md``):
+
+    * **Demand-normalized** (the Fig 16/17 axes): *coverage* = correctly
+      predicted demand addresses / total demand addresses, and
+      *timely coverage* = the subset resident before the demand arrived /
+      total demand addresses.
+    * **Issue-normalized** (the classic prefetcher-literature
+      definition): *issue accuracy* = predictions a demand eventually
+      used / predictions made.
     """
 
     issued: int = 0
@@ -35,8 +41,35 @@ class PrefetchStats:
     def coverage(self, total_demand: int) -> float:
         return self.demand_covered / total_demand if total_demand else 0.0
 
-    def accuracy(self, total_demand: int) -> float:
+    def timely_coverage(self, total_demand: int) -> float:
+        """Correct predictions resident *before* the demand arrived, as a
+        fraction of total demand — the paper's Fig 17 "timely accuracy"
+        axis (it shares Fig 16's denominator so the two stack)."""
         return self.demand_timely / total_demand if total_demand else 0.0
+
+    def accuracy(self, total_demand: int) -> float:
+        """Deprecated name for :meth:`timely_coverage`, kept for API
+        compatibility.  Note the denominator is *demand accesses*, not
+        issued prefetches — use :meth:`issue_accuracy` for the
+        per-issued-prefetch definition."""
+        return self.timely_coverage(total_demand)
+
+    @property
+    def predictions(self) -> int:
+        """Predictions the prefetcher committed to: requests that left for
+        L2 plus requests dropped only because the line was already present
+        (those still stake a claim that is later checked by demand)."""
+        return self.issued + self.dropped_duplicate
+
+    def issue_accuracy(self) -> float:
+        """Fraction of predictions that a demand access eventually used —
+        the prefetcher-literature accuracy (useful / issued).  The
+        denominator includes duplicate-dropped predictions because they,
+        too, credit ``demand_covered`` when the demand arrives; counting
+        the credit but not the attempt would let the ratio exceed 1."""
+        return (
+            self.demand_covered / self.predictions if self.predictions else 0.0
+        )
 
 
 @dataclass
@@ -117,7 +150,18 @@ class SimStats:
 
     @property
     def accuracy(self) -> float:
-        return self.prefetch.accuracy(self.demand_accesses)
+        """Timely coverage (Fig 17's demand-normalized metric); see
+        :meth:`PrefetchStats.accuracy` for the naming caveat."""
+        return self.prefetch.timely_coverage(self.demand_accesses)
+
+    @property
+    def timely_coverage(self) -> float:
+        return self.prefetch.timely_coverage(self.demand_accesses)
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Issue-normalized accuracy: predictions used / predictions made."""
+        return self.prefetch.issue_accuracy()
 
     def merge(self, other: "SimStats") -> None:
         """Accumulate another SM's counters into this one (cycles take the
@@ -160,4 +204,5 @@ class SimStats:
             "memory_stall_fraction": self.memory_stall_fraction,
             "coverage": self.coverage,
             "accuracy": self.accuracy,
+            "prefetch_accuracy": self.prefetch_accuracy,
         }

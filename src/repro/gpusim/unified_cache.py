@@ -27,6 +27,13 @@ import math
 from collections import deque
 from typing import Deque, Optional, Set, Tuple
 
+from repro.obs.events import (
+    NULL_BUS,
+    PrefetchDropEvent,
+    PrefetchFillEvent,
+    PrefetchUseEvent,
+)
+
 from .cache import LineState, MSHR, SetAssocCache
 from .config import CacheConfig, GPUConfig
 from .interconnect import Interconnect
@@ -60,9 +67,13 @@ class UnifiedL1Cache:
         l2: L2Cache,
         stats: SimStats,
         mode: StorageMode = StorageMode.COUPLED,
+        obs=None,
+        sm_id: int = -1,
     ) -> None:
         self.config = config
         self.mode = mode
+        self._obs = obs if obs is not None else NULL_BUS
+        self._sm_id = sm_id
         self._store = SetAssocCache(config.l1)
         self._mshr = MSHR(config.mshr_entries, config.mshr_merge)
         self._miss_queue: Deque[int] = deque()  # icnt-acceptance times
@@ -111,6 +122,15 @@ class UnifiedL1Cache:
                     resident.sectors_valid = -1
                 else:
                     resident.sectors_valid |= entry.sectors
+            if entry.is_prefetch and self._obs.enabled:
+                self._obs.emit(
+                    PrefetchFillEvent(
+                        cycle=entry.fill_time,
+                        sm_id=self._sm_id,
+                        line_addr=entry.line_addr,
+                        demand_joined=entry.demand_joined,
+                    )
+                )
             if entry.is_prefetch and entry.demand_joined:
                 # The prediction was right but late: a demand merged while
                 # the line was in flight.  It lands as demand data and counts
@@ -322,6 +342,12 @@ class UnifiedL1Cache:
                 state.is_prefetch = False  # flag-flip transfer, no data move
                 state.transferred = True
                 self._prefetch_transferred += 1
+                if self._obs.enabled:
+                    self._obs.emit(
+                        PrefetchUseEvent(
+                            cycle=now, sm_id=self._sm_id, line_addr=line_addr
+                        )
+                    )
             return L1Outcome.HIT, now + self.config.l1.latency
 
         if self._side_buffer is not None:
@@ -330,6 +356,12 @@ class UnifiedL1Cache:
                 self.stats.l1_hits += 1
                 self.stats.prefetch.demand_covered += 1
                 self.stats.prefetch.demand_timely += 1
+                if self._obs.enabled:
+                    self._obs.emit(
+                        PrefetchUseEvent(
+                            cycle=now, sm_id=self._sm_id, line_addr=line_addr
+                        )
+                    )
                 return L1Outcome.HIT, now + self.config.l1.latency
 
         inflight = self._mshr.lookup(line_addr)
@@ -423,11 +455,25 @@ class UnifiedL1Cache:
             # correctly predicted addresses, §4).
             resident.predicted = True
             self.stats.prefetch.dropped_duplicate += 1
+            if self._obs.enabled:
+                self._obs.emit(
+                    PrefetchDropEvent(
+                        cycle=now, sm_id=self._sm_id, line_addr=line_addr,
+                        reason="duplicate",
+                    )
+                )
             return False
         inflight = self._mshr.lookup(line_addr)
         if inflight is not None:
             inflight.predicted = True
             self.stats.prefetch.dropped_duplicate += 1
+            if self._obs.enabled:
+                self._obs.emit(
+                    PrefetchDropEvent(
+                        cycle=now, sm_id=self._sm_id, line_addr=line_addr,
+                        reason="duplicate",
+                    )
+                )
             return False
         # Leave headroom for demand misses: prefetches may not take the last
         # quarter of the MSHR nor the last miss-queue slot.
@@ -437,6 +483,13 @@ class UnifiedL1Cache:
             self._miss_queue.popleft()
         if self._mshr.occupancy >= mshr_cap or len(self._miss_queue) >= queue_cap:
             self.stats.prefetch.dropped_throttled += 1
+            if self._obs.enabled:
+                self._obs.emit(
+                    PrefetchDropEvent(
+                        cycle=now, sm_id=self._sm_id, line_addr=line_addr,
+                        reason="headroom",
+                    )
+                )
             return False
         fill_time = self._send_to_l2(
             line_addr, now, is_write=False, is_prefetch=True

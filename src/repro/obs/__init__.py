@@ -1,0 +1,54 @@
+"""Observability layer: cycle-level event tracing for the simulator.
+
+The package has three parts (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.events` — the typed event vocabulary and the
+  :class:`EventBus` the simulator emits into.  Every emission site in the
+  timing model is guarded by ``bus.enabled``, so a disabled bus (the
+  default :data:`NULL_BUS`) costs one attribute check per would-be event.
+* :mod:`repro.obs.sinks` — pluggable consumers: a windowed time-series
+  sampler, a per-PC/per-warp metrics aggregator, and a
+  ``chrome://tracing`` JSON exporter.
+* :mod:`repro.obs.runner` — convenience harness behind the
+  ``snake-repro trace`` / ``snake-repro profile`` CLI commands.
+"""
+
+from .events import (
+    CacheAccessEvent,
+    ChainWalkEvent,
+    DramRowActivateEvent,
+    Event,
+    EventBus,
+    EventKind,
+    L2AccessEvent,
+    NULL_BUS,
+    NullBus,
+    PrefetchDropEvent,
+    PrefetchFillEvent,
+    PrefetchIssueEvent,
+    PrefetchUseEvent,
+    Sink,
+    ThrottleEvent,
+)
+from .sinks import ChromeTraceExporter, PCMetricsSink, TimeSeriesSampler
+
+__all__ = [
+    "CacheAccessEvent",
+    "ChainWalkEvent",
+    "ChromeTraceExporter",
+    "DramRowActivateEvent",
+    "Event",
+    "EventBus",
+    "EventKind",
+    "L2AccessEvent",
+    "NULL_BUS",
+    "NullBus",
+    "PCMetricsSink",
+    "PrefetchDropEvent",
+    "PrefetchFillEvent",
+    "PrefetchIssueEvent",
+    "PrefetchUseEvent",
+    "Sink",
+    "ThrottleEvent",
+    "TimeSeriesSampler",
+]

@@ -1,0 +1,237 @@
+"""Typed telemetry events and the bus that carries them.
+
+Design constraints (why this looks the way it does):
+
+* **Zero cost when off.**  The timing model is the hot path; every emission
+  site is written as ``if obs.enabled: obs.emit(Event(...))`` so that with
+  the default :data:`NULL_BUS` no event object is ever constructed — the
+  whole layer reduces to one attribute load and a branch per site.
+* **Typed, flat events.**  Each event is a small dataclass carrying only
+  scalars (cycle, ids, addresses).  Sinks dispatch on
+  :attr:`Event.kind`, an :class:`enum.IntEnum`, so adding a kind does not
+  break existing sinks (they ignore kinds they do not handle).
+* **Synchronous fan-out.**  ``emit`` calls every attached sink inline, in
+  attach order.  The simulator is single-threaded and events are emitted
+  in simulation order per SM, so sinks can rely on non-decreasing cycles
+  *per sm_id* (the GPU interleaves SMs in global-time order, so the global
+  stream is approximately time-sorted as well).
+
+The event vocabulary mirrors the paper's analysis axes: cache access
+outcomes (Figs 3/25), prefetch lifecycle (Figs 16/17), throttle decisions
+(Fig 23), chain walks (Figs 9-11/20) and DRAM row activations (energy,
+Fig 19).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+
+class EventKind(enum.IntEnum):
+    """Discriminator carried by every event (stable across releases)."""
+
+    CACHE_ACCESS = 1  # one demand-load line transaction at the L1
+    PREFETCH_ISSUE = 2  # a prefetch request actually left for L2
+    PREFETCH_FILL = 3  # a prefetched line landed in the L1
+    PREFETCH_USE = 4  # a demand access claimed a prefetched line
+    PREFETCH_DROP = 5  # a prediction was discarded before issue
+    THROTTLE = 6  # the throttle blocked a prefetch
+    CHAIN_WALK = 7  # Snake walked a chain and produced requests
+    DRAM_ROW_ACTIVATE = 8  # a DRAM bank opened a new row
+    L2_ACCESS = 9  # one request serviced by the shared L2
+
+
+@dataclass
+class Event:
+    """Common header: when (core cycle) and where (SM id, -1 = shared)."""
+
+    cycle: int
+    sm_id: int
+
+    kind = None  # type: EventKind  # overridden per subclass
+
+
+@dataclass
+class CacheAccessEvent(Event):
+    """One demand-load line transaction and its §2 outcome.
+
+    ``outcome`` is the :class:`repro.gpusim.unified_cache.L1Outcome` value
+    string (``hit`` / ``miss`` / ``reserved`` / ``reservation_fail``).
+    ``covered`` / ``timely`` mirror the §4 prefetch-credit bookkeeping for
+    this access (a covered access hit, or merged into, a predicted line).
+    """
+
+    warp_id: int = -1
+    pc: int = -1
+    line_addr: int = 0
+    outcome: str = "hit"
+    covered: bool = False
+    timely: bool = False
+
+    kind = EventKind.CACHE_ACCESS
+
+
+@dataclass
+class PrefetchIssueEvent(Event):
+    """A prefetch left the SM for L2.  ``pc`` is the *triggering* load PC;
+    ``depth`` the chain distance of the prediction (1 = direct)."""
+
+    pc: int = -1
+    line_addr: int = 0
+    depth: int = 1
+
+    kind = EventKind.PREFETCH_ISSUE
+
+
+@dataclass
+class PrefetchFillEvent(Event):
+    """A prefetched line arrived at the L1.  ``demand_joined`` marks a
+    correct-but-late prediction (a demand merged while it was in flight)."""
+
+    line_addr: int = 0
+    demand_joined: bool = False
+
+    kind = EventKind.PREFETCH_FILL
+
+
+@dataclass
+class PrefetchUseEvent(Event):
+    """A demand access claimed a resident prefetched line (the §3.2
+    flag-flip transfer, or a side-buffer hit in isolated mode)."""
+
+    line_addr: int = 0
+
+    kind = EventKind.PREFETCH_USE
+
+
+@dataclass
+class PrefetchDropEvent(Event):
+    """A prediction was discarded before issue.  ``reason`` is
+    ``duplicate`` (line already resident / in flight) or ``headroom``
+    (MSHR / miss-queue guard for demand traffic)."""
+
+    line_addr: int = 0
+    reason: str = "duplicate"
+
+    kind = EventKind.PREFETCH_DROP
+
+
+@dataclass
+class ThrottleEvent(Event):
+    """The §3.3 throttle blocked a prefetch.  ``reason`` is ``bandwidth``
+    (NoC hysteresis trigger) or ``space`` (prefetch-space exhaustion);
+    ``utilization`` is the measured NoC fraction that drove the call."""
+
+    reason: str = "bandwidth"
+    utilization: float = 0.0
+
+    kind = EventKind.THROTTLE
+
+
+@dataclass
+class ChainWalkEvent(Event):
+    """Snake produced prefetch requests from one observed load: ``depth``
+    is the deepest chain hop reached, ``requests`` the number of unique
+    addresses generated (chain + intra-warp + inter-warp)."""
+
+    warp_id: int = -1
+    pc: int = -1
+    depth: int = 0
+    requests: int = 0
+
+    kind = EventKind.CHAIN_WALK
+
+
+@dataclass
+class DramRowActivateEvent(Event):
+    """A DRAM bank opened a new row (a row miss paid tRP+tRCD)."""
+
+    channel: int = 0
+    bank: int = 0
+    row: int = 0
+
+    kind = EventKind.DRAM_ROW_ACTIVATE
+
+
+@dataclass
+class L2AccessEvent(Event):
+    """One request serviced by the shared L2 (in-flight merges count as
+    hits, matching :class:`repro.gpusim.l2.L2Cache` accounting)."""
+
+    line_addr: int = 0
+    hit: bool = False
+
+    kind = EventKind.L2_ACCESS
+
+
+class Sink:
+    """Consumer interface.  Sinks receive every event synchronously and
+    must not mutate it (the same object is handed to every sink)."""
+
+    def accept(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush any buffered state; called once by :meth:`EventBus.close`."""
+
+
+class EventBus:
+    """Synchronous fan-out bus.
+
+    ``enabled`` is a plain attribute kept in sync with the sink list so
+    emission sites can gate on it without a method call; a bus with no
+    sinks behaves exactly like :data:`NULL_BUS`.
+    """
+
+    def __init__(self, sinks=()) -> None:
+        self._sinks: List[Sink] = list(sinks)
+        self.enabled = bool(self._sinks)
+        self.events_emitted = 0
+
+    @property
+    def sinks(self) -> List[Sink]:
+        return list(self._sinks)
+
+    def attach(self, sink: Sink) -> Sink:
+        self._sinks.append(sink)
+        self.enabled = True
+        return sink
+
+    def detach(self, sink: Sink) -> None:
+        self._sinks.remove(sink)
+        self.enabled = bool(self._sinks)
+
+    def emit(self, event: Event) -> None:
+        self.events_emitted += 1
+        for sink in self._sinks:
+            sink.accept(event)
+
+    def close(self) -> None:
+        for sink in self._sinks:
+            sink.close()
+
+
+class NullBus:
+    """The disabled bus: emission sites see ``enabled`` False and skip
+    event construction entirely.  ``emit`` still exists (and is a no-op)
+    so un-guarded call sites fail soft rather than crash."""
+
+    enabled = False
+
+    def emit(self, event: Event) -> None:  # pragma: no cover - guard skips it
+        pass
+
+    def attach(self, sink: Sink) -> None:
+        raise RuntimeError(
+            "cannot attach a sink to NULL_BUS; construct an EventBus and "
+            "pass it to GPU(obs=...) instead"
+        )
+
+    def close(self) -> None:
+        pass
+
+
+#: Shared disabled bus — the default wired into every component.
+NULL_BUS = NullBus()

@@ -1,0 +1,88 @@
+"""Telemetry harness: run one workload with the full sink set attached.
+
+This is the engine behind ``snake-repro trace`` and ``snake-repro
+profile`` (see :mod:`repro.cli`); library users can call
+:func:`traced_run` directly to get the sinks back for programmatic use::
+
+    from repro.obs.runner import traced_run
+
+    result = traced_run("lps", mechanism="snake", scale=0.5)
+    print(result.pc_metrics.render_pc_table(top=10))
+    result.chrome.export("lps.trace.json")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .events import EventBus
+from .sinks import ChromeTraceExporter, PCMetricsSink, TimeSeriesSampler
+
+
+@dataclass
+class TracedRun:
+    """Everything one telemetry run produces."""
+
+    app: str
+    mechanism: str
+    stats: "object"  # repro.gpusim.stats.SimStats
+    bus: EventBus
+    sampler: TimeSeriesSampler
+    pc_metrics: PCMetricsSink
+    chrome: Optional[ChromeTraceExporter]
+
+
+def traced_run(
+    app: str,
+    mechanism: str = "snake",
+    scale: float = 1.0,
+    seed: int = 1,
+    config=None,
+    bucket_cycles: int = 1000,
+    chrome: bool = True,
+) -> TracedRun:
+    """Simulate ``app`` under ``mechanism`` with telemetry attached.
+
+    Builds the kernel trace, wires an :class:`EventBus` carrying a
+    :class:`TimeSeriesSampler`, a :class:`PCMetricsSink` and (optionally)
+    a :class:`ChromeTraceExporter` into the GPU, runs to completion and
+    returns the sinks alongside the aggregate stats.
+    """
+    # Imported here so `repro.obs` stays importable before the simulator
+    # packages finish initialising (gpusim itself imports repro.obs).
+    from repro.gpusim.config import GPUConfig
+    from repro.gpusim.gpu import GPU
+    from repro.prefetch import build_setup
+    from repro.workloads import build_kernel
+
+    config = config or GPUConfig.scaled()
+    kernel = build_kernel(app, scale=scale, seed=seed)
+    setup = build_setup(mechanism, config)
+
+    sampler = TimeSeriesSampler(bucket_cycles=bucket_cycles)
+    pc_metrics = PCMetricsSink()
+    sinks = [sampler, pc_metrics]
+    exporter = ChromeTraceExporter(bucket_cycles=bucket_cycles) if chrome else None
+    if exporter is not None:
+        sinks.append(exporter)
+    bus = EventBus(sinks)
+
+    gpu = GPU(
+        config=setup.config,
+        prefetcher_factory=setup.prefetcher_factory,
+        throttle_factory=setup.throttle_factory,
+        storage_mode=setup.storage_mode,
+        obs=bus,
+    )
+    stats = gpu.run(kernel)
+    bus.close()
+    return TracedRun(
+        app=app,
+        mechanism=mechanism,
+        stats=stats,
+        bus=bus,
+        sampler=sampler,
+        pc_metrics=pc_metrics,
+        chrome=exporter,
+    )

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List
 
+from repro.obs.events import NULL_BUS
+
 
 @dataclass(frozen=True)
 class AccessEvent:
@@ -51,6 +53,11 @@ class Prefetcher:
 
     name = "none"
     uses_magic = False
+    #: Telemetry bus (repro.obs) — the GPU overwrites these per instance so
+    #: mechanism-internal events reach the run's sinks; standalone
+    #: prefetchers emit into the disabled NULL_BUS.
+    obs = NULL_BUS
+    obs_sm_id = -1
 
     def observe(self, event: AccessEvent) -> List[PrefetchRequest]:
         """Digest a demand access; return addresses to prefetch."""

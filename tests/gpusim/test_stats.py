@@ -73,3 +73,41 @@ class TestPrefetchStats:
         p = PrefetchStats(demand_covered=3, demand_timely=2)
         assert p.coverage(10) == pytest.approx(0.3)
         assert p.accuracy(10) == pytest.approx(0.2)
+
+
+class TestAccuracyDefinitions:
+    """The two normalizations documented in docs/METRICS.md."""
+
+    def test_accuracy_is_an_alias_of_timely_coverage(self):
+        p = PrefetchStats(demand_covered=6, demand_timely=4)
+        assert p.accuracy(10) == p.timely_coverage(10) == pytest.approx(0.4)
+
+    def test_timely_coverage_never_exceeds_coverage(self):
+        p = PrefetchStats(demand_covered=6, demand_timely=4)
+        assert p.timely_coverage(10) <= p.coverage(10)
+
+    def test_predictions_include_duplicate_drops(self):
+        p = PrefetchStats(issued=8, dropped_duplicate=2, dropped_throttled=5)
+        assert p.predictions == 10  # throttled never became predictions
+
+    def test_issue_accuracy_normalizes_per_prediction(self):
+        p = PrefetchStats(issued=8, dropped_duplicate=2, demand_covered=5)
+        assert p.issue_accuracy() == pytest.approx(0.5)
+
+    def test_issue_accuracy_guards_zero(self):
+        assert PrefetchStats().issue_accuracy() == 0.0
+
+    def test_issue_accuracy_cannot_exceed_one_via_duplicates(self):
+        # A duplicate-dropped prediction still earns demand_covered credit;
+        # the denominator must count the attempt too.
+        p = PrefetchStats(issued=1, dropped_duplicate=3, demand_covered=4)
+        assert p.issue_accuracy() <= 1.0
+
+    def test_simstats_exposes_both(self):
+        stats = SimStats(l1_hits=8, l1_misses=2)
+        stats.prefetch.issued = 4
+        stats.prefetch.demand_covered = 2
+        stats.prefetch.demand_timely = 1
+        assert stats.timely_coverage == stats.accuracy == pytest.approx(0.1)
+        assert stats.prefetch_accuracy == pytest.approx(0.5)
+        assert stats.as_dict()["prefetch_accuracy"] == pytest.approx(0.5)

@@ -1,0 +1,119 @@
+"""Event bus: fan-out, ordering, enable bookkeeping, null fast path."""
+
+import pytest
+
+from repro.obs.events import (
+    CacheAccessEvent,
+    ChainWalkEvent,
+    DramRowActivateEvent,
+    Event,
+    EventBus,
+    EventKind,
+    L2AccessEvent,
+    NULL_BUS,
+    PrefetchDropEvent,
+    PrefetchFillEvent,
+    PrefetchIssueEvent,
+    PrefetchUseEvent,
+    Sink,
+    ThrottleEvent,
+)
+
+
+class RecordingSink(Sink):
+    def __init__(self):
+        self.events = []
+        self.closed = False
+
+    def accept(self, event):
+        self.events.append(event)
+
+    def close(self):
+        self.closed = True
+
+
+class TestEventBus:
+    def test_empty_bus_is_disabled(self):
+        assert EventBus().enabled is False
+
+    def test_attach_enables_detach_disables(self):
+        bus = EventBus()
+        sink = bus.attach(RecordingSink())
+        assert bus.enabled is True
+        bus.detach(sink)
+        assert bus.enabled is False
+
+    def test_fanout_reaches_every_sink_in_order(self):
+        a, b = RecordingSink(), RecordingSink()
+        bus = EventBus([a, b])
+        events = [
+            PrefetchIssueEvent(cycle=i, sm_id=0, pc=0x10, line_addr=i * 128)
+            for i in range(5)
+        ]
+        for event in events:
+            bus.emit(event)
+        assert a.events == events
+        assert b.events == events
+        assert bus.events_emitted == 5
+
+    def test_emission_order_preserved(self):
+        sink = RecordingSink()
+        bus = EventBus([sink])
+        bus.emit(CacheAccessEvent(cycle=3, sm_id=0))
+        bus.emit(CacheAccessEvent(cycle=1, sm_id=0))  # bus does not sort
+        assert [e.cycle for e in sink.events] == [3, 1]
+
+    def test_close_closes_sinks(self):
+        sink = RecordingSink()
+        bus = EventBus([sink])
+        bus.close()
+        assert sink.closed
+
+    def test_same_object_to_every_sink(self):
+        a, b = RecordingSink(), RecordingSink()
+        bus = EventBus([a, b])
+        bus.emit(ThrottleEvent(cycle=0, sm_id=0))
+        assert a.events[0] is b.events[0]
+
+
+class TestNullBus:
+    def test_disabled(self):
+        assert NULL_BUS.enabled is False
+
+    def test_emit_is_noop(self):
+        NULL_BUS.emit(CacheAccessEvent(cycle=0, sm_id=0))  # must not raise
+
+    def test_attach_rejected(self):
+        with pytest.raises(RuntimeError):
+            NULL_BUS.attach(RecordingSink())
+
+    def test_close_is_noop(self):
+        NULL_BUS.close()
+
+
+class TestEventTypes:
+    def test_kinds_are_unique(self):
+        classes = [
+            CacheAccessEvent,
+            PrefetchIssueEvent,
+            PrefetchFillEvent,
+            PrefetchUseEvent,
+            PrefetchDropEvent,
+            ThrottleEvent,
+            ChainWalkEvent,
+            DramRowActivateEvent,
+            L2AccessEvent,
+        ]
+        kinds = [cls.kind for cls in classes]
+        assert len(set(kinds)) == len(kinds)
+        assert all(isinstance(k, EventKind) for k in kinds)
+
+    def test_header_fields(self):
+        event = DramRowActivateEvent(cycle=7, sm_id=-1, channel=1, bank=2, row=3)
+        assert isinstance(event, Event)
+        assert (event.cycle, event.sm_id) == (7, -1)
+        assert (event.channel, event.bank, event.row) == (1, 2, 3)
+
+    def test_sink_base_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Sink().accept(CacheAccessEvent(cycle=0, sm_id=0))

@@ -1,0 +1,54 @@
+"""Telemetry must be an observer: attaching the bus cannot change timing.
+
+SimStats is a (nested) dataclass, so ``==`` compares every counter field,
+including the embedded PrefetchStats — the strongest "bit-identical"
+check available without serialising.
+"""
+
+import pytest
+
+from repro.gpusim.config import GPUConfig
+from repro.gpusim.gpu import GPU
+from repro.obs import EventBus, PCMetricsSink, TimeSeriesSampler
+from repro.prefetch import build_setup
+from repro.workloads import build_kernel
+
+
+def _run(app, mechanism, obs):
+    config = GPUConfig.scaled()
+    setup = build_setup(mechanism, config)
+    gpu = GPU(
+        config=setup.config,
+        prefetcher_factory=setup.prefetcher_factory,
+        throttle_factory=setup.throttle_factory,
+        storage_mode=setup.storage_mode,
+        obs=obs,
+    )
+    return gpu.run(build_kernel(app, scale=0.3, seed=11))
+
+
+@pytest.mark.parametrize("mechanism", ["none", "snake"])
+def test_stats_identical_with_telemetry_on_vs_off(mechanism):
+    baseline = _run("lps", mechanism, obs=None)
+    bus = EventBus([TimeSeriesSampler(bucket_cycles=500), PCMetricsSink()])
+    traced = _run("lps", mechanism, obs=bus)
+    assert traced == baseline  # dataclass equality: every counter field
+    assert bus.events_emitted > 0  # the bus really was observing
+
+
+def test_config_flag_enables_bus_without_changing_stats():
+    baseline = _run("histo", "snake", obs=None)
+    config = GPUConfig.scaled().with_(telemetry=True)
+    setup = build_setup("snake", config)
+    gpu = GPU(
+        config=setup.config,
+        prefetcher_factory=setup.prefetcher_factory,
+        throttle_factory=setup.throttle_factory,
+        storage_mode=setup.storage_mode,
+    )
+    assert gpu.obs.enabled is False  # no sinks attached yet -> fast path
+    sink = PCMetricsSink()
+    gpu.obs.attach(sink)
+    stats = gpu.run(build_kernel("histo", scale=0.3, seed=11))
+    assert stats == baseline
+    assert sink.per_pc  # and the sink saw the run

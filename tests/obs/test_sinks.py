@@ -1,0 +1,192 @@
+"""Built-in sinks: bucket boundaries, aggregation, Chrome-trace validity."""
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    CacheAccessEvent,
+    ChainWalkEvent,
+    DramRowActivateEvent,
+    L2AccessEvent,
+    PrefetchDropEvent,
+    PrefetchFillEvent,
+    PrefetchIssueEvent,
+    PrefetchUseEvent,
+    ThrottleEvent,
+)
+from repro.obs.sinks import ChromeTraceExporter, PCMetricsSink, TimeSeriesSampler
+
+
+class TestTimeSeriesSampler:
+    def test_bucket_boundaries(self):
+        # cycle 999 -> bucket 0, cycle 1000 -> bucket 1 (half-open windows)
+        sampler = TimeSeriesSampler(bucket_cycles=1000)
+        sampler.accept(CacheAccessEvent(cycle=0, sm_id=0, outcome="hit"))
+        sampler.accept(CacheAccessEvent(cycle=999, sm_id=0, outcome="hit"))
+        sampler.accept(CacheAccessEvent(cycle=1000, sm_id=0, outcome="hit"))
+        assert sampler.series("l1_hit") == [(0, 2), (1000, 1)]
+
+    def test_series_is_dense_and_aligned(self):
+        sampler = TimeSeriesSampler(bucket_cycles=10)
+        sampler.accept(CacheAccessEvent(cycle=5, sm_id=0, outcome="miss"))
+        sampler.accept(L2AccessEvent(cycle=35, sm_id=-1, hit=True))
+        # l1_miss only touched bucket 0 but stretches to the global max.
+        assert sampler.series("l1_miss") == [(0, 1), (10, 0), (20, 0), (30, 0)]
+        assert sampler.series("l2_hit") == [(0, 0), (10, 0), (20, 0), (30, 1)]
+
+    def test_counter_names(self):
+        sampler = TimeSeriesSampler(bucket_cycles=100)
+        sampler.accept(CacheAccessEvent(cycle=0, sm_id=0, outcome="reservation_fail"))
+        sampler.accept(PrefetchIssueEvent(cycle=0, sm_id=0))
+        sampler.accept(PrefetchFillEvent(cycle=0, sm_id=0))
+        sampler.accept(PrefetchUseEvent(cycle=0, sm_id=0))
+        sampler.accept(PrefetchDropEvent(cycle=0, sm_id=0, reason="duplicate"))
+        sampler.accept(ThrottleEvent(cycle=0, sm_id=0, reason="space"))
+        sampler.accept(ChainWalkEvent(cycle=0, sm_id=0))
+        sampler.accept(DramRowActivateEvent(cycle=0, sm_id=-1))
+        sampler.accept(L2AccessEvent(cycle=0, sm_id=-1, hit=False))
+        assert sampler.counters() == [
+            "chain_walk",
+            "dram_row_activate",
+            "l1_reservation_fail",
+            "l2_miss",
+            "prefetch_drop_duplicate",
+            "prefetch_fill",
+            "prefetch_issue",
+            "prefetch_use",
+            "throttle_block_space",
+        ]
+        assert all(sampler.total(name) == 1 for name in sampler.counters())
+
+    def test_rejects_bad_bucket(self):
+        with pytest.raises(ValueError):
+            TimeSeriesSampler(bucket_cycles=0)
+
+    def test_render_summary_mentions_totals(self):
+        sampler = TimeSeriesSampler(bucket_cycles=50)
+        for cycle in (0, 10, 60):
+            sampler.accept(ChainWalkEvent(cycle=cycle, sm_id=0))
+        text = sampler.render_summary()
+        assert "chain_walk" in text
+        assert "3" in text
+
+
+class TestPCMetricsSink:
+    def test_cache_access_aggregation(self):
+        sink = PCMetricsSink()
+        sink.accept(
+            CacheAccessEvent(
+                cycle=0, sm_id=0, warp_id=3, pc=0x40, outcome="hit"
+            )
+        )
+        sink.accept(
+            CacheAccessEvent(
+                cycle=1, sm_id=0, warp_id=3, pc=0x40, outcome="miss",
+                covered=1, timely=1,
+            )
+        )
+        sink.accept(
+            CacheAccessEvent(
+                cycle=2, sm_id=0, warp_id=4, pc=0x48,
+                outcome="reservation_fail",
+            )
+        )
+        pc = sink.per_pc[0x40]
+        assert (pc.accesses, pc.hits, pc.misses) == (2, 1, 1)
+        assert (pc.covered, pc.timely) == (1, 1)
+        assert pc.hit_rate == 0.5
+        assert sink.per_pc[0x48].reservation_fails == 1
+
+        warp = sink.per_warp[3]
+        assert (warp.accesses, warp.hits, warp.covered) == (2, 1, 1)
+        assert warp.pcs == {0x40}
+        assert sink.per_warp[4].pcs == {0x48}
+
+    def test_prefetch_and_walk_attribution(self):
+        sink = PCMetricsSink()
+        sink.accept(PrefetchIssueEvent(cycle=0, sm_id=0, pc=0x10))
+        sink.accept(PrefetchIssueEvent(cycle=1, sm_id=0, pc=0x10))
+        sink.accept(ChainWalkEvent(cycle=2, sm_id=0, pc=0x10, depth=3, requests=2))
+        sink.accept(ChainWalkEvent(cycle=3, sm_id=0, pc=0x10, depth=1, requests=1))
+        pc = sink.per_pc[0x10]
+        assert pc.prefetches_issued == 2
+        assert pc.chain_walks == 2
+        assert pc.max_chain_depth == 3  # max, not last
+
+    def test_tables_render(self):
+        sink = PCMetricsSink()
+        sink.accept(
+            CacheAccessEvent(cycle=0, sm_id=0, warp_id=0, pc=0x40, outcome="hit")
+        )
+        assert "0x40" in sink.render_pc_table()
+        assert "warp" in sink.render_warp_table()
+
+
+class TestChromeTraceExporter:
+    @staticmethod
+    def _populated():
+        exporter = ChromeTraceExporter(bucket_cycles=100)
+        exporter.accept(
+            CacheAccessEvent(cycle=0, sm_id=0, warp_id=0, pc=0x40, outcome="hit")
+        )
+        exporter.accept(
+            CacheAccessEvent(cycle=150, sm_id=0, warp_id=0, pc=0x40, outcome="miss")
+        )
+        exporter.accept(L2AccessEvent(cycle=10, sm_id=-1, hit=False))
+        exporter.accept(
+            ThrottleEvent(cycle=42, sm_id=1, reason="space", utilization=0.97)
+        )
+        return exporter
+
+    def test_trace_structure(self):
+        doc = self._populated().as_dict()
+        events = doc["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert phases == {"M", "C", "i"}
+        # pid 0 = shared L2/DRAM (sm_id -1), SMs shifted up by one.
+        meta = {e["pid"]: e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert meta[0] == "shared L2/DRAM"
+        assert meta[1] == "SM 0"
+        instant = next(e for e in events if e["ph"] == "i")
+        assert instant["name"] == "throttle:space"
+        assert instant["ts"] == 42
+        assert instant["args"]["utilization"] == 0.97
+        counter = next(
+            e for e in events if e["ph"] == "C" and e["name"] == "L1 accesses"
+        )
+        assert counter["pid"] == 1
+
+    def test_counter_bucketing(self):
+        events = self._populated().trace_events()
+        l1 = [e for e in events if e["ph"] == "C" and e["name"] == "L1 accesses"]
+        by_ts = {e["ts"]: e["args"] for e in l1}
+        assert by_ts[0] == {"hit": 1}
+        assert by_ts[100] == {"miss": 1}
+
+    def test_json_serialisable_and_export(self, tmp_path):
+        exporter = self._populated()
+        path = tmp_path / "run.trace.json"
+        exporter.export(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+        assert doc["otherData"]["dropped_instants"] == 0
+        assert all("pid" in e and "name" in e for e in doc["traceEvents"])
+
+    def test_max_events_caps_instants(self):
+        exporter = ChromeTraceExporter(bucket_cycles=100, max_events=2)
+        for cycle in range(5):
+            exporter.accept(
+                ThrottleEvent(cycle=cycle, sm_id=0, reason="bandwidth")
+            )
+        assert exporter.dropped_instants == 3
+        doc = exporter.as_dict()
+        assert doc["otherData"]["dropped_instants"] == 3
+        assert sum(1 for e in doc["traceEvents"] if e["ph"] == "i") == 2
+
+    def test_instants_sorted_by_ts(self):
+        exporter = ChromeTraceExporter(bucket_cycles=100)
+        for cycle in (30, 10, 20):
+            exporter.accept(ThrottleEvent(cycle=cycle, sm_id=0, reason="space"))
+        instants = [e["ts"] for e in exporter.trace_events() if e["ph"] == "i"]
+        assert instants == [10, 20, 30]

@@ -1,0 +1,34 @@
+"""Documentation drift checks (the same gate CI's docs job runs)."""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_architecture_mentions_every_module():
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        from check_docs import missing_modules
+    finally:
+        sys.path.pop(0)
+    assert missing_modules(REPO_ROOT) == []
+
+
+def test_observability_docs_exist_and_cover_the_cli():
+    text = (REPO_ROOT / "docs" / "OBSERVABILITY.md").read_text()
+    for needle in ("trace", "profile", "Sink", "chrome://tracing"):
+        assert needle in text
+
+
+def test_metrics_glossary_covers_every_counter():
+    import dataclasses
+
+    from repro.gpusim.stats import PrefetchStats, SimStats
+
+    text = (REPO_ROOT / "docs" / "METRICS.md").read_text()
+    for cls in (SimStats, PrefetchStats):
+        for field in dataclasses.fields(cls):
+            assert field.name in text, "METRICS.md misses %s.%s" % (
+                cls.__name__, field.name,
+            )

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Docs drift check: every module under src/repro must be mentioned in
+docs/ARCHITECTURE.md (the "Module index" section exists for this).
+
+Run from the repository root::
+
+    python tools/check_docs.py
+
+Exit status 0 when complete, 1 with the missing module list otherwise.
+CI runs this after the test suite; `tests/test_docs.py` runs it as part
+of tier-1 so drift is caught locally too.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+
+def missing_modules(repo_root: Path) -> "list[str]":
+    doc = (repo_root / "docs" / "ARCHITECTURE.md").read_text()
+    missing = []
+    for path in sorted((repo_root / "src" / "repro").rglob("*.py")):
+        if path.name == "__init__.py" or "egg-info" in str(path):
+            continue
+        if path.name not in doc:
+            missing.append(str(path.relative_to(repo_root)))
+    return missing
+
+
+def main() -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    missing = missing_modules(repo_root)
+    if missing:
+        print("modules not mentioned in docs/ARCHITECTURE.md:")
+        for name in missing:
+            print("  " + name)
+        return 1
+    print("docs/ARCHITECTURE.md mentions every src/repro module")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
