@@ -5,19 +5,30 @@ the paper's data series (app -> value, or app -> mechanism -> value), so the
 benchmark harness and the CLI can print the same rows the paper reports.
 
 Figures 16-19 are different measurements of the *same* simulation sweep, so
-the sweep is memoized per (scale, seed, config) — computing Fig 16 makes
-Figs 17-19 free.
+the sweep is memoized — computing Fig 16 makes Figs 17-19 free.  Memo keys
+are the :mod:`repro.runner` deterministic job hashes, which digest *every*
+result-relevant knob (app, mechanism, scale, seed, the full config, and all
+mechanism kwargs), so two calls share a cached simulation iff they would
+simulate identically.
+
+Resilience: a cell whose simulation hangs (watchdog) or cannot be built
+becomes a :class:`repro.runner.FailedResult` instead of aborting the sweep,
+and every figure function degrades gracefully — failed cells surface as
+``FAILED(reason)`` markers in the rendered output (see ``docs/ROBUSTNESS.md``).
+The ``figure16_from``-style helpers compute the same dictionaries from an
+externally produced sweep (e.g. the checkpointed ``snake-repro sweep``).
 """
 
 from __future__ import annotations
 
 import statistics
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.gpusim import GPUConfig, SimStats
 from repro.gpusim.area import tail_cost_sweep
 from repro.gpusim.energy import energy_of
 from repro.gpusim.gpu import GPU
+from repro.runner import FailedResult, JobError, JobSpec, execute_job, job_hash
 from repro.prefetch import COMPARISON_POINTS, build_setup
 from repro.workloads import BENCHMARKS, build_kernel, build_tiled_conv
 
@@ -26,6 +37,10 @@ from . import chains
 #: Mechanisms of the motivation study (Fig 6).
 MOTIVATION_POINTS = ["intra", "inter", "mta", "cta", "ideal"]
 
+#: job hash -> SimStats; one entry per unique simulation ever run.
+_JOB_CACHE: Dict[str, SimStats] = {}
+#: tuple of job hashes -> the nested sweep dict (kept so repeated
+#: ``comparison_sweep`` calls return the *same* object).
 _SWEEP_CACHE: Dict[tuple, Dict[str, Dict[str, SimStats]]] = {}
 
 
@@ -37,17 +52,24 @@ def run_app(
     seed: int = 1,
     **mech_kwargs,
 ) -> SimStats:
-    """Simulate one benchmark under one mechanism."""
-    config = config or GPUConfig.scaled()
-    kernel = build_kernel(app, scale=scale, seed=seed)
-    setup = build_setup(mechanism, config, **mech_kwargs)
-    gpu = GPU(
-        config=setup.config,
-        prefetcher_factory=setup.prefetcher_factory,
-        throttle_factory=setup.throttle_factory,
-        storage_mode=setup.storage_mode,
+    """Simulate one benchmark under one mechanism (memoized by job hash)."""
+    spec = JobSpec.make(
+        app, mechanism, config=config, scale=scale, seed=seed, **mech_kwargs
     )
-    return gpu.run(kernel)
+    key = job_hash(spec)
+    if key not in _JOB_CACHE:
+        _JOB_CACHE[key] = execute_job(spec)
+    return _JOB_CACHE[key]
+
+
+def _run_cell(app: str, mechanism: str, scale: float, seed: int):
+    """One sweep cell: a failure is contained to a ``FailedResult`` so a
+    single poisoned cell cannot take down the whole grid."""
+    try:
+        return run_app(app, mechanism, scale=scale, seed=seed)
+    except JobError as exc:
+        return FailedResult(kind=exc.kind, message=str(exc),
+                            state_dump=exc.state_dump)
 
 
 def comparison_sweep(
@@ -56,24 +78,49 @@ def comparison_sweep(
     scale: float = 1.0,
     seed: int = 1,
 ) -> Dict[str, Dict[str, SimStats]]:
-    """Run every (app, mechanism) pair once; memoized."""
+    """Run every (app, mechanism) pair once; memoized by job hashes."""
     mechanisms = tuple(mechanisms if mechanisms is not None else ["none"] + COMPARISON_POINTS)
     apps = tuple(apps if apps is not None else BENCHMARKS)
-    key = (mechanisms, apps, scale, seed)
+    key = tuple(
+        job_hash(JobSpec.make(app, mech, scale=scale, seed=seed))
+        for app in apps
+        for mech in mechanisms
+    )
     if key not in _SWEEP_CACHE:
         results: Dict[str, Dict[str, SimStats]] = {}
         for app in apps:
             results[app] = {
-                mech: run_app(app, mech, scale=scale, seed=seed)
+                mech: _run_cell(app, mech, scale=scale, seed=seed)
                 for mech in mechanisms
             }
         _SWEEP_CACHE[key] = results
     return _SWEEP_CACHE[key]
 
 
+def _failed(value) -> bool:
+    return getattr(value, "failed", False)
+
+
+def _metric(cell, attr: str):
+    """Read one statistic off a sweep cell, passing ``FailedResult``
+    markers through untouched so they reach the rendered report."""
+    return cell if _failed(cell) else getattr(cell, attr)
+
+
+def _sweep_mechanisms(sweep: Mapping[str, Mapping[str, object]]) -> List[str]:
+    """The non-baseline mechanisms present in a sweep dict, in order."""
+    for series in sweep.values():
+        return [mech for mech in series if mech != "none"]
+    return []
+
+
 def _with_mean(series: Dict[str, float]) -> Dict[str, float]:
-    """Append the cross-application average, as the paper's figures do."""
-    values = list(series.values())
+    """Append the cross-application average, as the paper's figures do.
+
+    ``FAILED`` cells are excluded from the mean (it averages the cells
+    that did run) but stay in the series so reports show the marker.
+    """
+    values = [v for v in series.values() if not _failed(v)]
     out = dict(series)
     out["mean"] = statistics.mean(values) if values else 0.0
     return out
@@ -87,7 +134,7 @@ def figure3(scale: float = 1.0, seed: int = 1) -> Dict[str, float]:
     """Reservation fails / total L1 accesses, baseline GPU."""
     sweep = comparison_sweep(["none"], scale=scale, seed=seed)
     return _with_mean(
-        {app: sweep[app]["none"].reservation_fail_rate for app in sweep}
+        {app: _metric(sweep[app]["none"], "reservation_fail_rate") for app in sweep}
     )
 
 
@@ -95,7 +142,7 @@ def figure4(scale: float = 1.0, seed: int = 1) -> Dict[str, float]:
     """L1<->L2 interconnect bandwidth utilization, baseline GPU."""
     sweep = comparison_sweep(["none"], scale=scale, seed=seed)
     return _with_mean(
-        {app: sweep[app]["none"].bandwidth_utilization for app in sweep}
+        {app: _metric(sweep[app]["none"], "bandwidth_utilization") for app in sweep}
     )
 
 
@@ -103,7 +150,7 @@ def figure5(scale: float = 1.0, seed: int = 1) -> Dict[str, float]:
     """Memory stalls / total stalls, baseline GPU."""
     sweep = comparison_sweep(["none"], scale=scale, seed=seed)
     return _with_mean(
-        {app: sweep[app]["none"].memory_stall_fraction for app in sweep}
+        {app: _metric(sweep[app]["none"], "memory_stall_fraction") for app in sweep}
     )
 
 
@@ -115,7 +162,7 @@ def figure6(scale: float = 1.0, seed: int = 1) -> Dict[str, Dict[str, float]]:
     out: Dict[str, Dict[str, float]] = {}
     for mech in MOTIVATION_POINTS:
         out[mech] = _with_mean(
-            {app: sweep[app][mech].coverage for app in sweep}
+            {app: _metric(sweep[app][mech], "coverage") for app in sweep}
         )
     return out
 
@@ -158,58 +205,101 @@ def figure11(scale: float = 1.0, seed: int = 1) -> Dict[str, Dict[str, float]]:
 
 # ---------------------------------------------------------------------------
 # Main evaluation (Figs 16-19).
+#
+# Each figure has a ``_from`` form that derives the series from an already
+# materialized sweep dict (``comparison_sweep`` output or the checkpointed
+# ``snake-repro sweep``'s ``SweepResult.cells()``).  FAILED cells propagate
+# into the series so the reports can render ``FAILED(reason)`` markers; a
+# failed *baseline* poisons the derived ratios for that app too.
+
+
+def figure16_from(sweep: Mapping[str, Mapping]) -> Dict[str, Dict[str, float]]:
+    """Prefetch coverage per mechanism, from a materialized sweep."""
+    return {
+        mech: _with_mean({app: _metric(sweep[app][mech], "coverage") for app in sweep})
+        for mech in _sweep_mechanisms(sweep)
+    }
+
+
+def figure17_from(sweep: Mapping[str, Mapping]) -> Dict[str, Dict[str, float]]:
+    """Prefetch (timely) accuracy per mechanism, from a materialized sweep."""
+    return {
+        mech: _with_mean({app: _metric(sweep[app][mech], "accuracy") for app in sweep})
+        for mech in _sweep_mechanisms(sweep)
+    }
+
+
+def figure18_from(sweep: Mapping[str, Mapping]) -> Dict[str, Dict[str, float]]:
+    """IPC normalized to the baseline GPU, from a materialized sweep.
+
+    Apps whose baseline has zero IPC are skipped (as before); apps whose
+    baseline or mechanism cell FAILED keep the failure marker.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for mech in _sweep_mechanisms(sweep):
+        series: Dict[str, float] = {}
+        for app in sweep:
+            cell, base = sweep[app][mech], sweep[app].get("none")
+            if base is None:
+                continue  # sweep ran without a baseline: nothing to normalize by
+            if _failed(cell):
+                series[app] = cell
+            elif _failed(base):
+                series[app] = base
+            elif base.ipc:
+                series[app] = cell.ipc / base.ipc
+        out[mech] = _with_mean(series)
+    return out
+
+
+def figure19_from(
+    sweep: Mapping[str, Mapping], config: Optional[GPUConfig] = None
+) -> Dict[str, Dict[str, float]]:
+    """Energy normalized to the baseline GPU, from a materialized sweep."""
+    config = config or GPUConfig.scaled()
+    out: Dict[str, Dict[str, float]] = {}
+    for mech in _sweep_mechanisms(sweep):
+        series: Dict[str, float] = {}
+        for app in sweep:
+            cell, base_cell = sweep[app][mech], sweep[app].get("none")
+            if base_cell is None:
+                continue
+            if _failed(cell):
+                series[app] = cell
+                continue
+            if _failed(base_cell):
+                series[app] = base_cell
+                continue
+            base = energy_of(base_cell, config.num_sms).total_j
+            mech_energy = energy_of(
+                cell, config.num_sms, prefetcher_present=True
+            ).total_j
+            if base:
+                series[app] = mech_energy / base
+        out[mech] = _with_mean(series)
+    return out
 
 
 def figure16(scale: float = 1.0, seed: int = 1) -> Dict[str, Dict[str, float]]:
     """Prefetch coverage of the ten comparison points."""
-    sweep = comparison_sweep(scale=scale, seed=seed)
-    return {
-        mech: _with_mean({app: sweep[app][mech].coverage for app in sweep})
-        for mech in COMPARISON_POINTS
-    }
+    return figure16_from(comparison_sweep(scale=scale, seed=seed))
 
 
 def figure17(scale: float = 1.0, seed: int = 1) -> Dict[str, Dict[str, float]]:
     """Prefetch (timely) accuracy of the ten comparison points."""
-    sweep = comparison_sweep(scale=scale, seed=seed)
-    return {
-        mech: _with_mean({app: sweep[app][mech].accuracy for app in sweep})
-        for mech in COMPARISON_POINTS
-    }
+    return figure17_from(comparison_sweep(scale=scale, seed=seed))
 
 
 def figure18(scale: float = 1.0, seed: int = 1) -> Dict[str, Dict[str, float]]:
     """IPC normalized to the baseline GPU."""
-    sweep = comparison_sweep(scale=scale, seed=seed)
-    out: Dict[str, Dict[str, float]] = {}
-    for mech in COMPARISON_POINTS:
-        series = {
-            app: sweep[app][mech].ipc / sweep[app]["none"].ipc
-            for app in sweep
-            if sweep[app]["none"].ipc
-        }
-        out[mech] = _with_mean(series)
-    return out
+    return figure18_from(comparison_sweep(scale=scale, seed=seed))
 
 
 def figure19(
     scale: float = 1.0, seed: int = 1, config: Optional[GPUConfig] = None
 ) -> Dict[str, Dict[str, float]]:
     """Energy normalized to the baseline GPU (Snake and key competitors)."""
-    config = config or GPUConfig.scaled()
-    sweep = comparison_sweep(scale=scale, seed=seed)
-    out: Dict[str, Dict[str, float]] = {}
-    for mech in COMPARISON_POINTS:
-        series = {}
-        for app in sweep:
-            base = energy_of(sweep[app]["none"], config.num_sms).total_j
-            mech_energy = energy_of(
-                sweep[app][mech], config.num_sms, prefetcher_present=True
-            ).total_j
-            if base:
-                series[app] = mech_energy / base
-        out[mech] = _with_mean(series)
-    return out
+    return figure19_from(comparison_sweep(scale=scale, seed=seed), config=config)
 
 
 # ---------------------------------------------------------------------------

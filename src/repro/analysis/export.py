@@ -62,6 +62,8 @@ def to_json(result: Mapping, path: Pathish) -> Path:
             return {str(k): coerce(v) for k, v in obj.items()}
         if isinstance(obj, tuple):
             return list(obj)
+        if not isinstance(obj, (int, float, str, bool, type(None))):
+            return str(obj)  # e.g. a FailedResult marker -> "FAILED(kind)"
         return obj
 
     path = Path(path)

@@ -12,6 +12,10 @@ Number = Union[int, float]
 
 
 def _fmt(value: Number, percent: bool) -> str:
+    # Non-numbers are failure markers (repro.runner.FailedResult renders
+    # as "FAILED(kind)"): show them verbatim in the failed cell.
+    if not isinstance(value, (int, float)):
+        return "%7s" % value
     if percent:
         return "%6.1f%%" % (100.0 * value)
     if isinstance(value, int):
@@ -24,7 +28,7 @@ _BAR_WIDTH = 32
 
 def _bar(value: Number, peak: Number) -> str:
     """A proportional ASCII bar, so CLI output reads like the figure."""
-    if peak <= 0:
+    if peak <= 0 or not isinstance(value, (int, float)):
         return ""
     filled = int(round(_BAR_WIDTH * max(0.0, min(1.0, value / peak))))
     return "|" + "#" * filled
@@ -35,7 +39,9 @@ def render_series(
 ) -> str:
     """One-row figure (app -> value), with proportional bars."""
     lines = [title, "-" * len(title)]
-    peak = max((v for v in series.values()), default=0)
+    peak = max(
+        (v for v in series.values() if isinstance(v, (int, float))), default=0
+    )
     for name, value in series.items():
         lines.append(
             "%-10s %s %s" % (name, _fmt(value, percent), _bar(value, peak))

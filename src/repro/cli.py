@@ -11,9 +11,15 @@ Usage::
     snake-repro trace lps            # Chrome-trace JSON + per-PC metrics
     snake-repro profile histo        # per-PC / per-warp metric tables
 
+    snake-repro sweep --jobs 4 --timeout 600 \
+        --checkpoint sweep.jsonl     # fault-tolerant parallel grid
+    snake-repro sweep --resume --checkpoint sweep.jsonl
+
 (The ``repro`` entry point is an alias of ``snake-repro``.)  ``trace``
 and ``profile`` run one workload with the :mod:`repro.obs` telemetry bus
 attached — see ``docs/OBSERVABILITY.md`` for the full walkthrough.
+``sweep`` runs the comparison grid through the crash-isolated
+:mod:`repro.runner` — see ``docs/ROBUSTNESS.md``.
 """
 
 from __future__ import annotations
@@ -234,10 +240,142 @@ def _run_obs_command(command: str, argv) -> int:
     return 0
 
 
+def _sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="snake-repro sweep",
+        description="Run the (app x mechanism) comparison grid through the "
+        "fault-tolerant runner: crash-isolated parallel workers, per-job "
+        "timeouts, atomic JSONL checkpointing and --resume.  See "
+        "docs/ROBUSTNESS.md.",
+    )
+    parser.add_argument(
+        "--apps", default=None,
+        help="comma-separated workload names (default: all benchmarks)",
+    )
+    parser.add_argument(
+        "--mechanisms", default=None,
+        help="comma-separated mechanisms (default: none + all comparison points)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="parallel worker processes (default: min(4, cores-1); 0 = in-process)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-job wall-clock timeout in seconds (default: none)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="max attempts for a crashed job (default: 2)",
+    )
+    parser.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="JSONL checkpoint file (enables --resume)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="reuse finished jobs from --checkpoint instead of starting fresh",
+    )
+    parser.add_argument(
+        "--retry-failed", action="store_true",
+        help="with --resume, re-run jobs whose checkpoint record is a failure",
+    )
+    parser.add_argument("--scale", type=float, default=1.0, help="trace-size multiplier")
+    parser.add_argument("--seed", type=int, default=1, help="workload seed")
+    parser.add_argument("--csv", metavar="PATH", help="export the IPC matrix as CSV")
+    parser.add_argument("--json", metavar="PATH", help="export the IPC matrix as JSON")
+    return parser
+
+
+def _run_sweep_command(argv) -> int:
+    from repro.prefetch import COMPARISON_POINTS
+    from repro.runner import Checkpoint, default_jobs, grid_specs, run_jobs
+    from repro.workloads import BENCHMARKS
+
+    args = _sweep_parser().parse_args(argv)
+    apps = (
+        [a for a in args.apps.split(",") if a]
+        if args.apps else list(BENCHMARKS)
+    )
+    mechanisms = (
+        [m for m in args.mechanisms.split(",") if m]
+        if args.mechanisms else ["none"] + COMPARISON_POINTS
+    )
+    if args.resume and not args.checkpoint:
+        print("error: --resume needs --checkpoint PATH", file=sys.stderr)
+        return 2
+    jobs = default_jobs() if args.jobs is None else args.jobs
+
+    specs = grid_specs(apps, mechanisms, scale=args.scale, seed=args.seed)
+    print(
+        "sweep: %d cells (%s x %s), %d worker%s%s"
+        % (
+            len(specs), ",".join(apps), ",".join(mechanisms), jobs,
+            "" if jobs == 1 else "s",
+            " [resuming %s]" % args.checkpoint if args.resume else "",
+        )
+    )
+
+    def progress(key, spec, outcome):
+        if getattr(outcome, "failed", False):
+            print("  ! %-28s %s" % (spec.label(), outcome))
+        else:
+            print("  . %-28s ipc=%.3f" % (spec.label(), outcome.ipc))
+
+    try:
+        ckpt = Checkpoint.load(args.checkpoint) if args.checkpoint else None
+        result = run_jobs(
+            specs,
+            jobs=jobs,
+            timeout=args.timeout,
+            retries=args.retries,
+            checkpoint=ckpt,
+            resume=args.resume,
+            retry_failed=args.retry_failed,
+            on_result=progress,
+        )
+    except (OSError, ValueError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+    sweep = result.cells()
+    print()
+    print(report.render_matrix(
+        "Sweep: prefetch coverage", experiments.figure16_from(sweep), percent=True
+    ))
+    print()
+    ipc = experiments.figure18_from(sweep)
+    if any(ipc.values()):
+        print(report.render_matrix(
+            "Sweep: IPC vs baseline", ipc, percent=False
+        ))
+        print()
+    if args.csv or args.json:
+        from repro.analysis import export
+
+        data = ipc if any(ipc.values()) else experiments.figure16_from(sweep)
+        if args.csv:
+            export.to_csv(data, args.csv)
+        if args.json:
+            export.to_json(data, args.json)
+    print(
+        "sweep: %d jobs (%d executed, %d reused), %d failed"
+        % (len(result.results), result.executed, result.reused, result.failed)
+    )
+    if not result.ok:
+        for key, res in result.results.items():
+            if getattr(res, "failed", False):
+                print("  FAILED %-28s %s" % (result.specs[key].label(), res.message))
+        return 3
+    return 0
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] in ("trace", "profile"):
         return _run_obs_command(argv[0], argv[1:])
+    if argv and argv[0] == "sweep":
+        return _run_sweep_command(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="snake-repro",
@@ -255,7 +393,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
-        print("\n".join(sorted(EXPERIMENTS) + ["claims", "profile", "trace"]))
+        print("\n".join(sorted(EXPERIMENTS) + ["claims", "profile", "sweep", "trace"]))
         return 0
     if args.experiment == "claims":
         from repro.analysis.claims import check_claims, render_claims

@@ -9,7 +9,34 @@ the paper's results are preserved.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
+from typing import List, Mapping
+
+
+class InvalidConfigError(ValueError):
+    """A configuration carries nonsensical parameters.
+
+    One exception reports *every* violation found (``violations`` keeps the
+    individual messages), so a mis-generated sweep config is diagnosed in a
+    single round trip instead of one field at a time.  Subclasses
+    ``ValueError`` so pre-existing ``except ValueError`` call sites keep
+    working.
+    """
+
+    def __init__(self, violations) -> None:
+        self.violations: List[str] = list(violations)
+        super().__init__(
+            "invalid GPU configuration (%d problem%s):\n%s"
+            % (
+                len(self.violations),
+                "" if len(self.violations) == 1 else "s",
+                "\n".join("  - " + v for v in self.violations),
+            )
+        )
+
+
+def _is_pow2(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
 
 
 @dataclass(frozen=True)
@@ -127,17 +154,114 @@ class GPUConfig:
     telemetry: bool = False
     telemetry_bucket_cycles: int = 1000
 
+    # Resilience (repro.runner / docs/ROBUSTNESS.md).  ``watchdog_cycles``
+    # is the forward-progress window: if no instruction retires and no
+    # memory request drains for this many cycles, ``GPU.run`` raises
+    # ``SimulationHangError`` with a state dump (0 disables).
+    # ``max_cycles`` is the hard deadman: any SM clock passing it aborts
+    # the run the same way (0 = unlimited).
+    watchdog_cycles: int = 100_000
+    max_cycles: int = 0
+
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Check every field; raise one :class:`InvalidConfigError` listing
+        all violations (no-op on a sane config).
+
+        Runs from ``__post_init__`` (so an invalid config cannot be
+        constructed) and again from ``GPU.__init__`` as a guard against
+        configs rebuilt through serialization side channels.
+        """
+        v: List[str] = []
         if self.num_sms < 1:
-            raise ValueError("num_sms must be >= 1")
+            v.append("num_sms must be >= 1 (got %d)" % self.num_sms)
         if self.warp_size < 1:
-            raise ValueError("warp_size must be >= 1")
+            v.append("warp_size must be >= 1 (got %d)" % self.warp_size)
+        if self.max_threads_per_sm < self.warp_size:
+            v.append(
+                "max_threads_per_sm (%d) must hold at least one warp (%d)"
+                % (self.max_threads_per_sm, self.warp_size)
+            )
+        if self.schedulers_per_sm < 1:
+            v.append("schedulers_per_sm must be >= 1")
+        if self.issue_width < 1:
+            v.append("issue_width must be >= 1")
+        if self.replay_interval < 1:
+            v.append("replay_interval must be >= 1")
+        for label, cache in (("l1", self.l1), ("l2", self.l2)):
+            if not _is_pow2(cache.line_bytes):
+                v.append(
+                    "%s line size must be a power of two (got %d)"
+                    % (label, cache.line_bytes)
+                )
+        if self.l1_sector_bytes and (
+            not _is_pow2(self.l1_sector_bytes)
+            or self.l1.line_bytes % self.l1_sector_bytes != 0
+        ):
+            v.append(
+                "l1_sector_bytes must be a power of two dividing the line "
+                "size (got %d for %dB lines)"
+                % (self.l1_sector_bytes, self.l1.line_bytes)
+            )
+        if self.shared_mem_bytes < 0:
+            v.append("shared_mem_bytes must be >= 0")
+        elif self.shared_mem_bytes >= self.l1.size_bytes:
+            v.append("shared memory cannot consume the whole unified cache")
+        if self.mshr_entries < 1:
+            v.append("mshr_entries must be >= 1 (got %d)" % self.mshr_entries)
+        if self.mshr_merge < 1:
+            v.append("mshr_merge must be >= 1 (got %d)" % self.mshr_merge)
+        if self.miss_queue_depth < 1:
+            v.append("miss_queue_depth must be >= 1 (got %d)" % self.miss_queue_depth)
+        if self.l2_banks < 1:
+            v.append("l2_banks must be >= 1 (got %d)" % self.l2_banks)
+        if self.icnt_bytes_per_cycle < 1:
+            v.append(
+                "icnt_bytes_per_cycle must be >= 1 (got %d)"
+                % self.icnt_bytes_per_cycle
+            )
+        if self.icnt_latency < 0:
+            v.append("icnt_latency must be >= 0")
+        if self.dram_channels < 1:
+            v.append("dram_channels must be >= 1 (got %d)" % self.dram_channels)
+        if self.dram_banks_per_channel < 1:
+            v.append("dram_banks_per_channel must be >= 1")
+        if self.dram_row_bytes < 1:
+            v.append("dram_row_bytes must be >= 1")
         if not 0.0 < self.dram_clock_ratio <= 1.0:
-            raise ValueError("dram_clock_ratio must be in (0, 1]")
+            v.append(
+                "dram_clock_ratio must be in (0, 1] (got %g)" % self.dram_clock_ratio
+            )
+        if self.tail_entries < 1:
+            v.append("tail_entries must be >= 1 (got %d)" % self.tail_entries)
+        if self.head_entries < 1:
+            v.append("head_entries must be >= 1 (got %d)" % self.head_entries)
+        if self.throttle_interval < 0:
+            v.append("throttle_interval must be >= 0")
+        if not 0.0 <= self.throttle_bw_low <= self.throttle_bw_high <= 1.0:
+            v.append(
+                "throttle bandwidth thresholds must satisfy "
+                "0 <= low (%g) <= high (%g) <= 1"
+                % (self.throttle_bw_low, self.throttle_bw_high)
+            )
+        if self.train_threshold < 1:
+            v.append("train_threshold must be >= 1")
+        if self.prefetcher_latency < 0:
+            v.append("prefetcher_latency must be >= 0")
+        if self.max_chain_depth < 1:
+            v.append("max_chain_depth must be >= 1")
+        if self.decouple_grace < 0:
+            v.append("decouple_grace must be >= 0")
         if self.telemetry_bucket_cycles < 1:
-            raise ValueError("telemetry_bucket_cycles must be >= 1")
-        if self.shared_mem_bytes >= self.l1.size_bytes:
-            raise ValueError("shared memory cannot consume the whole unified cache")
+            v.append("telemetry_bucket_cycles must be >= 1")
+        if self.watchdog_cycles < 0:
+            v.append("watchdog_cycles must be >= 0 (0 disables the watchdog)")
+        if self.max_cycles < 0:
+            v.append("max_cycles must be >= 0 (0 = unlimited)")
+        if v:
+            raise InvalidConfigError(v)
 
     @property
     def max_warps_per_sm(self) -> int:
@@ -176,3 +300,26 @@ class GPUConfig:
     def with_(self, **kwargs) -> "GPUConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
+
+    def to_dict(self) -> dict:
+        """Plain-data form (nested dataclasses become dicts) — JSON-safe, so
+        a config can ride in a :mod:`repro.runner` job spec or checkpoint."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "GPUConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown fields raise :class:`InvalidConfigError` (a checkpoint
+        written by a newer revision should fail loudly, not half-apply).
+        """
+        data = dict(data)
+        try:
+            for key, sub in (("l1", CacheConfig), ("l2", CacheConfig), ("dram", DRAMTimings)):
+                if isinstance(data.get(key), Mapping):
+                    data[key] = sub(**data[key])
+            return cls(**data)
+        except InvalidConfigError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise InvalidConfigError([str(exc)]) from exc

@@ -20,6 +20,9 @@ from .sm import SM
 from .stats import SimStats
 from .trace import KernelTrace
 from .unified_cache import StorageMode
+from .watchdog import SimulationHangError, Watchdog
+
+__all__ = ["GPU", "SimulationHangError", "simulate"]
 
 
 class GPU:
@@ -36,6 +39,9 @@ class GPU:
         from repro.core.throttle import NullThrottle
 
         self.config = config or GPUConfig.scaled()
+        # Belt-and-braces: dataclass construction already validates, but
+        # configs can arrive rebuilt from checkpoints / job specs.
+        self.config.validate()
         self._prefetcher_factory = prefetcher_factory or (
             lambda: create_prefetcher("none")
         )
@@ -109,11 +115,22 @@ class GPU:
         for sm in self.sms:
             sm.start()
         active = list(self.sms)
+        watchdog = (
+            Watchdog(self, self.config.watchdog_cycles, self.config.max_cycles)
+            if (self.config.watchdog_cycles or self.config.max_cycles)
+            else None
+        )
+        iterations = 0
         while active:
             sm = min(active, key=lambda s: s.now)
             if not sm.step():
                 sm.finalize()
                 active.remove(sm)
+            iterations += 1
+            # The progress signature sums counters over all SMs, so sample
+            # it sparsely rather than per step.
+            if watchdog is not None and iterations & 0xFF == 0:
+                watchdog.check(sm.now)
 
         total = SimStats()
         for sm in self.sms:

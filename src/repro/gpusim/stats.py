@@ -9,7 +9,7 @@ classification, interconnect traffic, and prefetch bookkeeping
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict
 
 
@@ -191,6 +191,22 @@ class SimStats:
         p.unused_evicted += q.unused_evicted
         p.early_evictions += q.early_evictions
         p.table_accesses += q.table_accesses
+
+    def to_json_dict(self) -> dict:
+        """Lossless plain-data form (every raw counter, prefetch nested) —
+        the :mod:`repro.runner` checkpoint format.  Round-trips exactly
+        through :meth:`from_json_dict`, so figures computed from a resumed
+        sweep are byte-identical to an uninterrupted one."""
+        return asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "SimStats":
+        """Rebuild from :meth:`to_json_dict` output."""
+        data = dict(data)
+        prefetch = data.pop("prefetch", None) or {}
+        stats = cls(**data)
+        stats.prefetch = PrefetchStats(**prefetch)
+        return stats
 
     def as_dict(self) -> Dict[str, float]:
         """Flat metric dictionary for reporting."""

@@ -28,6 +28,26 @@ _OP_CODE = {op: op.value for op in Op}
 _CODE_OP = {op.value: op for op in Op}
 
 
+class TraceFormatError(ValueError):
+    """A trace file is malformed (truncated, corrupt, or wrong schema).
+
+    Carries the byte ``offset`` of the offending line and its ``record_index``
+    (0 = header) so the broken spot can be inspected directly, instead of an
+    opaque ``struct.error`` / ``IndexError`` from deep inside decoding.
+    Subclasses ``ValueError`` for compatibility with pre-existing callers.
+    """
+
+    def __init__(self, message: str, *, path=None, offset: int = 0,
+                 record_index: int = 0) -> None:
+        self.path = str(path) if path is not None else None
+        self.offset = offset
+        self.record_index = record_index
+        where = "record %d at byte offset %d" % (record_index, offset)
+        if self.path:
+            where = "%s, %s" % (self.path, where)
+        super().__init__("%s (%s)" % (message, where))
+
+
 def _encode_instr(instr: WarpInstr) -> list:
     if instr.is_mem:
         return [
@@ -42,8 +62,15 @@ def _encode_instr(instr: WarpInstr) -> list:
 
 
 def _decode_instr(record: list) -> WarpInstr:
+    if not isinstance(record, list) or len(record) not in (2, 6):
+        raise ValueError(
+            "instruction record must have 2 or 6 fields, got %r" % (record,)
+        )
+    opcode = record[1]
+    if opcode not in _CODE_OP:
+        raise ValueError("unknown opcode %r" % (opcode,))
     if len(record) == 2:
-        return WarpInstr(pc=record[0], op=_CODE_OP[record[1]])
+        return WarpInstr(pc=record[0], op=_CODE_OP[opcode])
     pc, op, base, stride, size, divergent = record
     return WarpInstr(
         pc=pc,
@@ -74,32 +101,64 @@ def save_trace(kernel: KernelTrace, path: Union[str, Path]) -> Path:
 
 
 def load_trace(path: Union[str, Path]) -> KernelTrace:
-    """Read a kernel trace written by :func:`save_trace`."""
+    """Read a kernel trace written by :func:`save_trace`.
+
+    Truncated or corrupt files raise :class:`TraceFormatError` pinpointing
+    the byte offset and record index of the damage.
+    """
     path = Path(path)
-    with path.open() as handle:
-        header = json.loads(handle.readline())
-        if header.get("version") != FORMAT_VERSION:
-            raise ValueError(
-                "unsupported trace version %r (expected %d)"
-                % (header.get("version"), FORMAT_VERSION)
-            )
-        kernel = KernelTrace(name=header["kernel"])
-        current: List[WarpTrace] = []
-        for line in handle:
-            record = json.loads(line)
-            if "cta" in record:
-                cta = CTA(cta_id=record["cta"])
-                kernel.ctas.append(cta)
-                current = cta.warps
-            elif "warp" in record:
-                if not kernel.ctas:
-                    raise ValueError("warp record before any CTA record")
-                current.append(
-                    WarpTrace(
-                        warp_id=record["warp"],
-                        instrs=[_decode_instr(r) for r in record["instrs"]],
-                    )
+    raw = path.read_bytes()
+
+    def fail(message: str, offset: int, index: int) -> "TraceFormatError":
+        return TraceFormatError(
+            message, path=path, offset=offset, record_index=index
+        )
+
+    offset = 0
+    kernel: KernelTrace = None  # set by the header record
+    current: List[WarpTrace] = []
+    for index, line in enumerate(raw.split(b"\n")):
+        if not line.strip():
+            offset += len(line) + 1
+            continue
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise fail(
+                "malformed JSON line (truncated file?): %s" % exc, offset, index
+            ) from exc
+        if not isinstance(record, dict):
+            raise fail("trace record is not an object: %r" % (record,), offset, index)
+
+        if kernel is None:
+            if "kernel" not in record:
+                raise fail("first record is not a trace header", offset, index)
+            if record.get("version") != FORMAT_VERSION:
+                raise fail(
+                    "unsupported trace version %r (expected %d)"
+                    % (record.get("version"), FORMAT_VERSION),
+                    offset, index,
                 )
-            else:
-                raise ValueError("unrecognized trace record: %r" % record)
+            kernel = KernelTrace(name=record["kernel"])
+        elif "cta" in record:
+            cta = CTA(cta_id=record["cta"])
+            kernel.ctas.append(cta)
+            current = cta.warps
+        elif "warp" in record:
+            if not kernel.ctas:
+                raise fail("warp record before any CTA record", offset, index)
+            instrs = record.get("instrs")
+            if not isinstance(instrs, list):
+                raise fail("warp record carries no instruction list", offset, index)
+            try:
+                decoded = [_decode_instr(r) for r in instrs]
+            except (ValueError, TypeError, KeyError, IndexError) as exc:
+                raise fail("corrupt instruction record: %s" % exc, offset, index) from exc
+            current.append(WarpTrace(warp_id=record["warp"], instrs=decoded))
+        else:
+            raise fail("unrecognized trace record: %r" % record, offset, index)
+        offset += len(line) + 1
+
+    if kernel is None:
+        raise fail("empty trace file (no header record)", 0, 0)
     return kernel

@@ -1,0 +1,161 @@
+"""Forward-progress watchdog for :meth:`repro.gpusim.gpu.GPU.run`.
+
+A buggy prefetcher, a corrupt trace or a pathological configuration can
+livelock the timing model (e.g. a reservation-fail replay storm where every
+retry fails again).  Instead of spinning forever inside a sweep, the GPU
+periodically hands the watchdog a *progress signature* — counters that only
+move when an instruction retires or a memory request drains.  If simulated
+time advances by more than ``GPUConfig.watchdog_cycles`` with the signature
+frozen, the run is declared hung and :class:`SimulationHangError` carries a
+diagnostic state dump (per-SM warp states, MSHR occupancy, in-flight
+NoC/L2/DRAM queues) out to the caller.
+
+Two details keep false positives out:
+
+* **Reservation fails are not progress.**  The signature counts retired
+  instructions, serviced demand accesses, L2 traffic and DRAM reads — a
+  replay loop bumps only ``l1_reservation_fails``, which is exactly the
+  livelock signature, so it is excluded.
+* **Two-strike rule.**  The event-driven SM can legally jump its clock far
+  into the future in a single step (every warp sleeping on a distant fill).
+  A single over-window gap therefore only arms the watchdog; it fires on
+  the *second* consecutive check without progress, by which point a live
+  simulation would have retired something.
+
+``GPUConfig.max_cycles`` is the blunt companion: a hard deadman on the SM
+clock itself (0 = unlimited), for when any bound on total runtime is known.
+Tuning guidance lives in ``docs/ROBUSTNESS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+class SimulationHangError(RuntimeError):
+    """The simulation stopped making forward progress (or passed the
+    ``max_cycles`` deadman).  ``state_dump`` holds the machine state at
+    detection time; ``reason`` is ``no_forward_progress`` or ``max_cycles``."""
+
+    def __init__(self, message: str, reason: str = "no_forward_progress",
+                 state_dump=None) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.state_dump = dict(state_dump or {})
+
+
+def collect_state_dump(gpu, max_warps_per_sm: int = 64) -> dict:
+    """Snapshot the machine for hang diagnosis.
+
+    Everything is plain data (ints/strings/lists) so the dump survives a
+    trip through the runner's pipe and the JSONL checkpoint.
+    """
+    sms = []
+    for sm in gpu.sms:
+        warps = []
+        for warp in sm._warps:
+            if warp.finished:
+                continue
+            if len(warps) >= max_warps_per_sm:
+                break
+            warps.append(
+                {
+                    "warp_id": warp.warp_id,
+                    "cta_id": warp.cta_id,
+                    "ip": warp.ip,
+                    "ready_at": warp.ready_at,
+                    "at_barrier": warp.at_barrier,
+                    "waiting_on_memory": warp.waiting_on_memory,
+                    "replay_lines": len(warp.replay_lines),
+                }
+            )
+        sms.append(
+            {
+                "sm_id": sm.sm_id,
+                "now": sm.now,
+                "live_warps": sum(1 for w in sm._warps if not w.finished),
+                "queued_ctas": len(sm._cta_queue),
+                "instructions": sm.stats.instructions,
+                "mshr_occupancy": sm.l1.mshr_occupancy,
+                "miss_queue_depth": len(sm.l1._miss_queue),
+                "icnt_req_next_free": sm.icnt_req.next_free,
+                "icnt_resp_next_free": sm.icnt_resp.next_free,
+                "warps": warps,
+            }
+        )
+    return {
+        "sms": sms,
+        "l2": {
+            "hits": gpu.l2.hits,
+            "misses": gpu.l2.misses,
+            "inflight_lines": len(gpu.l2._inflight),
+            "bank_next_free": list(gpu.l2._bank_next_free),
+        },
+        "dram": {
+            "reads": gpu.dram.reads,
+            "row_hits": gpu.dram.row_hits,
+            "row_misses": gpu.dram.row_misses,
+        },
+    }
+
+
+class Watchdog:
+    """Tracks the progress signature across ``GPU.run_many`` loop checks."""
+
+    def __init__(self, gpu, window_cycles: int, max_cycles: int) -> None:
+        self.gpu = gpu
+        self.window = window_cycles
+        self.max_cycles = max_cycles
+        self._last_signature: Tuple[int, ...] = ()
+        self._last_progress_now = 0
+        self._strikes = 0
+
+    def _signature(self) -> Tuple[int, ...]:
+        instructions = 0
+        demand = 0
+        finished = 0
+        for sm in self.gpu.sms:
+            stats = sm.stats
+            instructions += stats.instructions
+            finished += stats.warps_finished
+            # Excludes reservation fails on purpose: a replay storm that
+            # never succeeds must read as "no progress".
+            demand += stats.l1_hits + stats.l1_misses + stats.l1_reserved
+        l2 = self.gpu.l2
+        return (
+            instructions,
+            finished,
+            demand,
+            l2.hits + l2.misses,
+            self.gpu.dram.reads,
+        )
+
+    def check(self, now: int) -> None:
+        """Raise :class:`SimulationHangError` if the run is hung at ``now``."""
+        if self.max_cycles and now > self.max_cycles:
+            raise SimulationHangError(
+                "simulation passed the max_cycles deadman (%d > %d)"
+                % (now, self.max_cycles),
+                reason="max_cycles",
+                state_dump=collect_state_dump(self.gpu),
+            )
+        if not self.window:
+            return
+        signature = self._signature()
+        if signature != self._last_signature:
+            self._last_signature = signature
+            self._last_progress_now = now
+            self._strikes = 0
+            return
+        if now - self._last_progress_now < self.window:
+            return
+        self._strikes += 1
+        if self._strikes < 2:
+            return
+        raise SimulationHangError(
+            "no forward progress for %d cycles (window %d): no instruction "
+            "retired and no memory request drained since cycle %d"
+            % (now - self._last_progress_now, self.window, self._last_progress_now),
+            reason="no_forward_progress",
+            state_dump=collect_state_dump(self.gpu),
+        )

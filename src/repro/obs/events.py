@@ -41,6 +41,7 @@ class EventKind(enum.IntEnum):
     CHAIN_WALK = 7  # Snake walked a chain and produced requests
     DRAM_ROW_ACTIVATE = 8  # a DRAM bank opened a new row
     L2_ACCESS = 9  # one request serviced by the shared L2
+    RUNNER_JOB = 10  # sweep-runner job lifecycle transition (repro.runner)
 
 
 @dataclass
@@ -164,6 +165,29 @@ class L2AccessEvent(Event):
     hit: bool = False
 
     kind = EventKind.L2_ACCESS
+
+
+@dataclass
+class RunnerJobEvent(Event):
+    """One :mod:`repro.runner` job lifecycle transition.
+
+    These live in the wall-clock domain, not simulated time: ``cycle`` is 0
+    and ``sm_id`` is -1 (shared).  ``phase`` is ``start`` / ``retry`` /
+    ``done`` / ``failed`` / ``reused``; ``error_kind`` names the taxonomy
+    class on ``retry``/``failed`` (``JobTimeout``, ``JobCrash``,
+    ``SimulationHang``, ``InvalidConfig``).  Sinks that only understand
+    simulation events ignore the kind, by design.
+    """
+
+    key: str = ""
+    app: str = ""
+    mechanism: str = ""
+    phase: str = "start"
+    attempt: int = 1
+    error_kind: str = ""
+    elapsed_s: float = 0.0
+
+    kind = EventKind.RUNNER_JOB
 
 
 class Sink:

@@ -1,0 +1,55 @@
+"""Fault-tolerant experiment execution (the sweep runner).
+
+The paper's evaluation is a large (app x mechanism x config x scale x
+seed) grid; this package makes running it resilient:
+
+* :mod:`repro.runner.jobs` — :class:`JobSpec` (one grid cell) and the
+  deterministic :func:`job_hash` that is the cell's identity everywhere.
+* :mod:`repro.runner.pool` — :func:`run_jobs` / :func:`run_grid`:
+  crash-isolated subprocess execution with per-job timeouts, bounded
+  retry with exponential backoff, and graceful ``FailedResult`` cells.
+* :mod:`repro.runner.checkpoint` — atomic JSONL checkpointing and the
+  ``--resume`` semantics.
+* :mod:`repro.runner.errors` — the structured error taxonomy
+  (``JobTimeout`` / ``JobCrash`` / ``SimulationHang`` / ``InvalidConfig``).
+
+The full walkthrough (formats, tuning, chaos hooks) is
+``docs/ROBUSTNESS.md``; the CLI front end is ``snake-repro sweep``.
+"""
+
+from .checkpoint import Checkpoint, CheckpointError
+from .errors import (
+    ERROR_KINDS,
+    FailedResult,
+    InvalidConfig,
+    InvalidConfigError,
+    JobCrash,
+    JobError,
+    JobTimeout,
+    SimulationHang,
+    SimulationHangError,
+)
+from .jobs import JobSpec, execute_job, job_hash
+from .pool import SweepResult, default_jobs, grid_specs, run_grid, run_jobs
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointError",
+    "ERROR_KINDS",
+    "FailedResult",
+    "InvalidConfig",
+    "InvalidConfigError",
+    "JobCrash",
+    "JobError",
+    "JobSpec",
+    "JobTimeout",
+    "SimulationHang",
+    "SimulationHangError",
+    "SweepResult",
+    "default_jobs",
+    "execute_job",
+    "grid_specs",
+    "job_hash",
+    "run_grid",
+    "run_jobs",
+]

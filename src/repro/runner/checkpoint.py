@@ -1,0 +1,151 @@
+"""Append-only JSONL sweep checkpoint with atomic replace.
+
+One record per finished job (success or permanent failure), keyed by the
+deterministic job hash::
+
+    {"key": "5f0c…", "spec": {...}, "status": "ok",     "attempts": 1,
+     "elapsed_s": 3.1, "stats": {...}}
+    {"key": "a91b…", "spec": {...}, "status": "failed", "attempts": 3,
+     "elapsed_s": 9.0, "error": {"kind": "JobCrash", "message": "...",
+                                 "state_dump": {}}}
+
+Durability strategy: the in-memory record map is the source of truth; every
+:meth:`Checkpoint.append` rewrites the whole file to ``<path>.tmp`` and
+``os.replace``-s it into place.  The rename is atomic on POSIX, so a
+reader (or a resumed run) sees either the previous complete checkpoint or
+the new complete checkpoint — never a torn line.  Sweep cells run for
+seconds while records are a few hundred bytes, so the rewrite cost is
+noise; if a checkpoint produced by some other writer *does* end in a torn
+line, :meth:`Checkpoint.load` drops that trailing fragment rather than
+refusing to resume.
+
+Resume semantics (``docs/ROBUSTNESS.md``): a job whose hash has an ``ok``
+record is never re-run; a ``failed`` record is re-run only when
+``retry_failed`` is requested.  Because the key hashes *every*
+result-relevant knob, resuming with a changed grid simply runs the new
+cells and reuses the overlap — no duplicated jobs either way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.gpusim.stats import SimStats
+
+from .errors import FailedResult
+
+FORMAT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """The checkpoint file is unusable (corrupt beyond the trailing line)."""
+
+
+class Checkpoint:
+    """The record map plus its on-disk JSONL mirror."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.records: Dict[str, dict] = {}
+
+    # ------------------------------------------------------------------
+    # Persistence
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Checkpoint":
+        """Read an existing checkpoint (missing file -> empty checkpoint).
+
+        A torn trailing line (killed writer from a non-atomic producer) is
+        dropped; corruption anywhere earlier raises :class:`CheckpointError`
+        — silently skipping completed work would duplicate jobs on resume.
+        """
+        checkpoint = cls(path)
+        path = checkpoint.path
+        if not path.exists():
+            return checkpoint
+        lines = path.read_bytes().split(b"\n")
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                tail = all(not later.strip() for later in lines[index + 1:])
+                if tail:
+                    break  # torn final line: the job simply re-runs
+                raise CheckpointError(
+                    "corrupt checkpoint %s: undecodable record %d (%s)"
+                    % (path, index, exc)
+                ) from exc
+            if not isinstance(record, dict) or "key" not in record:
+                raise CheckpointError(
+                    "corrupt checkpoint %s: record %d has no job key" % (path, index)
+                )
+            checkpoint.records[record["key"]] = record
+        return checkpoint
+
+    def append(self, record: dict) -> None:
+        """Add (or supersede) one record and atomically persist the file."""
+        if "key" not in record:
+            raise CheckpointError("checkpoint record needs a 'key'")
+        self.records[record["key"]] = record
+        self._flush()
+
+    def _flush(self) -> None:
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        payload = "".join(
+            json.dumps(record, sort_keys=True) + "\n"
+            for record in self.records.values()
+        )
+        tmp.write_text(payload)
+        os.replace(tmp, self.path)
+
+    def discard(self) -> None:
+        """Forget all records and remove the file (a non-resume fresh start)."""
+        self.records.clear()
+        if self.path.exists():
+            self.path.unlink()
+
+    # ------------------------------------------------------------------
+    # Interpretation
+
+    def result_for(self, key: str):
+        """Materialize the stored outcome: ``SimStats``, ``FailedResult``,
+        or ``None`` when the key has no record."""
+        record = self.records.get(key)
+        if record is None:
+            return None
+        if record.get("status") == "ok":
+            return SimStats.from_json_dict(record["stats"])
+        return FailedResult.from_json_dict(record.get("error") or {})
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.records
+
+
+def make_record(key: str, spec_dict: dict, result, attempts: int,
+                elapsed_s: float) -> dict:
+    """Build the JSONL record for one finished job."""
+    record = {
+        "version": FORMAT_VERSION,
+        "key": key,
+        "spec": spec_dict,
+        "attempts": attempts,
+        "elapsed_s": round(elapsed_s, 3),
+    }
+    if isinstance(result, FailedResult):
+        record["status"] = "failed"
+        record["error"] = result.to_json_dict()
+    else:
+        record["status"] = "ok"
+        record["stats"] = result.to_json_dict()
+    return record
+
+
+__all__ = ["Checkpoint", "CheckpointError", "make_record"]

@@ -1,0 +1,137 @@
+"""The runner's structured error taxonomy.
+
+Every way a sweep cell can die maps to exactly one class, so retry policy,
+checkpoint records and report markers all branch on one ``kind`` string:
+
+===================  =============================================  =========
+kind                 meaning                                        retried?
+===================  =============================================  =========
+``JobTimeout``       worker exceeded the per-job wall-clock budget  no
+``JobCrash``         worker died (signal/exit) or raised            yes
+``SimulationHang``   the in-simulator watchdog fired                no
+``InvalidConfig``    the job spec can never run (bad config/app)    no
+===================  =============================================  =========
+
+Timeouts and hangs are deterministic for a given (spec, machine-load
+regime) and invalid configs are deterministic outright, so retrying them
+burns the budget for nothing; crashes are treated as transient (OOM kill,
+stray signal) and get bounded retry with exponential backoff.
+
+A cell that still fails after retries becomes a :class:`FailedResult` —
+a stand-in value that flows through sweeps, checkpoints and reports where
+a ``SimStats`` would, rendering as ``FAILED(kind)`` instead of raising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Type
+
+# Re-exported so runner users need one import for the whole taxonomy.
+from repro.gpusim.config import InvalidConfigError
+from repro.gpusim.watchdog import SimulationHangError
+
+
+class JobError(Exception):
+    """Base class: one sweep cell failed. ``kind`` is the stable wire name."""
+
+    kind = "JobError"
+    retryable = False
+
+    def __init__(self, message: str, state_dump: Optional[dict] = None) -> None:
+        super().__init__(message)
+        self.state_dump = dict(state_dump or {})
+
+
+class JobTimeout(JobError):
+    """The worker exceeded the per-job wall-clock timeout and was killed."""
+
+    kind = "JobTimeout"
+
+
+class JobCrash(JobError):
+    """The worker process died (signal / nonzero exit) or raised an
+    unclassified exception.  The one *transient* failure: retried with
+    exponential backoff up to the retry budget."""
+
+    kind = "JobCrash"
+    retryable = True
+
+
+class SimulationHang(JobError):
+    """The forward-progress watchdog (or ``max_cycles`` deadman) fired
+    inside the simulator; ``state_dump`` carries its diagnostic snapshot."""
+
+    kind = "SimulationHang"
+
+
+class InvalidConfig(JobError):
+    """The job spec cannot run: bad GPU configuration, unknown app or
+    mechanism.  Never retried."""
+
+    kind = "InvalidConfig"
+
+
+ERROR_KINDS: Dict[str, Type[JobError]] = {
+    cls.kind: cls for cls in (JobTimeout, JobCrash, SimulationHang, InvalidConfig)
+}
+
+
+def error_from_kind(kind: str, message: str,
+                    state_dump: Optional[dict] = None) -> JobError:
+    """Rebuild a typed error from its wire form (worker pipe / checkpoint)."""
+    return ERROR_KINDS.get(kind, JobCrash)(message, state_dump=state_dump)
+
+
+@dataclass
+class FailedResult:
+    """Graceful stand-in for a cell whose simulation never produced stats.
+
+    Carries ``failed = True`` so figure/report code can detect it with one
+    ``getattr`` and render ``FAILED(kind)`` markers instead of raising.
+    """
+
+    kind: str
+    message: str = ""
+    attempts: int = 1
+    state_dump: dict = field(default_factory=dict)
+
+    failed = True
+
+    @property
+    def reason(self) -> str:
+        return self.kind
+
+    def __str__(self) -> str:
+        return "FAILED(%s)" % self.kind
+
+    def to_json_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "message": self.message,
+            "attempts": self.attempts,
+            "state_dump": self.state_dump,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "FailedResult":
+        return cls(
+            kind=data.get("kind", "JobCrash"),
+            message=data.get("message", ""),
+            attempts=data.get("attempts", 1),
+            state_dump=data.get("state_dump") or {},
+        )
+
+
+__all__ = [
+    "ERROR_KINDS",
+    "FailedResult",
+    "InvalidConfig",
+    "InvalidConfigError",
+    "JobCrash",
+    "JobError",
+    "JobTimeout",
+    "SimulationHang",
+    "SimulationHangError",
+    "error_from_kind",
+]

@@ -30,6 +30,49 @@ class TestArgs:
         assert "lps" in out and "mean" in out
 
 
+class TestSweepCommand:
+    ARGS = [
+        "sweep", "--apps", "lps", "--mechanisms", "none,snake",
+        "--jobs", "0", "--scale", "0.05",
+    ]
+
+    def test_sweep_lists_in_list(self, capsys):
+        assert main(["list"]) == 0
+        assert "sweep" in capsys.readouterr().out.split()
+
+    def test_sweep_runs_and_reports(self, tmp_path, capsys):
+        ckpt = tmp_path / "sweep.jsonl"
+        assert main(self.ARGS + ["--checkpoint", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "2 executed, 0 reused" in out
+        assert "0 failed" in out
+        assert "coverage" in out
+        assert ckpt.exists()
+
+    def test_sweep_resumes_from_checkpoint(self, tmp_path, capsys):
+        ckpt = tmp_path / "sweep.jsonl"
+        assert main(self.ARGS + ["--checkpoint", str(ckpt)]) == 0
+        capsys.readouterr()
+        assert main(self.ARGS + ["--checkpoint", str(ckpt), "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "0 executed, 2 reused" in out
+
+    def test_resume_requires_checkpoint(self, capsys):
+        assert main(["sweep", "--resume"]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_failed_cell_sets_exit_code(self, tmp_path, capsys):
+        assert main(
+            [
+                "sweep", "--apps", "no-such-app", "--mechanisms", "none",
+                "--jobs", "0", "--scale", "0.05",
+            ]
+        ) == 3
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "1 failed" in out
+
+
 class TestRegistryCompleteness:
     def test_every_eval_figure_present(self):
         expected = {

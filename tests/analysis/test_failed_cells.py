@@ -1,0 +1,97 @@
+"""Graceful degradation: FAILED cells flow through figures, reports and
+exports as markers instead of crashing the pipeline."""
+
+import json
+
+from repro.analysis import export, report
+from repro.analysis.experiments import (
+    _with_mean,
+    figure16_from,
+    figure17_from,
+    figure18_from,
+    figure19_from,
+)
+from repro.gpusim.stats import SimStats
+from repro.runner import FailedResult
+
+
+def _stats(cycles=100, instructions=200):
+    return SimStats(cycles=cycles, instructions=instructions)
+
+
+def _hung():
+    return FailedResult(kind="SimulationHang", message="watchdog fired")
+
+
+def _sweep_with_failed_cell():
+    return {
+        "lps": {"none": _stats(100, 150), "snake": _stats(100, 300)},
+        "hotspot": {"none": _stats(100, 100), "snake": _hung()},
+    }
+
+
+class TestWithMean:
+    def test_failed_values_excluded_from_the_mean(self):
+        series = {"a": 2.0, "b": _hung(), "c": 4.0}
+        out = _with_mean(series)
+        assert out["mean"] == 3.0
+        assert out["b"] is series["b"]
+
+    def test_all_failed_means_zero(self):
+        assert _with_mean({"a": _hung()})["mean"] == 0.0
+
+
+class TestFigureHelpers:
+    def test_figure16_keeps_the_marker(self):
+        fig = figure16_from(_sweep_with_failed_cell())
+        assert isinstance(fig["snake"]["hotspot"], FailedResult)
+        assert isinstance(fig["snake"]["lps"], float)
+
+    def test_figure17_keeps_the_marker(self):
+        fig = figure17_from(_sweep_with_failed_cell())
+        assert isinstance(fig["snake"]["hotspot"], FailedResult)
+
+    def test_figure18_ratios_and_markers(self):
+        fig = figure18_from(_sweep_with_failed_cell())
+        assert fig["snake"]["lps"] == 2.0  # 300/150
+        assert isinstance(fig["snake"]["hotspot"], FailedResult)
+        assert fig["snake"]["mean"] == 2.0  # failed cell excluded
+
+    def test_figure18_failed_baseline_poisons_the_ratio(self):
+        sweep = {"lps": {"none": _hung(), "snake": _stats()}}
+        fig = figure18_from(sweep)
+        assert isinstance(fig["snake"]["lps"], FailedResult)
+
+    def test_figure19_keeps_the_marker(self):
+        fig = figure19_from(_sweep_with_failed_cell())
+        assert isinstance(fig["snake"]["hotspot"], FailedResult)
+        assert isinstance(fig["snake"]["lps"], float)
+
+
+class TestRendering:
+    def test_matrix_shows_failed_marker(self):
+        text = report.render_matrix(
+            "fig", figure16_from(_sweep_with_failed_cell()), percent=True
+        )
+        assert "FAILED(SimulationHang)" in text
+
+    def test_series_with_failed_value_renders(self):
+        text = report.render_series("fig", {"ok": 0.5, "bad": _hung()})
+        assert "FAILED(SimulationHang)" in text
+        assert "#" in text  # the healthy cell still gets its bar
+
+
+class TestExport:
+    def test_json_export_coerces_markers(self, tmp_path):
+        path = export.to_json(
+            figure18_from(_sweep_with_failed_cell()), tmp_path / "fig.json"
+        )
+        data = json.loads(path.read_text())
+        assert data["snake"]["hotspot"] == "FAILED(SimulationHang)"
+        assert data["snake"]["lps"] == 2.0
+
+    def test_csv_export_writes_markers(self, tmp_path):
+        path = export.to_csv(
+            figure18_from(_sweep_with_failed_cell()), tmp_path / "fig.csv"
+        )
+        assert "FAILED(SimulationHang)" in path.read_text()

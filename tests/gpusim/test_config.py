@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.gpusim.config import CacheConfig, DRAMTimings, GPUConfig
+from repro.gpusim.config import (
+    CacheConfig,
+    DRAMTimings,
+    GPUConfig,
+    InvalidConfigError,
+)
 
 
 class TestCacheConfig:
@@ -95,6 +100,93 @@ class TestValidation:
     def test_rejects_shared_mem_eating_cache(self):
         with pytest.raises(ValueError):
             GPUConfig(shared_mem_bytes=128 * 1024)
+
+
+class TestInvalidConfigError:
+    """validate() rejects nonsensical parameters with one typed error."""
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_sms", 0),
+            ("warp_size", 0),
+            ("max_threads_per_sm", 16),  # < one warp
+            ("schedulers_per_sm", 0),
+            ("issue_width", 0),
+            ("replay_interval", 0),
+            ("l1_sector_bytes", 48),  # not a power of two
+            ("shared_mem_bytes", -1),
+            ("shared_mem_bytes", 32 * 1024),  # eats the whole scaled L1
+            ("mshr_entries", 0),
+            ("mshr_merge", 0),
+            ("miss_queue_depth", 0),
+            ("l2_banks", 0),
+            ("icnt_bytes_per_cycle", 0),
+            ("icnt_latency", -1),
+            ("dram_channels", 0),
+            ("dram_banks_per_channel", 0),
+            ("dram_row_bytes", 0),
+            ("dram_clock_ratio", 0.0),
+            ("dram_clock_ratio", 1.5),
+            ("tail_entries", 0),
+            ("head_entries", 0),
+            ("throttle_interval", -1),
+            ("throttle_bw_low", 0.9),  # low above high (0.7)
+            ("train_threshold", 0),
+            ("prefetcher_latency", -1),
+            ("max_chain_depth", 0),
+            ("decouple_grace", -1),
+            ("telemetry_bucket_cycles", 0),
+            ("watchdog_cycles", -1),
+            ("max_cycles", -1),
+        ],
+    )
+    def test_rejects_each_bad_field(self, field, value):
+        with pytest.raises(InvalidConfigError) as exc:
+            GPUConfig.scaled().with_(**{field: value})
+        assert len(exc.value.violations) == 1
+
+    def test_rejects_non_pow2_line_size(self):
+        l1 = CacheConfig(size_bytes=96 * 64, assoc=1, line_bytes=96, latency=1)
+        with pytest.raises(InvalidConfigError) as exc:
+            GPUConfig.scaled().with_(l1=l1)
+        assert any("power of two" in v for v in exc.value.violations)
+
+    def test_one_error_lists_every_violation(self):
+        with pytest.raises(InvalidConfigError) as exc:
+            GPUConfig(num_sms=0, warp_size=0, issue_width=0, tail_entries=0)
+        assert len(exc.value.violations) == 4
+        assert "4 problems" in str(exc.value)
+        for fragment in ("num_sms", "warp_size", "issue_width", "tail_entries"):
+            assert fragment in str(exc.value)
+
+    def test_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            GPUConfig(num_sms=0)
+
+    def test_validate_is_noop_on_sane_configs(self):
+        GPUConfig.volta_v100().validate()
+        GPUConfig.scaled().validate()
+
+
+class TestDictRoundTrip:
+    def test_round_trip_preserves_the_config(self):
+        config = GPUConfig.scaled().with_(tail_entries=20, watchdog_cycles=5)
+        assert GPUConfig.from_dict(config.to_dict()) == config
+
+    def test_nested_dataclasses_survive(self):
+        back = GPUConfig.from_dict(GPUConfig.volta_v100().to_dict())
+        assert isinstance(back.l1, CacheConfig)
+        assert isinstance(back.dram, DRAMTimings)
+        assert back.dram.t_ras == 28
+
+    def test_unknown_field_raises_invalid_config(self):
+        with pytest.raises(InvalidConfigError):
+            GPUConfig.from_dict({"num_sms": 2, "flux_capacitor": 88})
+
+    def test_invalid_values_raise_invalid_config(self):
+        with pytest.raises(InvalidConfigError):
+            GPUConfig.from_dict({"num_sms": 0})
 
 
 class TestScaledPreset:

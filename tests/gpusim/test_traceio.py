@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.gpusim.trace import CTA, KernelTrace, Op, WarpInstr, WarpTrace
-from repro.gpusim.traceio import load_trace, save_trace
+from repro.gpusim.traceio import TraceFormatError, load_trace, save_trace
 from repro.workloads import build_kernel
 
 
@@ -84,6 +84,70 @@ class TestValidation:
             json.dumps({"kernel": "x", "version": 1}) + "\n"
             + json.dumps({"mystery": 1}) + "\n"
         )
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+
+class TestTraceFormatError:
+    """Truncated / corrupt files must fail with the damage located."""
+
+    def test_truncated_file_names_offset_and_record(self, tmp_path):
+        kernel = build_kernel("lps", scale=0.1, seed=1)
+        path = save_trace(kernel, tmp_path / "lps.trace")
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 20])  # cut mid-record
+        with pytest.raises(TraceFormatError) as exc:
+            load_trace(path)
+        assert "truncated" in str(exc.value)
+        assert exc.value.record_index > 0
+        assert 0 < exc.value.offset < len(raw)
+        assert str(path) in str(exc.value)
+        # The offset points at the start of the torn line.
+        assert raw[: exc.value.offset].endswith(b"\n")
+
+    def test_corrupt_instruction_record(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(
+            json.dumps({"kernel": "x", "version": 1}) + "\n"
+            + json.dumps({"cta": 0}) + "\n"
+            + json.dumps({"warp": 0, "instrs": [[1, 2, 3]]}) + "\n"
+        )
+        with pytest.raises(TraceFormatError) as exc:
+            load_trace(path)
+        assert "corrupt instruction" in str(exc.value)
+        assert exc.value.record_index == 2
+
+    def test_unknown_opcode(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(
+            json.dumps({"kernel": "x", "version": 1}) + "\n"
+            + json.dumps({"cta": 0}) + "\n"
+            + json.dumps({"warp": 0, "instrs": [[0, "bogus-op"]]}) + "\n"
+        )
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_text("")
+        with pytest.raises(TraceFormatError) as exc:
+            load_trace(path)
+        assert exc.value.record_index == 0
+
+    def test_missing_instruction_list(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(
+            json.dumps({"kernel": "x", "version": 1}) + "\n"
+            + json.dumps({"cta": 0}) + "\n"
+            + json.dumps({"warp": 0}) + "\n"
+        )
+        with pytest.raises(TraceFormatError) as exc:
+            load_trace(path)
+        assert exc.value.record_index == 2
+
+    def test_is_a_value_error(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_text("")
         with pytest.raises(ValueError):
             load_trace(path)
 

@@ -1,0 +1,148 @@
+"""Forward-progress watchdog and max_cycles deadman."""
+
+import pytest
+
+from repro.gpusim import GPUConfig
+from repro.gpusim.gpu import GPU, SimulationHangError
+from repro.gpusim.watchdog import Watchdog
+from repro.workloads import build_kernel
+
+SCALE = 0.05
+
+
+class _FakeStats:
+    def __init__(self):
+        self.instructions = 0
+        self.warps_finished = 0
+        self.l1_hits = 0
+        self.l1_misses = 0
+        self.l1_reserved = 0
+        self.l1_reservation_fails = 0
+
+
+class _FakeSM:
+    def __init__(self):
+        self.stats = _FakeStats()
+
+
+class _FakeL2:
+    hits = 0
+    misses = 0
+
+
+class _FakeDRAM:
+    reads = 0
+
+
+class _FakeGPU:
+    def __init__(self):
+        self.sms = [_FakeSM()]
+        self.l2 = _FakeL2()
+        self.dram = _FakeDRAM()
+
+
+@pytest.fixture
+def stub_dump(monkeypatch):
+    monkeypatch.setattr(
+        "repro.gpusim.watchdog.collect_state_dump", lambda gpu: {"stub": True}
+    )
+
+
+class TestTwoStrikeRule:
+    """A single over-window clock jump must not fire the watchdog; two
+    consecutive checks without progress must."""
+
+    def test_single_large_gap_only_arms(self, stub_dump):
+        gpu = _FakeGPU()
+        wd = Watchdog(gpu, window_cycles=100, max_cycles=0)
+        wd.check(0)
+        wd.check(500)  # way past the window -> strike 1, no raise
+
+    def test_second_strike_fires(self, stub_dump):
+        gpu = _FakeGPU()
+        wd = Watchdog(gpu, window_cycles=100, max_cycles=0)
+        wd.check(0)
+        wd.check(500)
+        with pytest.raises(SimulationHangError) as exc:
+            wd.check(1000)
+        assert exc.value.reason == "no_forward_progress"
+        assert exc.value.state_dump == {"stub": True}
+
+    def test_progress_resets_the_strikes(self, stub_dump):
+        gpu = _FakeGPU()
+        wd = Watchdog(gpu, window_cycles=100, max_cycles=0)
+        wd.check(0)
+        wd.check(500)  # strike 1
+        gpu.sms[0].stats.instructions += 1  # progress!
+        wd.check(1000)
+        wd.check(1500)  # strike 1 again, not 2
+        gpu.sms[0].stats.instructions += 1
+        wd.check(2000)
+
+    def test_reservation_fails_are_not_progress(self, stub_dump):
+        """A replay storm bumps only l1_reservation_fails — that must read
+        as 'hung', it IS the livelock signature."""
+        gpu = _FakeGPU()
+        wd = Watchdog(gpu, window_cycles=100, max_cycles=0)
+        wd.check(0)
+        gpu.sms[0].stats.l1_reservation_fails += 1000
+        wd.check(500)
+        gpu.sms[0].stats.l1_reservation_fails += 1000
+        with pytest.raises(SimulationHangError):
+            wd.check(1000)
+
+    def test_disabled_window_never_fires(self, stub_dump):
+        wd = Watchdog(_FakeGPU(), window_cycles=0, max_cycles=0)
+        for now in (0, 10_000, 10_000_000):
+            wd.check(now)
+
+
+class TestMaxCyclesDeadman:
+    def test_fires_past_the_limit(self, stub_dump):
+        wd = Watchdog(_FakeGPU(), window_cycles=0, max_cycles=1000)
+        wd.check(1000)
+        with pytest.raises(SimulationHangError) as exc:
+            wd.check(1001)
+        assert exc.value.reason == "max_cycles"
+
+
+class TestIntegration:
+    def test_livelocked_gpu_raises_with_state_dump(self):
+        from repro.gpusim.unified_cache import L1Outcome, UnifiedL1Cache
+
+        def always_fail(self, line_addr, now, sector_mask=-1):
+            self.stats.l1_reservation_fails += 1
+            return (L1Outcome.RESERVATION_FAIL, now + self.config.replay_interval)
+
+        original = UnifiedL1Cache.demand_load
+        UnifiedL1Cache.demand_load = always_fail
+        try:
+            config = GPUConfig.scaled().with_(watchdog_cycles=3_000)
+            gpu = GPU(config=config)
+            with pytest.raises(SimulationHangError) as exc:
+                gpu.run(build_kernel("lps", scale=SCALE, seed=1))
+        finally:
+            UnifiedL1Cache.demand_load = original
+
+        assert exc.value.reason == "no_forward_progress"
+        dump = exc.value.state_dump
+        assert dump["sms"], "state dump must name the stuck SMs"
+        stuck = dump["sms"][0]
+        assert stuck["live_warps"] > 0
+        assert stuck["warps"], "per-warp states must be present"
+        assert {"l2", "dram"} <= set(dump)
+
+    def test_max_cycles_aborts_a_real_run(self):
+        config = GPUConfig.scaled().with_(max_cycles=200, watchdog_cycles=0)
+        gpu = GPU(config=config)
+        with pytest.raises(SimulationHangError) as exc:
+            gpu.run(build_kernel("lps", scale=SCALE, seed=1))
+        assert exc.value.reason == "max_cycles"
+
+    def test_healthy_run_is_unaffected_by_the_watchdog(self):
+        kernel = build_kernel("lps", scale=SCALE, seed=1)
+        with_wd = GPU(config=GPUConfig.scaled()).run(kernel)
+        without = GPU(
+            config=GPUConfig.scaled().with_(watchdog_cycles=0)
+        ).run(kernel)
+        assert with_wd.to_json_dict() == without.to_json_dict()

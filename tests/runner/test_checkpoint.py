@@ -1,0 +1,115 @@
+"""Atomic JSONL checkpointing."""
+
+import json
+
+import pytest
+
+from repro.gpusim.stats import SimStats
+from repro.runner import Checkpoint, CheckpointError, FailedResult
+from repro.runner.checkpoint import make_record
+
+
+def _ok_record(key="aaaa", cycles=100):
+    stats = SimStats(cycles=cycles, instructions=2 * cycles, warps_finished=4)
+    return make_record(key, {"app": "lps"}, stats, attempts=1, elapsed_s=1.5)
+
+
+def _failed_record(key="bbbb"):
+    failure = FailedResult(
+        kind="SimulationHang", message="stuck", attempts=1,
+        state_dump={"sms": []},
+    )
+    return make_record(key, {"app": "lps"}, failure, attempts=1, elapsed_s=9.0)
+
+
+class TestRoundTrip:
+    def test_ok_record_rebuilds_stats(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        ckpt = Checkpoint(path)
+        ckpt.append(_ok_record(cycles=123))
+        loaded = Checkpoint.load(path)
+        result = loaded.result_for("aaaa")
+        assert isinstance(result, SimStats)
+        assert result.cycles == 123
+        assert result.to_json_dict() == ckpt.result_for("aaaa").to_json_dict()
+
+    def test_failed_record_rebuilds_marker(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        Checkpoint(path).append(_failed_record())
+        result = Checkpoint.load(path).result_for("bbbb")
+        assert result.failed
+        assert result.kind == "SimulationHang"
+        assert result.state_dump == {"sms": []}
+        assert str(result) == "FAILED(SimulationHang)"
+
+    def test_unknown_key_is_none(self, tmp_path):
+        assert Checkpoint.load(tmp_path / "missing.jsonl").result_for("zzzz") is None
+
+    def test_append_supersedes_same_key(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        ckpt = Checkpoint(path)
+        ckpt.append(_failed_record(key="cccc"))
+        ckpt.append(_ok_record(key="cccc"))
+        assert len(Checkpoint.load(path)) == 1
+        assert isinstance(Checkpoint.load(path).result_for("cccc"), SimStats)
+
+
+class TestAtomicity:
+    def test_no_temp_file_left_behind(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        ckpt = Checkpoint(path)
+        ckpt.append(_ok_record())
+        ckpt.append(_failed_record())
+        assert path.exists()
+        assert not (tmp_path / "ckpt.jsonl.tmp").exists()
+
+    def test_every_line_is_complete_json(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        ckpt = Checkpoint(path)
+        for i in range(5):
+            ckpt.append(_ok_record(key="key%d" % i))
+        lines = [l for l in path.read_text().splitlines() if l.strip()]
+        assert len(lines) == 5
+        for line in lines:
+            json.loads(line)  # must not raise
+
+
+class TestCorruption:
+    def test_torn_trailing_line_is_dropped(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        ckpt = Checkpoint(path)
+        ckpt.append(_ok_record(key="done"))
+        with path.open("a") as handle:
+            handle.write('{"key": "torn", "stat')  # killed mid-write
+        loaded = Checkpoint.load(path)
+        assert "done" in loaded
+        assert "torn" not in loaded
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        path.write_text(
+            "not json at all\n"
+            + json.dumps(_ok_record()) + "\n"
+        )
+        with pytest.raises(CheckpointError):
+            Checkpoint.load(path)
+
+    def test_record_without_key_raises(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        path.write_text(json.dumps({"status": "ok"}) + "\n")
+        with pytest.raises(CheckpointError):
+            Checkpoint.load(path)
+
+    def test_append_without_key_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            Checkpoint(tmp_path / "c.jsonl").append({"status": "ok"})
+
+
+class TestDiscard:
+    def test_discard_removes_file_and_records(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        ckpt = Checkpoint(path)
+        ckpt.append(_ok_record())
+        ckpt.discard()
+        assert not path.exists()
+        assert len(ckpt) == 0
