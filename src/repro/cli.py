@@ -14,12 +14,18 @@ Usage::
     snake-repro sweep --jobs 4 --timeout 600 \
         --checkpoint sweep.jsonl     # fault-tolerant parallel grid
     snake-repro sweep --resume --checkpoint sweep.jsonl
+    snake-repro sweep --sanitize     # audit conservation invariants too
+
+    snake-repro chaos --seed 0       # seeded fault injection + sanitizer
 
 (The ``repro`` entry point is an alias of ``snake-repro``.)  ``trace``
 and ``profile`` run one workload with the :mod:`repro.obs` telemetry bus
 attached — see ``docs/OBSERVABILITY.md`` for the full walkthrough.
 ``sweep`` runs the comparison grid through the crash-isolated
-:mod:`repro.runner` — see ``docs/ROBUSTNESS.md``.
+:mod:`repro.runner`; ``chaos`` runs seeded fault plans through the
+simulator with the conservation sanitizer armed and asserts the
+demand-visible outcome matches a fault-free run — see
+``docs/ROBUSTNESS.md``.
 """
 
 from __future__ import annotations
@@ -282,6 +288,11 @@ def _sweep_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--scale", type=float, default=1.0, help="trace-size multiplier")
     parser.add_argument("--seed", type=int, default=1, help="workload seed")
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="audit conservation invariants during every simulation "
+        "(a violation fails the cell as FAILED(invariant:<name>))",
+    )
     parser.add_argument("--csv", metavar="PATH", help="export the IPC matrix as CSV")
     parser.add_argument("--json", metavar="PATH", help="export the IPC matrix as JSON")
     return parser
@@ -306,7 +317,14 @@ def _run_sweep_command(argv) -> int:
         return 2
     jobs = default_jobs() if args.jobs is None else args.jobs
 
-    specs = grid_specs(apps, mechanisms, scale=args.scale, seed=args.seed)
+    config = None
+    if args.sanitize:
+        from repro.gpusim.config import GPUConfig
+
+        config = GPUConfig.scaled().with_(sanitize=True)
+    specs = grid_specs(
+        apps, mechanisms, config=config, scale=args.scale, seed=args.seed
+    )
     print(
         "sweep: %d cells (%s x %s), %d worker%s%s"
         % (
@@ -370,12 +388,154 @@ def _run_sweep_command(argv) -> int:
     return 0
 
 
+def _chaos_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="snake-repro chaos",
+        description="Correctness-under-faults harness: run each app under "
+        "seeded fault plans (repro.gpusim.faults) with the conservation "
+        "sanitizer armed, and assert the demand-visible outcome (committed "
+        "instructions, finished warps) matches a fault-free run.  Faults "
+        "may only cost cycles, never correctness.  See docs/ROBUSTNESS.md.",
+    )
+    parser.add_argument(
+        "--apps", default="lps,hotspot,backprop",
+        help="comma-separated workload names (default: lps,hotspot,backprop)",
+    )
+    parser.add_argument(
+        "--mechanism", default="snake", help="prefetcher configuration"
+    )
+    parser.add_argument(
+        "--sites", default="all",
+        help="'all' (each site separately + the all-sites storm), 'storm' "
+        "(the combined plan only), or a comma-separated site list",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="fault-plan seed")
+    parser.add_argument(
+        "--workload-seed", type=int, default=1, help="workload trace seed"
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.25, help="trace-size multiplier"
+    )
+    parser.add_argument(
+        "--delay-cycles", type=int, default=400,
+        help="nominal magnitude for delay/spike faults (default: 400)",
+    )
+    return parser
+
+
+def _run_chaos_command(argv) -> int:
+    from repro.gpusim import (
+        FaultInjector,
+        FaultPlan,
+        GPUConfig,
+        InvariantViolationError,
+        simulate,
+    )
+    from repro.gpusim.faults import DEFAULT_RATES, SITES
+    from repro.workloads import build_kernel
+
+    args = _chaos_parser().parse_args(argv)
+    apps = [a for a in args.apps.split(",") if a]
+    if args.sites == "all":
+        plans = [
+            FaultPlan.single(site, seed=args.seed, delay_cycles=args.delay_cycles)
+            for site in SITES
+        ]
+        plans.append(FaultPlan.storm(seed=args.seed, delay_cycles=args.delay_cycles))
+    elif args.sites == "storm":
+        plans = [FaultPlan.storm(seed=args.seed, delay_cycles=args.delay_cycles)]
+    else:
+        sites = [s for s in args.sites.split(",") if s]
+        unknown = [s for s in sites if s not in SITES]
+        if unknown:
+            print(
+                "error: unknown fault site(s) %s (known: %s)"
+                % (",".join(unknown), ",".join(SITES)),
+                file=sys.stderr,
+            )
+            return 2
+        plans = [
+            FaultPlan.make(
+                {s: DEFAULT_RATES[s] for s in sites},
+                seed=args.seed, delay_cycles=args.delay_cycles,
+            )
+        ]
+
+    config = GPUConfig.scaled().with_(sanitize=True)
+    divergences = 0
+    violations = 0
+    total_fired = 0
+    for app in apps:
+        try:
+            kernel = build_kernel(app, scale=args.scale, seed=args.workload_seed)
+            baseline = simulate(kernel, prefetcher=args.mechanism, config=config)
+        except (KeyError, ValueError) as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+        print(
+            "%s/%s fault-free: %d instructions, %d warps, %d cycles"
+            % (app, args.mechanism, baseline.instructions,
+               baseline.warps_finished, baseline.cycles)
+        )
+        for plan in plans:
+            injector = FaultInjector(plan)
+            kernel = build_kernel(app, scale=args.scale, seed=args.workload_seed)
+            try:
+                stats = simulate(
+                    kernel, prefetcher=args.mechanism, config=config,
+                    faults=injector,
+                )
+            except InvariantViolationError as exc:
+                violations += 1
+                print(
+                    "  ! %-44s INVARIANT VIOLATION (%s at cycle %d)"
+                    % (plan.label(), exc.invariant, exc.cycle)
+                )
+                continue
+            fired = injector.total_fired
+            total_fired += fired
+            same = (
+                stats.instructions == baseline.instructions
+                and stats.warps_finished == baseline.warps_finished
+            )
+            delta = stats.cycles - baseline.cycles
+            if same:
+                print(
+                    "  . %-44s %4d faults, cycles %+d, demand outcome identical"
+                    % (plan.label(), fired, delta)
+                )
+            else:
+                divergences += 1
+                print(
+                    "  ! %-44s %4d faults, DEMAND OUTCOME DIVERGED "
+                    "(instructions %d != %d, warps %d != %d)"
+                    % (plan.label(), fired, stats.instructions,
+                       baseline.instructions, stats.warps_finished,
+                       baseline.warps_finished)
+                )
+    print()
+    print(
+        "chaos: %d app%s x %d plan%s, %d faults injected, "
+        "%d divergence%s, %d sanitizer violation%s"
+        % (
+            len(apps), "" if len(apps) == 1 else "s",
+            len(plans), "" if len(plans) == 1 else "s",
+            total_fired,
+            divergences, "" if divergences == 1 else "s",
+            violations, "" if violations == 1 else "s",
+        )
+    )
+    return 0 if not divergences and not violations else 3
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] in ("trace", "profile"):
         return _run_obs_command(argv[0], argv[1:])
     if argv and argv[0] == "sweep":
         return _run_sweep_command(argv[1:])
+    if argv and argv[0] == "chaos":
+        return _run_chaos_command(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="snake-repro",
@@ -393,7 +553,11 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
-        print("\n".join(sorted(EXPERIMENTS) + ["claims", "profile", "sweep", "trace"]))
+        print(
+            "\n".join(
+                sorted(EXPERIMENTS) + ["chaos", "claims", "profile", "sweep", "trace"]
+            )
+        )
         return 0
     if args.experiment == "claims":
         from repro.analysis.claims import check_claims, render_claims

@@ -259,6 +259,16 @@ class SnakePrefetcher(Prefetcher):
             )
         return unique
 
+    def tables(self) -> List[Tuple[int, HeadTable, TailTable]]:
+        """Every (app_id, head, tail) table pair this prefetcher owns —
+        one pair unless ``per_app`` multiplied them.  The sanitizer audits
+        structural invariants through this, and the fault injector uses it
+        to corrupt entries in whichever table set is live."""
+        return [
+            (app_id, head, tail)
+            for app_id, (head, tail) in sorted(self._app_tables.items())
+        ]
+
     @property
     def trained(self) -> bool:
         if self.per_app:

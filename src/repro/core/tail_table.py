@@ -213,3 +213,58 @@ class TailTable:
     @property
     def trained(self) -> bool:
         return any(e.t1.prefetchable for e in self._entries)
+
+    def structural_violations(self, label: str = "tail") -> "List[str]":
+        """Hardware-structure invariants (sanitizer hook).
+
+        The table is a fixed CAM: entry count is bounded by capacity, every
+        warp-confirmation vector fits its 64-bit field, train states are
+        valid encodings, and a transitive chain walk from any PC terminates
+        within the table size (the walker's visited-pair set is what makes
+        loops — which are legal chains — safe; a walk that can take more
+        distinct hops than the table holds entries means the store itself
+        is corrupt)."""
+        violations: List[str] = []
+        if len(self._entries) > self.capacity:
+            violations.append(
+                "%s holds %d entries > capacity %d"
+                % (label, len(self._entries), self.capacity)
+            )
+        for entry in self._entries:
+            if not 0 <= entry.warp_vector < (1 << 64):
+                violations.append(
+                    "%s entry (%#x->%#x) warp vector %d outside its 64-bit field"
+                    % (label, entry.pc1, entry.pc2, entry.warp_vector)
+                )
+            if not isinstance(entry.t1, TrainState) or not isinstance(
+                entry.t2, TrainState
+            ):
+                violations.append(
+                    "%s entry (%#x->%#x) carries a non-TrainState encoding"
+                    % (label, entry.pc1, entry.pc2)
+                )
+        # Chain-walk termination: mirror the production walker (first
+        # prefetchable link per PC, visited-pair cycle guard) and bound the
+        # hop count by the entry count.
+        bound = len(self._entries)
+        for start in {e.pc1 for e in self._entries}:
+            pc = start
+            visited = set()
+            hops = 0
+            while hops <= bound + 1:
+                entry = next(
+                    (e for e in self._entries
+                     if e.pc1 == pc and e.t1.prefetchable),
+                    None,
+                )
+                if entry is None or (entry.pc1, entry.pc2) in visited:
+                    break
+                visited.add((entry.pc1, entry.pc2))
+                pc = entry.pc2
+                hops += 1
+            if hops > bound:
+                violations.append(
+                    "%s chain walk from %#x took %d hops in a %d-entry table"
+                    % (label, start, hops, bound)
+                )
+        return violations

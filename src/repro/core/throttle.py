@@ -81,6 +81,15 @@ class Throttle:
             return max(1, max_depth // 2)
         return 1
 
+    def snapshot(self) -> dict:
+        """Plain-data trigger state for sanitizer / hang-report dumps."""
+        return {
+            "halted_until": self.halted_until,
+            "bw_halted": self.bw_halted,
+            "space_halts": self.space_halts,
+            "bw_halts": self.bw_halts,
+        }
+
 
 class NullThrottle:
     """No throttling (baseline prefetchers, Snake-DT, Snake-T)."""
@@ -94,3 +103,7 @@ class NullThrottle:
 
     def chain_depth_limit(self, utilization: float, max_depth: int) -> int:
         return max_depth
+
+    def snapshot(self) -> dict:
+        return {"halted_until": -1, "bw_halted": False,
+                "space_halts": 0, "bw_halts": 0}

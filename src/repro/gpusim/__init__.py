@@ -13,7 +13,9 @@ from .area import (
 )
 from .config import CacheConfig, DRAMTimings, GPUConfig
 from .energy import EnergyBreakdown, EnergyParams, energy_of
+from .faults import FaultInjector, FaultPlan
 from .gpu import GPU, simulate
+from .sanitizer import InvariantViolationError, SimSanitizer
 from .stats import PrefetchStats, SimStats
 from .trace import CTA, KernelTrace, Op, WarpInstr, WarpTrace, renumber_warps
 from .traceio import load_trace, save_trace
@@ -26,13 +28,17 @@ __all__ = [
     "DRAMTimings",
     "EnergyBreakdown",
     "EnergyParams",
+    "FaultInjector",
+    "FaultPlan",
     "GPU",
     "GPUConfig",
     "HeadTableLayout",
+    "InvariantViolationError",
     "KernelTrace",
     "L1Outcome",
     "Op",
     "PrefetchStats",
+    "SimSanitizer",
     "SimStats",
     "StorageMode",
     "TailTableLayout",

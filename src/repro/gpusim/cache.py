@@ -124,6 +124,30 @@ class SetAssocCache:
         )
         return evicted
 
+    def structural_violations(self, label: str = "cache") -> List[str]:
+        """Tag-store structural invariants (sanitizer hook): no set exceeds
+        the associativity, every resident line lives in the set its address
+        hashes to, and sector masks are well-formed."""
+        violations: List[str] = []
+        for set_idx, cache_set in enumerate(self._sets):
+            if len(cache_set) > self.config.assoc:
+                violations.append(
+                    "%s set %d holds %d lines > assoc %d"
+                    % (label, set_idx, len(cache_set), self.config.assoc)
+                )
+            for line in cache_set.values():
+                if self.set_index(line.addr) != set_idx:
+                    violations.append(
+                        "%s line %#x resident in set %d but hashes to %d"
+                        % (label, line.addr, set_idx, self.set_index(line.addr))
+                    )
+                if line.sectors_valid < -1:
+                    violations.append(
+                        "%s line %#x has malformed sector mask %d"
+                        % (label, line.addr, line.sectors_valid)
+                    )
+        return violations
+
     @property
     def occupancy(self) -> int:
         return sum(len(s) for s in self._sets)
@@ -147,6 +171,7 @@ class MSHREntry:
     demand_joined: bool = False  # a demand access merged into a prefetch miss
     predicted: bool = False  # the prefetcher predicted this in-flight address
     sectors: int = -1  # sector mask the fill will deliver (-1 = whole line)
+    dropped: bool = False  # chaos fault: the fill packet was lost in the NoC
 
 
 class MSHR:
@@ -163,6 +188,12 @@ class MSHR:
         self.entries = entries
         self.merge_width = merge_width
         self._inflight: Dict[int, MSHREntry] = {}
+        # Lifetime conservation counters: every allocated entry must retire
+        # exactly once, so ``allocated - released == occupancy`` at all
+        # times.  The sanitizer audits the balance; a leaked or
+        # double-retired entry breaks it immediately.
+        self.allocated = 0
+        self.released = 0
 
     def lookup(self, line_addr: int) -> Optional[MSHREntry]:
         return self._inflight.get(line_addr)
@@ -186,6 +217,7 @@ class MSHR:
             line_addr=line_addr, fill_time=fill_time, is_prefetch=is_prefetch
         )
         self._inflight[line_addr] = entry
+        self.allocated += 1
         return entry
 
     def try_merge(self, line_addr: int, is_demand: bool) -> Optional[MSHREntry]:
@@ -206,4 +238,9 @@ class MSHR:
         filled = [e for e in self._inflight.values() if e.fill_time <= now]
         for entry in filled:
             del self._inflight[entry.line_addr]
+        self.released += len(filled)
         return filled
+
+    def entries_inflight(self) -> List[MSHREntry]:
+        """All in-flight entries (sanitizer / state-dump introspection)."""
+        return list(self._inflight.values())

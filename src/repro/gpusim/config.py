@@ -163,6 +163,16 @@ class GPUConfig:
     watchdog_cycles: int = 100_000
     max_cycles: int = 0
 
+    # Invariant sanitizer (repro.gpusim.sanitizer / docs/ROBUSTNESS.md).
+    # ``sanitize=True`` makes ``GPU.run`` audit conservation invariants
+    # (request retirement, MSHR balance, NoC monotonicity, table structure,
+    # stats identities) every ``sanitize_interval`` simulated cycles and at
+    # end of run, raising ``InvariantViolationError`` with a cycle-stamped
+    # state dump on the first violation.  Strictly zero-cost when off: the
+    # run loop holds a ``None`` and no per-cycle work is added.
+    sanitize: bool = False
+    sanitize_interval: int = 2000
+
     def __post_init__(self) -> None:
         self.validate()
 
@@ -260,6 +270,8 @@ class GPUConfig:
             v.append("watchdog_cycles must be >= 0 (0 disables the watchdog)")
         if self.max_cycles < 0:
             v.append("max_cycles must be >= 0 (0 = unlimited)")
+        if self.sanitize_interval < 1:
+            v.append("sanitize_interval must be >= 1 (got %d)" % self.sanitize_interval)
         if v:
             raise InvalidConfigError(v)
 

@@ -50,10 +50,12 @@ class DRAM:
         clock_ratio: float,
         line_bytes: int,
         obs=None,
+        faults=None,
     ) -> None:
         if channels < 1 or banks_per_channel < 1:
             raise ValueError("need at least one channel and bank")
         self._obs = obs if obs is not None else NULL_BUS
+        self._faults = faults  # optional chaos hook (dram.latency_spike)
         self.timings = timings
         self.row_bytes = row_bytes
         self.clock_ratio = clock_ratio
@@ -136,6 +138,10 @@ class DRAM:
                 channel.priority_next_free, channel_busy_until
             )
         self.reads += 0 if is_write else 1
+        if self._faults is not None:
+            # Chaos dram.latency_spike on the returned completion only; the
+            # bank/channel horizons keep their fault-free schedule.
+            done += self._faults.delay("dram.latency_spike", now)
         return done
 
     @property

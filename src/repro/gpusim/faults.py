@@ -1,0 +1,263 @@
+"""Seeded, deterministic fault injection for the GPU timing model.
+
+Snake's value proposition is that prefetching is *safe to be wrong*: a
+mispredicted chain, a lost prefetch fill or bandwidth-triggered throttling
+(§3.3) may only cost performance, never correctness.  This module makes
+that claim testable.  A :class:`FaultPlan` names injection sites and
+per-opportunity probabilities; a :class:`FaultInjector` (one
+``random.Random`` stream seeded from the plan) decides each opportunity,
+so a given (plan, workload, config) triple injects an identical fault
+sequence on every run.  Every firing bumps ``injector.counts`` and emits a
+:class:`repro.obs.events.FaultEvent` when a bus is attached.
+
+Injection sites (the catalog :func:`catalog` returns, mirrored in
+``docs/ROBUSTNESS.md``):
+
+=====================  ====================================================
+site                   effect
+=====================  ====================================================
+``icnt.delay_fill``    a prefetch fill response is delayed in the NoC
+``icnt.drop_fill``     a prefetch fill packet is lost: its MSHR entry
+                       retires without installing a line (demand-joined
+                       fills are never dropped — the controller promotes
+                       them, so demand correctness is preserved)
+``l1.mshr_refuse``     forced MSHR-allocation refusal: a demand access
+                       reservation-fails and replays; a prefetch is dropped
+``l1.evict_storm``     every prefetched line in one random L1 set (and the
+                       matching side-buffer set in isolated mode) is evicted
+``l2.latency_spike``   extra service latency on one L2 access
+``dram.latency_spike`` extra cycles on one DRAM access
+``snake.tail_corrupt`` one Tail-table entry is corrupted in place: a stale
+                       stride, a scrambled (in-field) warp vector, or a
+                       spurious promotion
+=====================  ====================================================
+
+Every site is performance-only *by construction* — faults perturb timing,
+predictions and prefetch storage, never demand data — and the sanitizer
+(:mod:`repro.gpusim.sanitizer`) plus the ``snake-repro chaos`` command
+prove it: a faulted run must finish with zero invariant violations and
+the same demand-visible outcome (committed instructions, finished warps)
+as the fault-free run.
+
+All hooks are ``None``-guarded at the call sites, so a GPU built without
+a plan pays one attribute test per memory operation and nothing more.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.obs.events import FaultEvent, NULL_BUS
+
+#: Every recognised injection site, in pipeline order.
+SITES: Tuple[str, ...] = (
+    "icnt.delay_fill",
+    "icnt.drop_fill",
+    "l1.mshr_refuse",
+    "l1.evict_storm",
+    "l2.latency_spike",
+    "dram.latency_spike",
+    "snake.tail_corrupt",
+)
+
+#: Modest per-opportunity rates for the all-sites "storm" plan.  High
+#: enough that short chaos runs fire every site, low enough that the
+#: simulation still terminates promptly under replay pressure.
+DEFAULT_RATES: Dict[str, float] = {
+    "icnt.delay_fill": 0.05,
+    "icnt.drop_fill": 0.05,
+    "l1.mshr_refuse": 0.02,
+    "l1.evict_storm": 0.01,
+    "l2.latency_spike": 0.02,
+    "dram.latency_spike": 0.02,
+    "snake.tail_corrupt": 0.01,
+}
+
+
+def catalog() -> Dict[str, str]:
+    """Site -> one-line description (docs and ``chaos`` CLI output)."""
+    return {
+        "icnt.delay_fill": "delay a prefetch fill response in the NoC",
+        "icnt.drop_fill": "drop a prefetch fill (MSHR entry retires, no line)",
+        "l1.mshr_refuse": "force an MSHR allocation refusal",
+        "l1.evict_storm": "evict all prefetched lines in one random set",
+        "l2.latency_spike": "extra service latency on one L2 access",
+        "dram.latency_spike": "extra cycles on one DRAM access",
+        "snake.tail_corrupt": "corrupt one Tail-table entry in place",
+    }
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to inject: (site, probability) pairs plus magnitudes.
+
+    ``rates`` is a sorted tuple of pairs (hashable and JSON-safe, like
+    ``JobSpec.mech_kwargs``).  Build via :meth:`make` / :meth:`single` /
+    :meth:`storm`, not the raw constructor.
+    """
+
+    seed: int = 0
+    rates: Tuple[Tuple[str, float], ...] = ()
+    delay_cycles: int = 400  # nominal magnitude for delay/spike sites
+
+    def __post_init__(self) -> None:
+        for site, rate in self.rates:
+            if site not in SITES:
+                raise ValueError(
+                    "unknown fault site %r (known: %s)" % (site, ", ".join(SITES))
+                )
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("rate for %s must be in [0, 1]" % site)
+        if self.delay_cycles < 1:
+            raise ValueError("delay_cycles must be >= 1")
+
+    @classmethod
+    def make(
+        cls, rates: Mapping[str, float], seed: int = 0, delay_cycles: int = 400
+    ) -> "FaultPlan":
+        return cls(
+            seed=int(seed),
+            rates=tuple(sorted(rates.items())),
+            delay_cycles=int(delay_cycles),
+        )
+
+    @classmethod
+    def single(cls, site: str, rate: Optional[float] = None, seed: int = 0,
+               delay_cycles: int = 400) -> "FaultPlan":
+        """One site only (the ``chaos`` command's per-site plans)."""
+        return cls.make(
+            {site: DEFAULT_RATES[site] if rate is None else rate},
+            seed=seed, delay_cycles=delay_cycles,
+        )
+
+    @classmethod
+    def storm(cls, seed: int = 0, delay_cycles: int = 400) -> "FaultPlan":
+        """All sites at their default rates simultaneously."""
+        return cls.make(DEFAULT_RATES, seed=seed, delay_cycles=delay_cycles)
+
+    def label(self) -> str:
+        sites = [s for s, r in self.rates if r > 0]
+        if set(sites) == set(SITES):
+            return "storm"
+        return "+".join(sites) if sites else "none"
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "rates": {site: rate for site, rate in self.rates},
+            "delay_cycles": self.delay_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultPlan":
+        return cls.make(
+            data.get("rates") or {},
+            seed=data.get("seed", 0),
+            delay_cycles=data.get("delay_cycles", 400),
+        )
+
+
+class FaultInjector:
+    """The per-run decision engine: one seeded RNG stream, shared by every
+    component, consulted in deterministic simulation order.
+
+    Two-step protocol for sites whose detail is only known after the fact:
+    :meth:`should` consumes the RNG and answers "fire?", :meth:`record`
+    books the event; :meth:`fires` fuses both for simple sites.
+    """
+
+    def __init__(self, plan: FaultPlan, obs=None) -> None:
+        self.plan = plan
+        self._rates = {site: rate for site, rate in plan.rates}
+        self._rng = random.Random(0x5EED ^ (plan.seed * 2654435761 % (1 << 32)))
+        self._obs = obs if obs is not None else NULL_BUS
+        self.counts: Dict[str, int] = {}
+
+    @property
+    def total_fired(self) -> int:
+        return sum(self.counts.values())
+
+    def should(self, site: str) -> bool:
+        rate = self._rates.get(site, 0.0)
+        if rate <= 0.0:
+            return False
+        return self._rng.random() < rate
+
+    def record(self, site: str, now: int = 0, sm_id: int = -1,
+               detail: str = "") -> None:
+        self.counts[site] = self.counts.get(site, 0) + 1
+        if self._obs.enabled:
+            self._obs.emit(
+                FaultEvent(cycle=now, sm_id=sm_id, site=site, detail=detail)
+            )
+
+    def fires(self, site: str, now: int = 0, sm_id: int = -1,
+              detail: str = "") -> bool:
+        if not self.should(site):
+            return False
+        self.record(site, now, sm_id, detail)
+        return True
+
+    def delay(self, site: str, now: int = 0, sm_id: int = -1) -> int:
+        """Extra cycles for a delay/spike site (0 = no fault this time).
+        The magnitude jitters in [delay/2, 2*delay] so spikes are not a
+        fixed offset the timing model could accidentally absorb."""
+        if not self.should(site):
+            return 0
+        nominal = self.plan.delay_cycles
+        extra = self._rng.randint(max(1, nominal // 2), nominal * 2)
+        self.record(site, now, sm_id, "+%d cycles" % extra)
+        return extra
+
+    def rand_index(self, n: int) -> int:
+        """Deterministic index draw for target selection (eviction storms)."""
+        return self._rng.randrange(n)
+
+    def corrupt_tail(self, prefetcher, now: int = 0, sm_id: int = -1) -> bool:
+        """``snake.tail_corrupt``: mutate one Tail-table entry in place.
+
+        Corruption stays *in-field* (a real bit flip cannot escape the
+        entry's storage): a stale/scaled stride, a scrambled 64-bit warp
+        vector, or a spurious train-state promotion.  Mechanisms without
+        Snake tables are a no-op.
+        """
+        if not self.should("snake.tail_corrupt"):
+            return False
+        tables = getattr(prefetcher, "tables", None)
+        if tables is None:
+            return False
+        stocked = [tail for _, _, tail in tables() if len(tail)]
+        if not stocked:
+            return False
+        from repro.core.tail_table import TrainState
+
+        tail = self._rng.choice(stocked)
+        entry = self._rng.choice(tail.entries())
+        mode = self._rng.randrange(3)
+        if mode == 0:
+            entry.inter_thread_stride *= self._rng.choice((-1, 2, 3))
+            detail = "stride->%d" % entry.inter_thread_stride
+        elif mode == 1:
+            entry.warp_vector = self._rng.getrandbits(64)
+            detail = "warp vector scrambled"
+        else:
+            entry.t1 = TrainState.TRAINED
+            detail = "t1 force-trained"
+        self.record("snake.tail_corrupt", now, sm_id, detail)
+        return True
+
+    def summary(self) -> Dict[str, int]:
+        """Site -> fire count (stable order, for reports and tests)."""
+        return {site: self.counts.get(site, 0) for site in SITES
+                if self._rates.get(site, 0.0) > 0}
+
+
+__all__ = [
+    "DEFAULT_RATES",
+    "FaultInjector",
+    "FaultPlan",
+    "SITES",
+    "catalog",
+]

@@ -15,14 +15,16 @@ from repro.prefetch.base import Prefetcher, create as create_prefetcher
 
 from .config import GPUConfig
 from .dram import DRAM
+from .faults import FaultInjector, FaultPlan
 from .l2 import L2Cache
+from .sanitizer import InvariantViolationError, SimSanitizer
 from .sm import SM
 from .stats import SimStats
 from .trace import KernelTrace
 from .unified_cache import StorageMode
 from .watchdog import SimulationHangError, Watchdog
 
-__all__ = ["GPU", "SimulationHangError", "simulate"]
+__all__ = ["GPU", "InvariantViolationError", "SimulationHangError", "simulate"]
 
 
 class GPU:
@@ -35,6 +37,7 @@ class GPU:
         throttle_factory: Optional[Callable[[], object]] = None,
         storage_mode: StorageMode = StorageMode.COUPLED,
         obs=None,
+        faults=None,
     ) -> None:
         from repro.core.throttle import NullThrottle
 
@@ -56,6 +59,14 @@ class GPU:
             obs = EventBus() if self.config.telemetry else NULL_BUS
         self.obs = obs
 
+        # Chaos engineering (repro.gpusim.faults): a FaultPlan (or a ready
+        # FaultInjector) arms seeded injection sites across the hierarchy.
+        # The default is None, in which case every hook compiles down to a
+        # single attribute test.
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults, obs=obs)
+        self.faults: Optional[FaultInjector] = faults
+
         self.dram = DRAM(
             timings=self.config.dram,
             channels=self.config.dram_channels,
@@ -64,8 +75,12 @@ class GPU:
             clock_ratio=self.config.dram_clock_ratio,
             line_bytes=self.config.l2.line_bytes,
             obs=obs,
+            faults=faults,
         )
-        self.l2 = L2Cache(self.config.l2, self.config.l2_banks, self.dram, obs=obs)
+        self.l2 = L2Cache(
+            self.config.l2, self.config.l2_banks, self.dram, obs=obs,
+            faults=faults,
+        )
         self.sms = [
             SM(
                 sm_id=i,
@@ -75,6 +90,7 @@ class GPU:
                 throttle=self._throttle_factory(),
                 storage_mode=storage_mode,
                 obs=obs,
+                faults=faults,
             )
             for i in range(self.config.num_sms)
         ]
@@ -115,8 +131,19 @@ class GPU:
         for sm in self.sms:
             sm.start()
         active = list(self.sms)
+        # Conservation auditing (repro.gpusim.sanitizer) is opt-in: when
+        # ``config.sanitize`` is off no sanitizer object exists, so the run
+        # loop's only added cost is one None test per 256 iterations.
+        sanitizer = (
+            SimSanitizer(self, self.config.sanitize_interval)
+            if self.config.sanitize
+            else None
+        )
         watchdog = (
-            Watchdog(self, self.config.watchdog_cycles, self.config.max_cycles)
+            Watchdog(
+                self, self.config.watchdog_cycles, self.config.max_cycles,
+                sanitizer=sanitizer,
+            )
             if (self.config.watchdog_cycles or self.config.max_cycles)
             else None
         )
@@ -127,10 +154,17 @@ class GPU:
                 sm.finalize()
                 active.remove(sm)
             iterations += 1
-            # The progress signature sums counters over all SMs, so sample
-            # it sparsely rather than per step.
-            if watchdog is not None and iterations & 0xFF == 0:
-                watchdog.check(sm.now)
+            # The progress signature (and the sanitizer's full audit) sums
+            # state over all SMs, so sample sparsely rather than per step.
+            if iterations & 0xFF == 0:
+                if watchdog is not None:
+                    watchdog.check(sm.now)
+                if sanitizer is not None:
+                    sanitizer.maybe_check(sm.now)
+        if sanitizer is not None:
+            # Final audit so every completed run ends on a clean check even
+            # when it retires between cadence points.
+            sanitizer.check(max(sm.now for sm in self.sms))
 
         total = SimStats()
         for sm in self.sms:
@@ -148,6 +182,7 @@ def simulate(
     prefetcher: str = "none",
     config: Optional[GPUConfig] = None,
     obs=None,
+    faults=None,
     **variant_kwargs,
 ) -> SimStats:
     """One-call convenience API: build a GPU with the named prefetcher
@@ -157,6 +192,9 @@ def simulate(
     :func:`repro.prefetch.base.available`), including the Snake variants.
     ``obs`` optionally passes a :class:`repro.obs.EventBus` whose sinks
     receive the run's telemetry (see ``docs/OBSERVABILITY.md``).
+    ``faults`` optionally passes a :class:`repro.gpusim.faults.FaultPlan`
+    (or ready injector) to run the kernel under chaos conditions; enable
+    ``config.sanitize`` to audit conservation invariants as it runs.
     """
     from repro.prefetch import build_setup
 
@@ -167,5 +205,6 @@ def simulate(
         throttle_factory=setup.throttle_factory,
         storage_mode=setup.storage_mode,
         obs=obs,
+        faults=faults,
     )
     return gpu.run(kernel)

@@ -68,3 +68,16 @@ class Interconnect:
     def peak_bytes(self, cycles: int) -> int:
         """Theoretical capacity over a run of ``cycles``."""
         return cycles * self.bytes_per_cycle
+
+    def snapshot(self) -> dict:
+        """Plain-data port state for sanitizer / hang-report dumps.  The
+        sanitizer compares successive snapshots: both horizons must be
+        non-negative and non-decreasing, the priority (demand) horizon can
+        never run ahead of the combined one, and the byte counter only
+        grows — a horizon that moves backwards means some component
+        rewound shared NoC state."""
+        return {
+            "next_free": self.next_free,
+            "priority_next_free": self.priority_next_free,
+            "bytes_transferred": self.bytes_transferred,
+        }

@@ -23,11 +23,13 @@ class L2Cache:
     """The GPU's shared last-level cache in front of DRAM."""
 
     def __init__(
-        self, config: CacheConfig, banks: int, dram: DRAM, obs=None
+        self, config: CacheConfig, banks: int, dram: DRAM, obs=None,
+        faults=None,
     ) -> None:
         if banks < 1:
             raise ValueError("need at least one L2 bank")
         self._obs = obs if obs is not None else NULL_BUS
+        self._faults = faults  # optional chaos hook (l2.latency_spike)
         self.config = config
         self.dram = dram
         self._store = SetAssocCache(config)
@@ -48,6 +50,12 @@ class L2Cache:
         data is ready to travel back to the requesting L1.  Demand requests
         (``priority=True``) schedule ahead of best-effort prefetches."""
         bank = self._bank_of(line_addr)
+        # Chaos l2.latency_spike: extra service latency on the *returned*
+        # ready time only — bank horizons are untouched, so the shared
+        # scheduling state (and its monotonicity invariants) is unaffected.
+        spike = 0
+        if self._faults is not None:
+            spike = self._faults.delay("l2.latency_spike", now)
         if priority:
             start = max(now, self._bank_priority_next_free[bank])
             self._bank_priority_next_free[bank] = start + _BANK_SERVICE_CYCLES
@@ -70,7 +78,7 @@ class L2Cache:
                         cycle=now, sm_id=-1, line_addr=line_addr, hit=True
                     )
                 )
-            return start + self.config.latency
+            return start + self.config.latency + spike
 
         pending = self._inflight.get(line_addr)
         if pending is not None and self._obs.enabled:
@@ -90,7 +98,7 @@ class L2Cache:
                 # completes no later than an unloaded access from now.
                 promoted = start + self.config.latency + _BANK_SERVICE_CYCLES
                 merged = min(merged, max(promoted, now + self.config.latency))
-            return merged
+            return merged + spike
 
         self.misses += 1
         if self._obs.enabled:
@@ -103,7 +111,7 @@ class L2Cache:
         )
         self._store.insert(line_addr, fill_time)
         self._inflight[line_addr] = fill_time
-        return fill_time + self.config.latency
+        return fill_time + self.config.latency + spike
 
     @property
     def hit_rate(self) -> float:

@@ -1,0 +1,454 @@
+"""Runtime conservation auditor for the GPU timing model.
+
+A timing simulator fails in two ways: loudly (a crash, a hang the watchdog
+catches) or *quietly* — a leaked MSHR entry, a NoC horizon that rewinds, a
+coverage numerator that creeps past its denominator.  Quiet failures
+produce plausible-looking numbers that are simply wrong, which for a
+reproduction study is the worst outcome.  :class:`SimSanitizer` is the
+defence: an opt-in auditor (``GPUConfig.sanitize`` / ``--sanitize``) that
+walks the whole machine at a configurable cycle cadence
+(``GPUConfig.sanitize_interval``) and checks every conservation law the
+model is supposed to obey:
+
+* **Request conservation** — every issued memory request retires exactly
+  once: per-MSHR ``allocated - released == occupancy``, occupancy within
+  capacity, merge counts within the configured width, miss queues within
+  depth.
+* **Resource monotonicity** — ``Interconnect.next_free`` /
+  ``priority_next_free`` (and the L2 bank / DRAM bank+channel analogues)
+  never decrease between checks, the demand (priority) horizon never runs
+  ahead of the combined one, and measured utilization stays in [0, 1].
+* **Storage structure** — L1 tag store and isolated-mode side buffer pass
+  :meth:`SetAssocCache.structural_violations`; in isolated mode no
+  prefetched line may live in the main store; a transferred line is by
+  definition no longer prefetch-flagged.
+* **Snake table structure** — Head tables within capacity; Tail tables
+  pass :meth:`TailTable.structural_violations` (bounded entry counts,
+  in-field warp vectors, valid train states, chain walks that terminate
+  within the table size).
+* **Stats conservation** — every per-SM :class:`SimStats` passes
+  :meth:`SimStats.conservation_violations`, and the figure-driving
+  counters only ever grow.
+* **Cross-layer conservation** — L2 hits+misses equal the L1-side
+  requests that were sent down (demand misses + issued prefetches), and
+  DRAM reads equal L2 misses.
+
+A broken law raises :class:`InvariantViolationError` carrying the cycle,
+the first broken invariant's name, and a watchdog-format state dump (see
+:func:`repro.gpusim.watchdog.collect_state_dump`); the runner maps it to
+its own non-retryable failure taxonomy (``FAILED(invariant:...)``).
+
+When ``sanitize`` is off the GPU never constructs a sanitizer, so the
+simulation pays nothing — not even a method call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class InvariantViolationError(RuntimeError):
+    """A conservation invariant broke mid-simulation.
+
+    ``invariant`` names the first broken law (e.g. ``mshr_balance``),
+    ``cycle`` is the simulated time of the failing check, and
+    ``state_dump`` is the same plain-data machine snapshot a hang report
+    carries, plus the full violation list.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        invariant: str = "unknown",
+        cycle: int = 0,
+        state_dump=None,
+    ) -> None:
+        super().__init__(message)
+        self.invariant = invariant
+        self.cycle = cycle
+        self.state_dump = dict(state_dump or {})
+
+
+class SimSanitizer:
+    """Cycle-cadence auditor over a live :class:`repro.gpusim.gpu.GPU`.
+
+    The GPU's run loop calls :meth:`maybe_check` alongside the watchdog
+    (sparsely — every 256 loop iterations); the cadence gate inside keeps
+    full audits ``interval`` simulated cycles apart.  :meth:`check` runs
+    one full audit unconditionally (the run loop calls it once more after
+    the last SM retires, so every run ends on a clean audit).
+    """
+
+    def __init__(self, gpu, interval: int = 2000) -> None:
+        self.gpu = gpu
+        self.interval = max(1, interval)
+        self.checks = 0
+        self.last_snapshot: dict = {}
+        self._next_check = 0
+        # Monotonicity baselines from the previous audit.
+        self._icnt_last: Dict[Tuple[int, str], dict] = {}
+        self._stats_last: Dict[int, Tuple[int, ...]] = {}
+        self._l2_last: Optional[dict] = None
+        self._dram_last: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+
+    def maybe_check(self, now: int) -> None:
+        """Audit iff the cadence interval has elapsed."""
+        if now >= self._next_check:
+            self.check(now)
+
+    def check(self, now: int) -> None:
+        """Run one full audit; raise on the first broken invariant."""
+        violations: List[Tuple[str, str]] = []
+        self._check_sms(now, violations)
+        self._check_l2(violations)
+        self._check_dram(violations)
+        self._check_cross_layer(violations)
+        self.checks += 1
+        self._next_check = now + self.interval
+        if violations:
+            self._raise(now, violations)
+        self.last_snapshot = self._build_snapshot(now)
+
+    def snapshot(self) -> dict:
+        """Plain-data audit trail for hang / violation state dumps: how
+        many audits ran and the machine summary at the last clean one."""
+        return {
+            "checks": self.checks,
+            "interval": self.interval,
+            "last_clean": dict(self.last_snapshot),
+        }
+
+    # ------------------------------------------------------------------
+    # Per-layer audits
+
+    def _check_sms(self, now: int, v: List[Tuple[str, str]]) -> None:
+        for sm in self.gpu.sms:
+            label = "sm%d" % sm.sm_id
+            l1 = sm.l1
+            mshr = l1._mshr
+
+            # Request conservation: allocate/release balance and capacity.
+            occ = mshr.occupancy
+            if occ > mshr.entries:
+                v.append((
+                    "mshr_capacity",
+                    "%s MSHR occupancy %d exceeds %d entries"
+                    % (label, occ, mshr.entries),
+                ))
+            if mshr.allocated - mshr.released != occ:
+                v.append((
+                    "mshr_balance",
+                    "%s MSHR allocated(%d) - released(%d) != occupancy(%d): "
+                    "a request leaked or retired twice"
+                    % (label, mshr.allocated, mshr.released, occ),
+                ))
+            for entry in mshr.entries_inflight():
+                if not 1 <= entry.merges <= mshr.merge_width:
+                    v.append((
+                        "mshr_merge",
+                        "%s MSHR line %#x carries %d merges (width %d)"
+                        % (label, entry.line_addr, entry.merges,
+                           mshr.merge_width),
+                    ))
+            if len(l1._miss_queue) > sm.config.miss_queue_depth:
+                v.append((
+                    "miss_queue_depth",
+                    "%s miss queue holds %d > depth %d"
+                    % (label, len(l1._miss_queue),
+                       sm.config.miss_queue_depth),
+                ))
+
+            # NoC port monotonicity and priority ordering.
+            for port_name, port in (("req", sm.icnt_req), ("resp", sm.icnt_resp)):
+                snap = port.snapshot()
+                key = (sm.sm_id, port_name)
+                prev = self._icnt_last.get(key)
+                if snap["next_free"] < 0 or snap["priority_next_free"] < 0:
+                    v.append((
+                        "icnt_negative",
+                        "%s icnt_%s horizon went negative: %r"
+                        % (label, port_name, snap),
+                    ))
+                if snap["priority_next_free"] > snap["next_free"]:
+                    v.append((
+                        "icnt_priority",
+                        "%s icnt_%s demand horizon %d ahead of combined %d: "
+                        "priority traffic scheduled behind best-effort"
+                        % (label, port_name, snap["priority_next_free"],
+                           snap["next_free"]),
+                    ))
+                if prev is not None and (
+                    snap["next_free"] < prev["next_free"]
+                    or snap["priority_next_free"] < prev["priority_next_free"]
+                    or snap["bytes_transferred"] < prev["bytes_transferred"]
+                ):
+                    v.append((
+                        "icnt_monotonic",
+                        "%s icnt_%s rewound between audits: %r -> %r"
+                        % (label, port_name, prev, snap),
+                    ))
+                self._icnt_last[key] = snap
+                util = port.measured_utilization(now)
+                if not 0.0 <= util <= 1.0:
+                    v.append((
+                        "icnt_utilization",
+                        "%s icnt_%s utilization %f outside [0, 1]"
+                        % (label, port_name, util),
+                    ))
+
+            # Storage structure: main store, prefetch partition, side buffer.
+            for msg in l1.store.structural_violations("%s.l1" % label):
+                v.append(("l1_structure", msg))
+            if l1.store.occupancy > l1.store.config.num_lines:
+                v.append((
+                    "l1_occupancy",
+                    "%s L1 holds %d lines > capacity %d"
+                    % (label, l1.store.occupancy, l1.store.config.num_lines),
+                ))
+            for line in l1.store.all_lines():
+                if line.transferred and line.is_prefetch:
+                    v.append((
+                        "l1_partition",
+                        "%s line %#x is both transferred and prefetch-flagged"
+                        % (label, line.addr),
+                    ))
+                elif line.is_prefetch and l1.side_buffer is not None:
+                    v.append((
+                        "l1_partition",
+                        "%s isolated mode but prefetched line %#x sits in "
+                        "the main store" % (label, line.addr),
+                    ))
+            if l1.side_buffer is not None:
+                for msg in l1.side_buffer.structural_violations(
+                    "%s.side" % label
+                ):
+                    v.append(("l1_structure", msg))
+            if l1._prefetch_inserted < 0 or l1._prefetch_transferred < 0:
+                v.append((
+                    "l1_partition",
+                    "%s prefetch transfer counters went negative (%d/%d)"
+                    % (label, l1._prefetch_transferred, l1._prefetch_inserted),
+                ))
+
+            # Stats conservation + monotonicity of figure-driving counters.
+            for msg in sm.stats.conservation_violations():
+                v.append(("stats_conservation", "%s %s" % (label, msg)))
+            digest = (
+                sm.stats.instructions,
+                sm.stats.warps_finished,
+                sm.stats.l1_hits,
+                sm.stats.l1_misses,
+                sm.stats.l1_reserved,
+                sm.stats.l1_reservation_fails,
+                sm.stats.icnt_bytes,
+                sm.stats.prefetch.issued,
+                sm.stats.prefetch.demand_covered,
+                sm.stats.prefetch.demand_timely,
+            )
+            prev_digest = self._stats_last.get(sm.sm_id)
+            if prev_digest is not None and any(
+                a < b for a, b in zip(digest, prev_digest)
+            ):
+                v.append((
+                    "stats_monotonic",
+                    "%s a cumulative counter decreased between audits: "
+                    "%r -> %r" % (label, prev_digest, digest),
+                ))
+            self._stats_last[sm.sm_id] = digest
+
+            # Throttle bookkeeping.
+            throttle = sm.throttle.snapshot()
+            if throttle["space_halts"] < 0 or throttle["bw_halts"] < 0:
+                v.append((
+                    "throttle_counters",
+                    "%s throttle halt counters negative: %r" % (label, throttle),
+                ))
+
+            # Snake table structure (any prefetcher exposing tables()).
+            tables = getattr(sm.prefetcher, "tables", None)
+            if tables is not None:
+                for app_id, head, tail in tables():
+                    if len(head) > head.capacity:
+                        v.append((
+                            "head_capacity",
+                            "%s app %d Head table holds %d rows > capacity %d"
+                            % (label, app_id, len(head), head.capacity),
+                        ))
+                    for msg in tail.structural_violations(
+                        "%s app %d Tail" % (label, app_id)
+                    ):
+                        v.append(("snake_table", msg))
+
+    def _check_l2(self, v: List[Tuple[str, str]]) -> None:
+        l2 = self.gpu.l2
+        snap = {
+            "bank_next_free": list(l2._bank_next_free),
+            "bank_priority_next_free": list(l2._bank_priority_next_free),
+            "hits": l2.hits,
+            "misses": l2.misses,
+        }
+        for bank, (nf, pnf) in enumerate(
+            zip(snap["bank_next_free"], snap["bank_priority_next_free"])
+        ):
+            if nf < 0 or pnf < 0:
+                v.append((
+                    "l2_bank",
+                    "L2 bank %d horizon negative (nf=%d pnf=%d)"
+                    % (bank, nf, pnf),
+                ))
+            if pnf > nf:
+                v.append((
+                    "l2_bank",
+                    "L2 bank %d demand horizon %d ahead of combined %d"
+                    % (bank, pnf, nf),
+                ))
+        prev = self._l2_last
+        if prev is not None:
+            if snap["hits"] < prev["hits"] or snap["misses"] < prev["misses"]:
+                v.append((
+                    "l2_stats",
+                    "L2 hit/miss counters decreased: %r -> %r" % (prev, snap),
+                ))
+            if any(
+                a < b for a, b in
+                zip(snap["bank_next_free"], prev["bank_next_free"])
+            ) or any(
+                a < b for a, b in zip(
+                    snap["bank_priority_next_free"],
+                    prev["bank_priority_next_free"],
+                )
+            ):
+                v.append((
+                    "l2_bank",
+                    "an L2 bank horizon rewound between audits",
+                ))
+        self._l2_last = snap
+
+    def _check_dram(self, v: List[Tuple[str, str]]) -> None:
+        dram = self.gpu.dram
+        horizons: List[int] = []
+        for ch_idx, channel in enumerate(dram._channels):
+            pairs = [(channel.next_free, channel.priority_next_free, "channel")]
+            pairs.extend(
+                (bank.next_free, bank.priority_next_free, "bank %d" % i)
+                for i, bank in enumerate(channel.banks)
+            )
+            for nf, pnf, what in pairs:
+                if nf < 0 or pnf < 0:
+                    v.append((
+                        "dram_bank",
+                        "DRAM channel %d %s horizon negative (nf=%d pnf=%d)"
+                        % (ch_idx, what, nf, pnf),
+                    ))
+                if pnf > nf:
+                    v.append((
+                        "dram_bank",
+                        "DRAM channel %d %s demand horizon %d ahead of "
+                        "combined %d" % (ch_idx, what, pnf, nf),
+                    ))
+                horizons.extend((nf, pnf))
+            for i, bank in enumerate(channel.banks):
+                if bank.open_row < -1:
+                    v.append((
+                        "dram_bank",
+                        "DRAM channel %d bank %d open row %d malformed"
+                        % (ch_idx, i, bank.open_row),
+                    ))
+        snap = {
+            "horizons": horizons,
+            "reads": dram.reads,
+            "row_hits": dram.row_hits,
+            "row_misses": dram.row_misses,
+        }
+        prev = self._dram_last
+        if prev is not None:
+            if any(a < b for a, b in zip(horizons, prev["horizons"])):
+                v.append((
+                    "dram_bank",
+                    "a DRAM bank/channel horizon rewound between audits",
+                ))
+            if (
+                snap["reads"] < prev["reads"]
+                or snap["row_hits"] < prev["row_hits"]
+                or snap["row_misses"] < prev["row_misses"]
+            ):
+                v.append((
+                    "dram_stats",
+                    "DRAM counters decreased: %r -> %r" % (prev, snap),
+                ))
+        self._dram_last = snap
+
+    def _check_cross_layer(self, v: List[Tuple[str, str]]) -> None:
+        """The laws that tie the layers together.  Stores never leave the
+        L1 (write-through to the NoC only) and magic prefetches bypass the
+        hierarchy, so every L2 access is a demand L1 miss or an issued
+        hardware prefetch — and every L2 miss is exactly one DRAM read."""
+        l2 = self.gpu.l2
+        sent_down = sum(
+            sm.stats.l1_misses + sm.stats.prefetch.issued
+            for sm in self.gpu.sms
+        )
+        if l2.hits + l2.misses != sent_down:
+            v.append((
+                "l2_conservation",
+                "L2 saw %d accesses (hits %d + misses %d) but the L1s sent "
+                "%d requests down" % (l2.hits + l2.misses, l2.hits,
+                                      l2.misses, sent_down),
+            ))
+        if self.gpu.dram.reads != l2.misses:
+            v.append((
+                "dram_conservation",
+                "DRAM serviced %d reads but L2 recorded %d misses"
+                % (self.gpu.dram.reads, l2.misses),
+            ))
+
+    # ------------------------------------------------------------------
+
+    def _build_snapshot(self, now: int) -> dict:
+        return {
+            "cycle": now,
+            "sms": [
+                {
+                    "sm_id": sm.sm_id,
+                    "mshr_allocated": sm.l1._mshr.allocated,
+                    "mshr_released": sm.l1._mshr.released,
+                    "mshr_occupancy": sm.l1._mshr.occupancy,
+                    "store_occupancy": sm.l1.store.occupancy,
+                    "icnt_req": sm.icnt_req.snapshot(),
+                    "icnt_resp": sm.icnt_resp.snapshot(),
+                    "throttle": sm.throttle.snapshot(),
+                }
+                for sm in self.gpu.sms
+            ],
+            "l2": {"hits": self.gpu.l2.hits, "misses": self.gpu.l2.misses},
+            "dram": {
+                "reads": self.gpu.dram.reads,
+                "row_hits": self.gpu.dram.row_hits,
+                "row_misses": self.gpu.dram.row_misses,
+            },
+        }
+
+    def _raise(self, now: int, violations: List[Tuple[str, str]]) -> None:
+        from .watchdog import collect_state_dump
+
+        messages = ["%s: %s" % pair for pair in violations]
+        dump = collect_state_dump(self.gpu, sanitizer=self)
+        dump["cycle"] = now
+        dump["violations"] = messages
+        raise InvariantViolationError(
+            "conservation invariant broken at cycle %d (%d problem%s):\n%s"
+            % (
+                now,
+                len(violations),
+                "" if len(violations) == 1 else "s",
+                "\n".join("  - " + m for m in messages),
+            ),
+            invariant=violations[0][0],
+            cycle=now,
+            state_dump=dump,
+        )
+
+
+__all__ = ["InvariantViolationError", "SimSanitizer"]

@@ -74,16 +74,18 @@ class SM:
         throttle,
         storage_mode: StorageMode = StorageMode.COUPLED,
         obs=None,
+        faults=None,
     ) -> None:
         self.sm_id = sm_id
         self.config = config
         self.stats = SimStats()
         self.obs = obs if obs is not None else NULL_BUS
+        self._faults = faults  # optional chaos hook (snake.tail_corrupt)
         self.icnt_req = Interconnect(config.icnt_bytes_per_cycle, config.icnt_latency)
         self.icnt_resp = Interconnect(config.icnt_bytes_per_cycle, config.icnt_latency)
         self.l1 = UnifiedL1Cache(
             config, self.icnt_req, self.icnt_resp, l2, self.stats,
-            mode=storage_mode, obs=self.obs, sm_id=sm_id,
+            mode=storage_mode, obs=self.obs, sm_id=sm_id, faults=faults,
         )
         self.prefetcher = prefetcher
         self.throttle = throttle
@@ -341,6 +343,11 @@ class SM:
                     utilization, self.config.max_chain_depth
                 )
             )
+        if self._faults is not None:
+            # Chaos snake.tail_corrupt: scramble a chain link right before
+            # the tables are consulted — predictions may go wrong, demand
+            # correctness cannot.
+            self._faults.corrupt_tail(self.prefetcher, self.now, self.sm_id)
         requests = self.prefetcher.observe(event)
         if not requests:
             return

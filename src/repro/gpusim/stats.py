@@ -9,8 +9,8 @@ classification, interconnect traffic, and prefetch bookkeeping
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
-from typing import Dict
+from dataclasses import asdict, dataclass, field, fields
+from typing import Dict, List
 
 
 @dataclass
@@ -191,6 +191,70 @@ class SimStats:
         p.unused_evicted += q.unused_evicted
         p.early_evictions += q.early_evictions
         p.table_accesses += q.table_accesses
+
+    def conservation_violations(self) -> List[str]:
+        """The accounting identities every (per-SM or merged) stats object
+        must satisfy.  Returns the broken ones as messages; empty = sound.
+
+        A silently broken identity here (a coverage numerator past its
+        denominator, a negative counter, timely credit without coverage
+        credit) would poison every figure derived from this run, so the
+        sanitizer audits these at cadence and :meth:`verify` lets tests
+        turn any simulation into an accounting audit.
+        """
+        v: List[str] = []
+        for f in fields(self):
+            if f.name == "prefetch":
+                continue
+            value = getattr(self, f.name)
+            if value < 0:
+                v.append("%s is negative (%d)" % (f.name, value))
+        p = self.prefetch
+        for f in fields(p):
+            if getattr(p, f.name) < 0:
+                v.append("prefetch.%s is negative (%d)" % (f.name, getattr(p, f.name)))
+        # hits + misses + reserved + reservation-fails is *defined* as the
+        # access total, so the conservation law with teeth is between the
+        # prefetch-credit numerators and the demand denominator.
+        if p.demand_timely > p.demand_covered:
+            v.append(
+                "timely credits (%d) exceed covered credits (%d)"
+                % (p.demand_timely, p.demand_covered)
+            )
+        if p.demand_covered > self.demand_accesses:
+            v.append(
+                "coverage numerator (%d) exceeds demand accesses (%d)"
+                % (p.demand_covered, self.demand_accesses)
+            )
+        if self.stall_cycles_memory > self.stall_cycles_total:
+            v.append(
+                "memory stalls (%d) exceed total stalls (%d)"
+                % (self.stall_cycles_memory, self.stall_cycles_total)
+            )
+        # Every DRAM read resolved to exactly one row hit or miss; writes
+        # also touch a row, so reads can only be <= the row total.
+        if self.dram_reads > self.dram_row_hits + self.dram_row_misses:
+            v.append(
+                "dram reads (%d) exceed row activations+hits (%d)"
+                % (self.dram_reads, self.dram_row_hits + self.dram_row_misses)
+            )
+        return v
+
+    def verify(self) -> "SimStats":
+        """Raise ``ValueError`` listing every broken conservation identity
+        (see :meth:`conservation_violations`); returns ``self`` so call
+        sites can chain: ``simulate(...).verify()``."""
+        violations = self.conservation_violations()
+        if violations:
+            raise ValueError(
+                "stats conservation violated (%d problem%s):\n%s"
+                % (
+                    len(violations),
+                    "" if len(violations) == 1 else "s",
+                    "\n".join("  - " + v for v in violations),
+                )
+            )
+        return self
 
     def to_json_dict(self) -> dict:
         """Lossless plain-data form (every raw counter, prefetch nested) —

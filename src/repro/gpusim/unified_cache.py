@@ -69,11 +69,16 @@ class UnifiedL1Cache:
         mode: StorageMode = StorageMode.COUPLED,
         obs=None,
         sm_id: int = -1,
+        faults=None,
     ) -> None:
         self.config = config
         self.mode = mode
         self._obs = obs if obs is not None else NULL_BUS
         self._sm_id = sm_id
+        # Optional chaos hook (repro.gpusim.faults.FaultInjector).  Every
+        # use is None-guarded: without a fault plan the cache pays one
+        # attribute test per injection site and nothing more.
+        self._faults = faults
         self._store = SetAssocCache(config.l1)
         self._mshr = MSHR(config.mshr_entries, config.mshr_merge)
         self._miss_queue: Deque[int] = deque()  # icnt-acceptance times
@@ -115,6 +120,13 @@ class UnifiedL1Cache:
 
     def _commit_fills(self, now: int) -> None:
         for entry in self._mshr.pop_filled(now):
+            if entry.dropped and not entry.demand_joined:
+                # Chaos icnt.drop_fill: the best-effort fill packet was lost.
+                # The MSHR entry still retires exactly once (conservation),
+                # but no line lands — a lost prefetch opportunity, nothing
+                # more.  A demand-joined entry is never dropped: the merge
+                # promoted the packet to the demand channel.
+                continue
             resident = self._store.lookup(entry.line_addr)
             if resident is not None and self.config.l1_sector_bytes:
                 # sector fill into an already-resident line
@@ -182,6 +194,9 @@ class UnifiedL1Cache:
         fill_bytes = nbytes if nbytes is not None else self.line_bytes
         fill_time = self._icnt_resp.send(l2_ready, fill_bytes, priority=priority)
         self.stats.icnt_bytes += fill_bytes
+        if is_prefetch and self._faults is not None:
+            # Chaos icnt.delay_fill: the best-effort fill dawdles in the NoC.
+            fill_time += self._faults.delay("icnt.delay_fill", now, self._sm_id)
         return fill_time
 
     # ------------------------------------------------------------------
@@ -388,7 +403,16 @@ class UnifiedL1Cache:
                 merged.fill_time = min(merged.fill_time, promoted)
             return L1Outcome.RESERVED, merged.fill_time + 1
 
-        if self._mshr.full or self._miss_queue_full(now):
+        if (
+            self._mshr.full
+            or self._miss_queue_full(now)
+            or (
+                self._faults is not None
+                and self._faults.fires(
+                    "l1.mshr_refuse", now, self._sm_id, "demand %#x" % line_addr
+                )
+            )
+        ):
             self.stats.l1_reservation_fails += 1
             return L1Outcome.RESERVATION_FAIL, now + self.config.replay_interval
 
@@ -446,6 +470,12 @@ class UnifiedL1Cache:
         """Issue a hardware prefetch for one line.  Returns True when a
         request actually left for L2."""
         self._commit_fills(now)
+        if self._faults is not None and self._faults.should("l1.evict_storm"):
+            evicted = self._evict_prefetch_storm()
+            self._faults.record(
+                "l1.evict_storm", now, self._sm_id,
+                "evicted %d prefetched lines" % evicted,
+            )
         resident = self._store.lookup(line_addr)
         if resident is None and self._side_buffer is not None:
             resident = self._side_buffer.lookup(line_addr)
@@ -481,22 +511,64 @@ class UnifiedL1Cache:
         queue_cap = max(1, self.config.miss_queue_depth - 1)
         while self._miss_queue and self._miss_queue[0] <= now:
             self._miss_queue.popleft()
-        if self._mshr.occupancy >= mshr_cap or len(self._miss_queue) >= queue_cap:
+        refused = (
+            self._mshr.occupancy >= mshr_cap
+            or len(self._miss_queue) >= queue_cap
+        )
+        reason = "headroom"
+        if (
+            not refused
+            and self._faults is not None
+            and self._faults.fires(
+                "l1.mshr_refuse", now, self._sm_id, "prefetch %#x" % line_addr
+            )
+        ):
+            # Chaos l1.mshr_refuse on the best-effort path: the prefetch is
+            # simply dropped before issue, so it never reaches L2 and the
+            # cross-layer request conservation stays exact.
+            refused = True
+            reason = "fault"
+        if refused:
             self.stats.prefetch.dropped_throttled += 1
             if self._obs.enabled:
                 self._obs.emit(
                     PrefetchDropEvent(
                         cycle=now, sm_id=self._sm_id, line_addr=line_addr,
-                        reason="headroom",
+                        reason=reason,
                     )
                 )
             return False
         fill_time = self._send_to_l2(
             line_addr, now, is_write=False, is_prefetch=True
         )
-        self._mshr.allocate(line_addr, fill_time, is_prefetch=True)
+        entry = self._mshr.allocate(line_addr, fill_time, is_prefetch=True)
+        if self._faults is not None and self._faults.fires(
+            "icnt.drop_fill", now, self._sm_id, "prefetch %#x" % line_addr
+        ):
+            entry.dropped = True
         self.stats.prefetch.issued += 1
         return True
+
+    def _evict_prefetch_storm(self) -> int:
+        """Chaos l1.evict_storm: flush every still-prefetch-flagged line
+        from one random set (plus the matching side-buffer set in isolated
+        mode).  Returns the number of lines evicted."""
+        assert self._faults is not None
+        evicted = 0
+        set_idx = self._faults.rand_index(self._store.num_sets)
+        for line in self._store.lines_in_set(set_idx):
+            if line.is_prefetch:
+                self._evict_line(line)
+                evicted += 1
+        if self._side_buffer is not None:
+            side_idx = self._faults.rand_index(self._side_buffer.num_sets)
+            for line in self._side_buffer.lines_in_set(side_idx):
+                if line.is_prefetch:
+                    self._side_buffer.evict(line.addr)
+                    if not line.used:
+                        self.stats.prefetch.unused_evicted += 1
+                    evicted += 1
+        return evicted
 
     def magic_prefetch(self, line_addr: int) -> None:
         """Ideal-prefetcher fill: infinite storage, zero latency (§1)."""

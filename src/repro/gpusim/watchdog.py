@@ -44,11 +44,15 @@ class SimulationHangError(RuntimeError):
         self.state_dump = dict(state_dump or {})
 
 
-def collect_state_dump(gpu, max_warps_per_sm: int = 64) -> dict:
+def collect_state_dump(gpu, max_warps_per_sm: int = 64, sanitizer=None) -> dict:
     """Snapshot the machine for hang diagnosis.
 
     Everything is plain data (ints/strings/lists) so the dump survives a
-    trip through the runner's pipe and the JSONL checkpoint.
+    trip through the runner's pipe and the JSONL checkpoint.  When the run
+    carries a :class:`repro.gpusim.sanitizer.SimSanitizer`, its audit trail
+    (check count plus the machine summary at the last *clean* audit) rides
+    along under the ``sanitizer`` key — for a hang or violation, the last
+    known-good state is usually the most useful diagnostic anchor.
     """
     sms = []
     for sm in gpu.sms:
@@ -83,7 +87,7 @@ def collect_state_dump(gpu, max_warps_per_sm: int = 64) -> dict:
                 "warps": warps,
             }
         )
-    return {
+    dump = {
         "sms": sms,
         "l2": {
             "hits": gpu.l2.hits,
@@ -97,15 +101,20 @@ def collect_state_dump(gpu, max_warps_per_sm: int = 64) -> dict:
             "row_misses": gpu.dram.row_misses,
         },
     }
+    if sanitizer is not None:
+        dump["sanitizer"] = sanitizer.snapshot()
+    return dump
 
 
 class Watchdog:
     """Tracks the progress signature across ``GPU.run_many`` loop checks."""
 
-    def __init__(self, gpu, window_cycles: int, max_cycles: int) -> None:
+    def __init__(self, gpu, window_cycles: int, max_cycles: int,
+                 sanitizer=None) -> None:
         self.gpu = gpu
         self.window = window_cycles
         self.max_cycles = max_cycles
+        self.sanitizer = sanitizer
         self._last_signature: Tuple[int, ...] = ()
         self._last_progress_now = 0
         self._strikes = 0
@@ -137,7 +146,7 @@ class Watchdog:
                 "simulation passed the max_cycles deadman (%d > %d)"
                 % (now, self.max_cycles),
                 reason="max_cycles",
-                state_dump=collect_state_dump(self.gpu),
+                state_dump=collect_state_dump(self.gpu, sanitizer=self.sanitizer),
             )
         if not self.window:
             return
@@ -157,5 +166,5 @@ class Watchdog:
             "retired and no memory request drained since cycle %d"
             % (now - self._last_progress_now, self.window, self._last_progress_now),
             reason="no_forward_progress",
-            state_dump=collect_state_dump(self.gpu),
+            state_dump=collect_state_dump(self.gpu, sanitizer=self.sanitizer),
         )

@@ -42,6 +42,7 @@ class EventKind(enum.IntEnum):
     DRAM_ROW_ACTIVATE = 8  # a DRAM bank opened a new row
     L2_ACCESS = 9  # one request serviced by the shared L2
     RUNNER_JOB = 10  # sweep-runner job lifecycle transition (repro.runner)
+    FAULT = 11  # a chaos fault fired at an injection site (repro.gpusim.faults)
 
 
 @dataclass
@@ -188,6 +189,23 @@ class RunnerJobEvent(Event):
     elapsed_s: float = 0.0
 
     kind = EventKind.RUNNER_JOB
+
+
+@dataclass
+class FaultEvent(Event):
+    """One chaos fault fired (see :mod:`repro.gpusim.faults`).
+
+    ``site`` names the injection site (e.g. ``icnt.drop_fill``,
+    ``dram.latency_spike``); ``detail`` carries the site-specific magnitude
+    (delay cycles, evicted-line count, corrupted stride) as a string so the
+    event stays flat and JSON-safe.  Faults are performance perturbations by
+    construction — the sanitizer proves they never change correctness.
+    """
+
+    site: str = ""
+    detail: str = ""
+
+    kind = EventKind.FAULT
 
 
 class Sink:

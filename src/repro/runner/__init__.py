@@ -11,7 +11,8 @@ seed) grid; this package makes running it resilient:
 * :mod:`repro.runner.checkpoint` — atomic JSONL checkpointing and the
   ``--resume`` semantics.
 * :mod:`repro.runner.errors` — the structured error taxonomy
-  (``JobTimeout`` / ``JobCrash`` / ``SimulationHang`` / ``InvalidConfig``).
+  (``JobTimeout`` / ``JobCrash`` / ``SimulationHang`` / ``InvalidConfig``
+  / ``invariant:<name>`` from the simulation sanitizer).
 
 The full walkthrough (formats, tuning, chaos hooks) is
 ``docs/ROBUSTNESS.md``; the CLI front end is ``snake-repro sweep``.
@@ -23,11 +24,14 @@ from .errors import (
     FailedResult,
     InvalidConfig,
     InvalidConfigError,
+    InvariantViolation,
+    InvariantViolationError,
     JobCrash,
     JobError,
     JobTimeout,
     SimulationHang,
     SimulationHangError,
+    is_retryable,
 )
 from .jobs import JobSpec, execute_job, job_hash
 from .pool import SweepResult, default_jobs, grid_specs, run_grid, run_jobs
@@ -39,6 +43,8 @@ __all__ = [
     "FailedResult",
     "InvalidConfig",
     "InvalidConfigError",
+    "InvariantViolation",
+    "InvariantViolationError",
     "JobCrash",
     "JobError",
     "JobSpec",
@@ -49,6 +55,7 @@ __all__ = [
     "default_jobs",
     "execute_job",
     "grid_specs",
+    "is_retryable",
     "job_hash",
     "run_grid",
     "run_jobs",

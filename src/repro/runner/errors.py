@@ -3,19 +3,27 @@
 Every way a sweep cell can die maps to exactly one class, so retry policy,
 checkpoint records and report markers all branch on one ``kind`` string:
 
-===================  =============================================  =========
-kind                 meaning                                        retried?
-===================  =============================================  =========
-``JobTimeout``       worker exceeded the per-job wall-clock budget  no
-``JobCrash``         worker died (signal/exit) or raised            yes
-``SimulationHang``   the in-simulator watchdog fired                no
-``InvalidConfig``    the job spec can never run (bad config/app)    no
-===================  =============================================  =========
+======================  =============================================  =========
+kind                    meaning                                        retried?
+======================  =============================================  =========
+``JobTimeout``          worker exceeded the per-job wall-clock budget  no
+``JobCrash``            worker died (signal/exit) or raised            yes
+``SimulationHang``      the in-simulator watchdog fired                no
+``InvalidConfig``       the job spec can never run (bad config/app)    no
+``invariant:<name>``    the simulation sanitizer caught a broken       no
+                        conservation law (:class:`InvariantViolation`)
+======================  =============================================  =========
 
 Timeouts and hangs are deterministic for a given (spec, machine-load
 regime) and invalid configs are deterministic outright, so retrying them
 burns the budget for nothing; crashes are treated as transient (OOM kill,
-stray signal) and get bounded retry with exponential backoff.
+stray signal) and get bounded retry with exponential backoff.  Invariant
+violations are the most deterministic of all — the simulation is seeded,
+so the same broken law fires at the same cycle on every attempt — and,
+worse, a retry that happened to "pass" would launder corrupt accounting
+into the result set.  They are therefore never retried, and their wire
+kind carries the specific invariant (``invariant:mshr_balance``) so a
+report's ``FAILED(...)`` marker names the broken law directly.
 
 A cell that still fails after retries becomes a :class:`FailedResult` —
 a stand-in value that flows through sweeps, checkpoints and reports where
@@ -29,6 +37,7 @@ from typing import Dict, Optional, Type
 
 # Re-exported so runner users need one import for the whole taxonomy.
 from repro.gpusim.config import InvalidConfigError
+from repro.gpusim.sanitizer import InvariantViolationError
 from repro.gpusim.watchdog import SimulationHangError
 
 
@@ -72,15 +81,49 @@ class InvalidConfig(JobError):
     kind = "InvalidConfig"
 
 
+class InvariantViolation(JobError):
+    """The simulation sanitizer (:mod:`repro.gpusim.sanitizer`) caught a
+    broken conservation law mid-run.  The instance ``kind`` is
+    ``invariant:<name>`` so the wire form / ``FAILED(...)`` marker names
+    the specific law; the class-level kind is the taxonomy family.  Never
+    retried: the simulation is seeded, so the violation is deterministic,
+    and the stats it would produce are corrupt by definition."""
+
+    kind = "InvariantViolation"
+
+    def __init__(self, message: str, invariant: str = "unknown",
+                 state_dump: Optional[dict] = None) -> None:
+        super().__init__(message, state_dump=state_dump)
+        self.invariant = invariant
+        self.kind = "invariant:%s" % invariant
+
+
 ERROR_KINDS: Dict[str, Type[JobError]] = {
-    cls.kind: cls for cls in (JobTimeout, JobCrash, SimulationHang, InvalidConfig)
+    cls.kind: cls
+    for cls in (
+        JobTimeout, JobCrash, SimulationHang, InvalidConfig, InvariantViolation
+    )
 }
 
 
 def error_from_kind(kind: str, message: str,
                     state_dump: Optional[dict] = None) -> JobError:
     """Rebuild a typed error from its wire form (worker pipe / checkpoint)."""
+    if kind.startswith("invariant:"):
+        return InvariantViolation(
+            message, invariant=kind.split(":", 1)[1], state_dump=state_dump
+        )
     return ERROR_KINDS.get(kind, JobCrash)(message, state_dump=state_dump)
+
+
+def is_retryable(kind: str) -> bool:
+    """Retry policy from the wire kind alone (what the pool sees).  Only
+    known-transient kinds retry; anything unrecognized — including every
+    ``invariant:<name>`` — is presumed deterministic and fails fast."""
+    if kind.startswith("invariant:"):
+        return False
+    cls = ERROR_KINDS.get(kind)
+    return bool(cls is not None and cls.retryable)
 
 
 @dataclass
@@ -128,10 +171,13 @@ __all__ = [
     "FailedResult",
     "InvalidConfig",
     "InvalidConfigError",
+    "InvariantViolation",
+    "InvariantViolationError",
     "JobCrash",
     "JobError",
     "JobTimeout",
     "SimulationHang",
     "SimulationHangError",
     "error_from_kind",
+    "is_retryable",
 ]

@@ -29,8 +29,14 @@ from typing import Any, Mapping, Optional, Tuple
 from repro.gpusim import GPUConfig, SimStats
 from repro.gpusim.config import InvalidConfigError
 from repro.gpusim.gpu import GPU
+from repro.gpusim.sanitizer import InvariantViolationError
 
-from .errors import InvalidConfig, SimulationHang, SimulationHangError
+from .errors import (
+    InvalidConfig,
+    InvariantViolation,
+    SimulationHang,
+    SimulationHangError,
+)
 
 
 @dataclass(frozen=True)
@@ -207,6 +213,12 @@ def execute_job(spec: JobSpec) -> SimStats:
         except SimulationHangError as exc:
             raise SimulationHang(
                 "job %s: %s" % (spec.label(), exc), state_dump=exc.state_dump
+            ) from exc
+        except InvariantViolationError as exc:
+            raise InvariantViolation(
+                "job %s: %s" % (spec.label(), exc),
+                invariant=exc.invariant,
+                state_dump=exc.state_dump,
             ) from exc
 
 

@@ -40,7 +40,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.obs.events import NULL_BUS, RunnerJobEvent
 
 from .checkpoint import Checkpoint, make_record
-from .errors import FailedResult, JobError
+from .errors import FailedResult, JobError, is_retryable
 from .jobs import JobSpec, execute_job, job_hash
 
 #: Default per-crash retry budget (attempts = retries + 1).
@@ -338,7 +338,7 @@ def _run_pooled(todo, result, finish, bus, *, jobs, timeout, retries, backoff_s)
                         error = message.get("error") or {}
                         failure = _wire_to_failure(error, entry.attempt)
                         if (
-                            error.get("kind") == "JobCrash"
+                            is_retryable(error.get("kind", ""))
                             and entry.attempt <= retries
                         ):
                             retry_after = backoff_s * (2 ** (entry.attempt - 1))

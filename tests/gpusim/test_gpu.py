@@ -28,7 +28,7 @@ def small_kernel(num_ctas=4, warps=4, iters=10):
 class TestGPU:
     def test_runs_to_completion(self):
         gpu = GPU(config=GPUConfig.scaled())
-        stats = gpu.run(small_kernel())
+        stats = gpu.run(small_kernel()).verify()
         assert stats.warps_finished == 16
         assert stats.instructions == small_kernel().num_instrs
 
@@ -65,7 +65,7 @@ class TestSimulateAPI:
         from repro.prefetch import COMPARISON_POINTS
 
         for mech in COMPARISON_POINTS + ["ideal", "isolated-snake", "none"]:
-            stats = simulate(kernel, prefetcher=mech)
+            stats = simulate(kernel, prefetcher=mech).verify()
             assert stats.instructions == kernel.num_instrs, mech
 
     def test_unknown_mechanism(self):

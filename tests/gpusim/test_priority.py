@@ -41,6 +41,59 @@ class TestInterconnectPriority:
         assert icnt.bytes_transferred == 800
 
 
+class TestInterconnectMixedTraffic:
+    """Interleaved demand + prefetch streams: the virtual-channel
+    invariants the sanitizer audits at cadence must hold after *every*
+    send, not just in the two-send corner cases above."""
+
+    def _mixed_sends(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        now = 0
+        for _ in range(400):
+            now += rng.randrange(0, 5)
+            yield now, rng.randrange(8, 512), rng.random() < 0.3
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_priority_horizon_never_passes_combined(self, seed):
+        icnt = Interconnect(bytes_per_cycle=32, latency=4)
+        for now, nbytes, priority in self._mixed_sends(seed):
+            icnt.send(now, nbytes, priority=priority)
+            assert icnt.priority_next_free <= icnt.next_free
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_horizons_monotonic_under_mixed_traffic(self, seed):
+        icnt = Interconnect(bytes_per_cycle=32, latency=4)
+        prev = icnt.snapshot()
+        for now, nbytes, priority in self._mixed_sends(seed):
+            icnt.send(now, nbytes, priority=priority)
+            snap = icnt.snapshot()
+            assert snap["next_free"] >= prev["next_free"]
+            assert snap["priority_next_free"] >= prev["priority_next_free"]
+            assert snap["bytes_transferred"] > prev["bytes_transferred"]
+            prev = snap
+
+    def test_demand_latency_independent_of_prefetch_load(self):
+        # the same demand stream, with and without a heavy best-effort
+        # stream interleaved: demand arrivals must be identical
+        quiet = Interconnect(bytes_per_cycle=32, latency=4)
+        busy = Interconnect(bytes_per_cycle=32, latency=4)
+        arrivals_quiet, arrivals_busy = [], []
+        for step in range(100):
+            now = step * 3
+            busy.send(now, 256)  # prefetch pressure on the busy channel
+            arrivals_quiet.append(quiet.send(now, 64, priority=True))
+            arrivals_busy.append(busy.send(now, 64, priority=True))
+        assert arrivals_busy == arrivals_quiet
+
+    def test_utilization_bounded_under_saturation(self):
+        icnt = Interconnect(bytes_per_cycle=8, latency=0, window=64)
+        for now, nbytes, priority in self._mixed_sends(3):
+            icnt.send(now, nbytes, priority=priority)
+            assert 0.0 <= icnt.measured_utilization(now) <= 1.0
+
+
 class TestDRAMPriority:
     def _dram(self):
         return DRAM(DRAMTimings(), channels=1, banks_per_channel=1,

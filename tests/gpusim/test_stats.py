@@ -75,6 +75,49 @@ class TestPrefetchStats:
         assert p.accuracy(10) == pytest.approx(0.2)
 
 
+class TestConservationAudit:
+    """SimStats.verify / conservation_violations — the self-check the
+    sanitizer runs at cadence and tests chain onto simulate() calls."""
+
+    def test_empty_stats_are_sound(self):
+        stats = SimStats()
+        assert stats.conservation_violations() == []
+        assert stats.verify() is stats
+
+    def test_plausible_run_is_sound(self):
+        stats = SimStats(cycles=100, instructions=50, l1_hits=8, l1_misses=2,
+                         l2_hits=1, l2_misses=1, dram_reads=1,
+                         dram_row_hits=1)
+        stats.prefetch.issued = 4
+        stats.prefetch.demand_covered = 3
+        stats.prefetch.demand_timely = 2
+        assert stats.verify() is stats
+
+    def test_negative_counter_is_caught(self):
+        stats = SimStats(l1_hits=-1)
+        with pytest.raises(ValueError, match="l1_hits"):
+            stats.verify()
+
+    def test_timely_exceeding_covered_is_caught(self):
+        stats = SimStats(l1_hits=10)
+        stats.prefetch.demand_covered = 2
+        stats.prefetch.demand_timely = 5
+        with pytest.raises(ValueError, match="timely credits"):
+            stats.verify()
+
+    def test_covered_exceeding_accesses_is_caught(self):
+        stats = SimStats(l1_hits=1, l1_misses=1)
+        stats.prefetch.demand_covered = 50
+        with pytest.raises(ValueError):
+            stats.verify()
+
+    def test_verify_lists_every_violation(self):
+        stats = SimStats(l1_hits=-1, l1_misses=-2)
+        assert len(stats.conservation_violations()) >= 2
+        with pytest.raises(ValueError, match="problems"):
+            stats.verify()
+
+
 class TestAccuracyDefinitions:
     """The two normalizations documented in docs/METRICS.md."""
 

@@ -44,7 +44,8 @@ class _FakeGPU:
 @pytest.fixture
 def stub_dump(monkeypatch):
     monkeypatch.setattr(
-        "repro.gpusim.watchdog.collect_state_dump", lambda gpu: {"stub": True}
+        "repro.gpusim.watchdog.collect_state_dump",
+        lambda gpu, **kwargs: {"stub": True},
     )
 
 
@@ -138,6 +139,29 @@ class TestIntegration:
         with pytest.raises(SimulationHangError) as exc:
             gpu.run(build_kernel("lps", scale=SCALE, seed=1))
         assert exc.value.reason == "max_cycles"
+
+    def test_hang_dump_embeds_the_sanitizer_audit_trail(self):
+        """A sanitized run that hangs reports when the books last
+        balanced, so 'hung while sound' and 'hung after corruption' are
+        distinguishable post mortem."""
+        config = GPUConfig.scaled().with_(
+            max_cycles=5_000, watchdog_cycles=0, sanitize=True,
+            sanitize_interval=500,
+        )
+        gpu = GPU(config=config)
+        with pytest.raises(SimulationHangError) as exc:
+            gpu.run(build_kernel("lps", scale=0.5, seed=1))
+        audit = exc.value.state_dump["sanitizer"]
+        assert audit["checks"] > 0
+        assert audit["interval"] == 500
+        assert audit["last_clean"]["sms"]
+
+    def test_unsanitized_hang_dump_has_no_audit_section(self):
+        config = GPUConfig.scaled().with_(max_cycles=200, watchdog_cycles=0)
+        gpu = GPU(config=config)
+        with pytest.raises(SimulationHangError) as exc:
+            gpu.run(build_kernel("lps", scale=SCALE, seed=1))
+        assert "sanitizer" not in exc.value.state_dump
 
     def test_healthy_run_is_unaffected_by_the_watchdog(self):
         kernel = build_kernel("lps", scale=SCALE, seed=1)

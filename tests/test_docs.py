@@ -15,6 +15,29 @@ def test_architecture_mentions_every_module():
     assert missing_modules(REPO_ROOT) == []
 
 
+def test_docs_cover_the_cli_surface():
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        from check_docs import missing_cli_docs
+    finally:
+        sys.path.pop(0)
+    assert missing_cli_docs(REPO_ROOT) == []
+
+
+def test_robustness_docs_cover_every_fault_site_and_invariant():
+    from repro.gpusim.faults import SITES
+
+    text = (REPO_ROOT / "docs" / "ROBUSTNESS.md").read_text()
+    for site in SITES:
+        assert site in text, "ROBUSTNESS.md misses fault site %s" % site
+    for invariant in (
+        "mshr_balance", "icnt_priority", "snake_table",
+        "l2_conservation", "dram_conservation", "stats_monotonic",
+    ):
+        assert invariant in text, "ROBUSTNESS.md misses invariant %s" % invariant
+    assert "invariant:<name>" in text
+
+
 def test_observability_docs_exist_and_cover_the_cli():
     text = (REPO_ROOT / "docs" / "OBSERVABILITY.md").read_text()
     for needle in ("trace", "profile", "Sink", "chrome://tracing"):

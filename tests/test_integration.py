@@ -1,6 +1,12 @@
 """End-to-end shape tests: the orderings the paper's evaluation reports must
 hold in the reproduction (absolute numbers may differ — see EXPERIMENTS.md).
+
+Set ``SNAKE_SANITIZE=1`` to run the whole module with the conservation
+sanitizer armed (CI does): same assertions, plus every simulation is
+audited for broken accounting at cycle cadence.
 """
+
+import os
 
 import pytest
 
@@ -9,6 +15,11 @@ from repro.workloads import build_kernel
 
 SCALE = 0.5
 SEED = 3
+CONFIG = (
+    GPUConfig.scaled().with_(sanitize=True)
+    if os.environ.get("SNAKE_SANITIZE")
+    else None
+)
 
 
 @pytest.fixture(scope="module")
@@ -19,7 +30,7 @@ def lps():
 @pytest.fixture(scope="module")
 def results(lps):
     mechs = ["none", "mta", "cta", "snake", "s-snake", "ideal", "tree"]
-    return {m: simulate(lps, prefetcher=m) for m in mechs}
+    return {m: simulate(lps, prefetcher=m, config=CONFIG) for m in mechs}
 
 
 class TestCoverageOrdering:
@@ -99,3 +110,11 @@ class TestDecouplingStudy:
         baseline = simulate(lps, prefetcher="none").l1_hit_rate
         isolated = simulate(lps, prefetcher="isolated-snake").l1_hit_rate
         assert isolated > baseline
+
+
+class TestConservation:
+    def test_every_mechanism_passes_the_stats_audit(self, results):
+        """Every end-to-end run's merged stats satisfy the conservation
+        identities (SimStats.verify raises listing any broken ones)."""
+        for mech, stats in results.items():
+            assert stats.verify() is stats, mech

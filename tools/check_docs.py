@@ -1,12 +1,17 @@
 #!/usr/bin/env python
-"""Docs drift check: every module under src/repro must be mentioned in
-docs/ARCHITECTURE.md (the "Module index" section exists for this).
+"""Docs drift checks.
+
+* Every module under src/repro must be mentioned in docs/ARCHITECTURE.md
+  (the "Module index" section exists for this).
+* Every ``snake-repro`` subcommand and its robustness-surface flags must
+  be mentioned somewhere under docs/ — a new CLI entry point without an
+  operating manual fails the gate.
 
 Run from the repository root::
 
     python tools/check_docs.py
 
-Exit status 0 when complete, 1 with the missing module list otherwise.
+Exit status 0 when complete, 1 with the missing items otherwise.
 CI runs this after the test suite; `tests/test_docs.py` runs it as part
 of tier-1 so drift is caught locally too.
 """
@@ -15,6 +20,15 @@ from __future__ import annotations
 
 import sys
 from pathlib import Path
+
+# snake-repro subcommands and the flags whose behaviour only docs can
+# explain.  Extend this table when the CLI grows a new surface.
+CLI_SURFACE = {
+    "trace": (),
+    "profile": (),
+    "sweep": ("--checkpoint", "--resume", "--retry-failed", "--sanitize"),
+    "chaos": ("--sites", "--delay-cycles"),
+}
 
 
 def missing_modules(repo_root: Path) -> "list[str]":
@@ -28,16 +42,40 @@ def missing_modules(repo_root: Path) -> "list[str]":
     return missing
 
 
+def missing_cli_docs(repo_root: Path) -> "list[str]":
+    docs = "\n".join(
+        path.read_text() for path in sorted((repo_root / "docs").glob("*.md"))
+    )
+    missing = []
+    for command, flags in sorted(CLI_SURFACE.items()):
+        if "snake-repro %s" % command not in docs:
+            missing.append("snake-repro %s" % command)
+        for flag in flags:
+            if flag not in docs:
+                missing.append("%s (of snake-repro %s)" % (flag, command))
+    return missing
+
+
 def main() -> int:
     repo_root = Path(__file__).resolve().parent.parent
+    status = 0
     missing = missing_modules(repo_root)
     if missing:
         print("modules not mentioned in docs/ARCHITECTURE.md:")
         for name in missing:
             print("  " + name)
-        return 1
-    print("docs/ARCHITECTURE.md mentions every src/repro module")
-    return 0
+        status = 1
+    else:
+        print("docs/ARCHITECTURE.md mentions every src/repro module")
+    missing = missing_cli_docs(repo_root)
+    if missing:
+        print("CLI surface not mentioned anywhere under docs/:")
+        for name in missing:
+            print("  " + name)
+        status = 1
+    else:
+        print("docs/ cover every snake-repro subcommand and tracked flag")
+    return status
 
 
 if __name__ == "__main__":
