@@ -26,7 +26,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.gpusim import GPUConfig, SimStats
 from repro.gpusim.area import tail_cost_sweep
-from repro.gpusim.energy import energy_of
+from repro.gpusim.energy import EnergyParams, energy_of
 from repro.gpusim.gpu import GPU
 from repro.runner import FailedResult, JobError, JobSpec, execute_job, job_hash
 from repro.prefetch import COMPARISON_POINTS, build_setup
@@ -270,9 +270,10 @@ def figure19_from(
             if _failed(base_cell):
                 series[app] = base_cell
                 continue
-            base = energy_of(base_cell, config.num_sms).total_j
+            params = EnergyParams.for_config(config)
+            base = energy_of(base_cell, config.num_sms, params=params).total_j
             mech_energy = energy_of(
-                cell, config.num_sms, prefetcher_present=True
+                cell, config.num_sms, params=params, prefetcher_present=True
             ).total_j
             if base:
                 series[app] = mech_energy / base
@@ -398,7 +399,8 @@ def figure24(
         return gpu.run(kernel)
 
     baseline = run(0.0, "none")
-    base_energy = energy_of(baseline, config.num_sms).total_j
+    params = EnergyParams.for_config(config)
+    base_energy = energy_of(baseline, config.num_sms, params=params).total_j
     out: Dict[float, Dict[str, Tuple[float, float]]] = {}
     for frac in tile_fracs:
         tiled = run(frac, "none")
@@ -409,12 +411,14 @@ def figure24(
         out[frac] = {
             "tiled": (
                 baseline.cycles / tiled.cycles,
-                energy_of(tiled, config.num_sms).total_j / base_energy,
+                energy_of(tiled, config.num_sms, params=params).total_j
+                / base_energy,
             ),
             "snake+tiled": (
                 baseline.cycles / fused.cycles,
-                energy_of(fused, config.num_sms, prefetcher_present=True).total_j
-                / base_energy,
+                energy_of(
+                    fused, config.num_sms, params=params, prefetcher_present=True
+                ).total_j / base_energy,
             ),
         }
     return out

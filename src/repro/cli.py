@@ -18,6 +18,9 @@ Usage::
 
     snake-repro chaos --seed 0       # seeded fault injection + sanitizer
 
+    snake-repro lint --baseline      # simulator-aware static analysis
+    snake-repro lint --rule SL101    # one rule; --json for CI tooling
+
 (The ``repro`` entry point is an alias of ``snake-repro``.)  ``trace``
 and ``profile`` run one workload with the :mod:`repro.obs` telemetry bus
 attached — see ``docs/OBSERVABILITY.md`` for the full walkthrough.
@@ -536,6 +539,10 @@ def main(argv=None) -> int:
         return _run_sweep_command(argv[1:])
     if argv and argv[0] == "chaos":
         return _run_chaos_command(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="snake-repro",
@@ -544,7 +551,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (fig3..fig25, table3), 'list', 'all', "
-        "'trace <app>' or 'profile <app>'",
+        "'trace <app>', 'profile <app>' or 'lint'",
     )
     parser.add_argument("--scale", type=float, default=1.0, help="trace-size multiplier")
     parser.add_argument("--seed", type=int, default=1, help="workload seed")
@@ -555,7 +562,8 @@ def main(argv=None) -> int:
     if args.experiment == "list":
         print(
             "\n".join(
-                sorted(EXPERIMENTS) + ["chaos", "claims", "profile", "sweep", "trace"]
+                sorted(EXPERIMENTS)
+                + ["chaos", "claims", "lint", "profile", "sweep", "trace"]
             )
         )
         return 0

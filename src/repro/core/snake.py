@@ -25,7 +25,7 @@ from repro.prefetch.base import AccessEvent, Prefetcher, PrefetchRequest
 from repro.prefetch.stride import ConsensusTracker
 
 from .head_table import HeadTable
-from .tail_table import TailTable, TrainState
+from .tail_table import TailEntry, TailTable, TrainState
 
 
 class SnakePrefetcher(Prefetcher):
@@ -182,7 +182,7 @@ class SnakePrefetcher(Prefetcher):
             pc = entry.pc2
         return requests
 
-    def _prefetchable_link(self, pc: int, warp_id: int):
+    def _prefetchable_link(self, pc: int, warp_id: int) -> Optional[TailEntry]:
         """The best trained link out of ``pc``: once promoted, a link serves
         *all* future warps (§3.2).  Among competing links for the same PC,
         prefer one this warp confirmed, then the most-confirmed one."""

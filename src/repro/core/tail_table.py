@@ -247,7 +247,7 @@ class TailTable:
         # prefetchable link per PC, visited-pair cycle guard) and bound the
         # hop count by the entry count.
         bound = len(self._entries)
-        for start in {e.pc1 for e in self._entries}:
+        for start in sorted({e.pc1 for e in self._entries}):
             pc = start
             visited = set()
             hops = 0

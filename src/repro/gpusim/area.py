@@ -9,6 +9,7 @@ scaled against the published V100 die size.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Iterable
 
 V100_DIE_MM2 = 815.0  # NVIDIA Volta V100 die size quoted in §5.5
 # CACTI-style SRAM density at 12 nm: conservative ~0.35 mm^2 per MiB.
@@ -84,7 +85,7 @@ def area_overhead_fraction(num_sms: int = 80, tail_entries: int = 10) -> float:
     return per_sm * num_sms * _MM2_PER_BYTE / V100_DIE_MM2
 
 
-def tail_cost_sweep(entry_sizes) -> dict:
+def tail_cost_sweep(entry_sizes: Iterable[int]) -> Dict[int, int]:
     """Fig 21: storage bytes per SM for each Tail-table entry count."""
     head_bytes = HeadTableLayout().total_bytes
     return {

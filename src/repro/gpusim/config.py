@@ -10,7 +10,7 @@ the paper's results are preserved.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, replace
-from typing import List, Mapping
+from typing import Any, Iterable, List, Mapping
 
 
 class InvalidConfigError(ValueError):
@@ -23,7 +23,7 @@ class InvalidConfigError(ValueError):
     working.
     """
 
-    def __init__(self, violations) -> None:
+    def __init__(self, violations: Iterable[str]) -> None:
         self.violations: List[str] = list(violations)
         super().__init__(
             "invalid GPU configuration (%d problem%s):\n%s"
@@ -187,6 +187,10 @@ class GPUConfig:
         v: List[str] = []
         if self.num_sms < 1:
             v.append("num_sms must be >= 1 (got %d)" % self.num_sms)
+        if self.core_clock_mhz < 1:
+            v.append("core_clock_mhz must be >= 1 (got %d)" % self.core_clock_mhz)
+        if self.registers_per_sm < 1:
+            v.append("registers_per_sm must be >= 1 (got %d)" % self.registers_per_sm)
         if self.warp_size < 1:
             v.append("warp_size must be >= 1 (got %d)" % self.warp_size)
         if self.max_threads_per_sm < self.warp_size:
@@ -200,6 +204,10 @@ class GPUConfig:
             v.append("issue_width must be >= 1")
         if self.replay_interval < 1:
             v.append("replay_interval must be >= 1")
+        if self.alu_latency < 1:
+            v.append("alu_latency must be >= 1 (got %d)" % self.alu_latency)
+        if self.sfu_latency < 1:
+            v.append("sfu_latency must be >= 1 (got %d)" % self.sfu_latency)
         for label, cache in (("l1", self.l1), ("l2", self.l2)):
             if not _is_pow2(cache.line_bytes):
                 v.append(
@@ -309,7 +317,7 @@ class GPUConfig:
             max_threads_per_sm=1024,
         )
 
-    def with_(self, **kwargs) -> "GPUConfig":
+    def with_(self, **kwargs: Any) -> "GPUConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
 

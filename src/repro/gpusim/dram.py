@@ -10,11 +10,12 @@ core/memory clock ratio.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.obs.events import DramRowActivateEvent, NULL_BUS
+from repro.obs.events import BusLike, DramRowActivateEvent, NULL_BUS
 
 from .config import DRAMTimings
+from .faults import FaultInjector
 
 
 @dataclass
@@ -49,8 +50,8 @@ class DRAM:
         row_bytes: int,
         clock_ratio: float,
         line_bytes: int,
-        obs=None,
-        faults=None,
+        obs: Optional[BusLike] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         if channels < 1 or banks_per_channel < 1:
             raise ValueError("need at least one channel and bank")

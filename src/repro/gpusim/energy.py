@@ -10,8 +10,9 @@ absolute joules are approximate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
+from .config import GPUConfig
 from .stats import SimStats
 
 
@@ -28,6 +29,13 @@ class EnergyParams:
     static_w_per_sm: float = 1.2
     prefetcher_static_w_per_sm: float = 0.006  # paper §5.5 (6 mW)
     core_clock_hz: float = 1.53e9
+
+    @classmethod
+    def for_config(cls, config: GPUConfig) -> "EnergyParams":
+        """Parameters whose static-power runtime conversion uses the
+        configured core clock (Table 1's 1530 MHz by default, so the
+        figures are unchanged unless the clock is actually swept)."""
+        return replace(cls(), core_clock_hz=config.core_clock_mhz * 1e6)
 
 
 @dataclass(frozen=True)

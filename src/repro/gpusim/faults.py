@@ -49,7 +49,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
 
-from repro.obs.events import FaultEvent, NULL_BUS
+from repro.obs.events import BusLike, FaultEvent, NULL_BUS
 
 #: Every recognised injection site, in pipeline order.
 SITES: Tuple[str, ...] = (
@@ -168,7 +168,7 @@ class FaultInjector:
     books the event; :meth:`fires` fuses both for simple sites.
     """
 
-    def __init__(self, plan: FaultPlan, obs=None) -> None:
+    def __init__(self, plan: FaultPlan, obs: Optional[BusLike] = None) -> None:
         self.plan = plan
         self._rates = {site: rate for site, rate in plan.rates}
         self._rng = random.Random(0x5EED ^ (plan.seed * 2654435761 % (1 << 32)))
@@ -215,7 +215,9 @@ class FaultInjector:
         """Deterministic index draw for target selection (eviction storms)."""
         return self._rng.randrange(n)
 
-    def corrupt_tail(self, prefetcher, now: int = 0, sm_id: int = -1) -> bool:
+    def corrupt_tail(
+        self, prefetcher: object, now: int = 0, sm_id: int = -1
+    ) -> bool:
         """``snake.tail_corrupt``: mutate one Tail-table entry in place.
 
         Corruption stays *in-field* (a real bit flip cannot escape the

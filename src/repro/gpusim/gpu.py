@@ -8,9 +8,9 @@ structures.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Any, Callable, Optional, Sequence, Union
 
-from repro.obs.events import EventBus, NULL_BUS
+from repro.obs.events import BusLike, EventBus, NULL_BUS
 from repro.prefetch.base import Prefetcher, create as create_prefetcher
 
 from .config import GPUConfig
@@ -18,7 +18,7 @@ from .dram import DRAM
 from .faults import FaultInjector, FaultPlan
 from .l2 import L2Cache
 from .sanitizer import InvariantViolationError, SimSanitizer
-from .sm import SM
+from .sm import SM, ThrottlePolicy
 from .stats import SimStats
 from .trace import KernelTrace
 from .unified_cache import StorageMode
@@ -34,10 +34,10 @@ class GPU:
         self,
         config: Optional[GPUConfig] = None,
         prefetcher_factory: Optional[Callable[[], Prefetcher]] = None,
-        throttle_factory: Optional[Callable[[], object]] = None,
+        throttle_factory: Optional[Callable[[], ThrottlePolicy]] = None,
         storage_mode: StorageMode = StorageMode.COUPLED,
-        obs=None,
-        faults=None,
+        obs: Optional[BusLike] = None,
+        faults: Union[FaultPlan, FaultInjector, None] = None,
     ) -> None:
         from repro.core.throttle import NullThrottle
 
@@ -105,7 +105,7 @@ class GPU:
         """Execute one kernel to completion; returns merged statistics."""
         return self.run_many([kernel])
 
-    def run_many(self, kernels) -> SimStats:
+    def run_many(self, kernels: Sequence[KernelTrace]) -> SimStats:
         """Execute several kernels *concurrently* (multi-application mode,
         the paper's §1 extension).  Each kernel gets an app id; CTAs of all
         kernels are interleaved across the SMs, and a per-app Snake
@@ -181,9 +181,9 @@ def simulate(
     kernel: KernelTrace,
     prefetcher: str = "none",
     config: Optional[GPUConfig] = None,
-    obs=None,
-    faults=None,
-    **variant_kwargs,
+    obs: Optional[BusLike] = None,
+    faults: Union[FaultPlan, FaultInjector, None] = None,
+    **variant_kwargs: Any,
 ) -> SimStats:
     """One-call convenience API: build a GPU with the named prefetcher
     configuration and run ``kernel``.

@@ -8,13 +8,14 @@ one DRAM access.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
-from repro.obs.events import L2AccessEvent, NULL_BUS
+from repro.obs.events import BusLike, L2AccessEvent, NULL_BUS
 
 from .cache import SetAssocCache
 from .config import CacheConfig
 from .dram import DRAM
+from .faults import FaultInjector
 
 _BANK_SERVICE_CYCLES = 4
 
@@ -23,8 +24,9 @@ class L2Cache:
     """The GPU's shared last-level cache in front of DRAM."""
 
     def __init__(
-        self, config: CacheConfig, banks: int, dram: DRAM, obs=None,
-        faults=None,
+        self, config: CacheConfig, banks: int, dram: DRAM,
+        obs: Optional[BusLike] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         if banks < 1:
             raise ValueError("need at least one L2 bank")

@@ -44,7 +44,10 @@ simulation pays nothing — not even a method call.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
+
+if TYPE_CHECKING:  # import cycle: gpu.py imports this module at runtime
+    from .gpu import GPU
 
 
 class InvariantViolationError(RuntimeError):
@@ -61,7 +64,7 @@ class InvariantViolationError(RuntimeError):
         message: str,
         invariant: str = "unknown",
         cycle: int = 0,
-        state_dump=None,
+        state_dump: Optional[Mapping[str, object]] = None,
     ) -> None:
         super().__init__(message)
         self.invariant = invariant
@@ -79,7 +82,7 @@ class SimSanitizer:
     the last SM retires, so every run ends on a clean audit).
     """
 
-    def __init__(self, gpu, interval: int = 2000) -> None:
+    def __init__(self, gpu: "GPU", interval: int = 2000) -> None:
         self.gpu = gpu
         self.interval = max(1, interval)
         self.checks = 0

@@ -17,6 +17,14 @@ class SchedulableWarp(Protocol):
     warp_id: int
 
 
+class WarpScheduler(Protocol):
+    """The scheduler interface the SM issue loop drives."""
+
+    def pick(self, ready: Sequence[SchedulableWarp]) -> SchedulableWarp: ...
+
+    def note_issued(self, warp: SchedulableWarp) -> None: ...
+
+
 class GTOScheduler:
     """Greedy-then-oldest."""
 
@@ -74,7 +82,7 @@ class TwoLevelScheduler:
         if active_size < 1:
             raise ValueError("active_size must be >= 1")
         self.active_size = active_size
-        self._active: list = []
+        self._active: List[int] = []
         self._rr = RRScheduler()
 
     def pick(self, ready: Sequence[SchedulableWarp]) -> SchedulableWarp:
@@ -95,7 +103,7 @@ class TwoLevelScheduler:
         self._rr.note_issued(warp)
 
 
-def make_scheduler(name: str):
+def make_scheduler(name: str) -> WarpScheduler:
     """Factory keyed by the config's ``scheduler`` string."""
     if name == "gto":
         return GTOScheduler()

@@ -15,11 +15,12 @@ predictions enter the L1's prefetch path under the throttle's control.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Protocol
 
 from collections import deque
 
 from repro.obs.events import (
+    BusLike,
     CacheAccessEvent,
     NULL_BUS,
     PrefetchIssueEvent,
@@ -29,6 +30,7 @@ from repro.prefetch.base import AccessEvent, Prefetcher, PrefetchRequest
 
 from .coalescer import coalesce, coalesce_sectors
 from .config import GPUConfig
+from .faults import FaultInjector
 from .interconnect import Interconnect
 from .l2 import L2Cache
 from .scheduler import make_scheduler
@@ -62,6 +64,20 @@ class WarpState:
         return None
 
 
+class ThrottlePolicy(Protocol):
+    """What the SM needs from a prefetch throttle (structural — satisfied
+    by :class:`repro.core.throttle.Throttle` and ``NullThrottle`` without
+    either importing this module)."""
+
+    def allow(
+        self, now: int, l1: UnifiedL1Cache, utilization: float
+    ) -> bool: ...
+
+    def chain_depth_limit(self, utilization: float, max_depth: int) -> int: ...
+
+    def snapshot(self) -> dict: ...
+
+
 class SM:
     """One streaming multiprocessor plus its private memory front end."""
 
@@ -71,10 +87,10 @@ class SM:
         config: GPUConfig,
         l2: L2Cache,
         prefetcher: Prefetcher,
-        throttle,
+        throttle: ThrottlePolicy,
         storage_mode: StorageMode = StorageMode.COUPLED,
-        obs=None,
-        faults=None,
+        obs: Optional[BusLike] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.sm_id = sm_id
         self.config = config
@@ -90,6 +106,9 @@ class SM:
         self.prefetcher = prefetcher
         self.throttle = throttle
         self.scheduler = make_scheduler(config.scheduler)
+        # Each scheduler issues at most one instruction per cycle, so the
+        # per-cycle issue bandwidth is capped by whichever is smaller.
+        self._issue_width = min(config.issue_width, config.schedulers_per_sm)
 
         self._cta_queue: Deque[CTA] = deque()
         self._cta_app: Dict[int, int] = {}
@@ -161,7 +180,7 @@ class SM:
             return True
 
         issued = 0
-        while issued < self.config.issue_width:
+        while issued < self._issue_width:
             ready = [
                 w
                 for w in self._warps

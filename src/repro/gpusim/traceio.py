@@ -37,8 +37,8 @@ class TraceFormatError(ValueError):
     Subclasses ``ValueError`` for compatibility with pre-existing callers.
     """
 
-    def __init__(self, message: str, *, path=None, offset: int = 0,
-                 record_index: int = 0) -> None:
+    def __init__(self, message: str, *, path: Union[str, Path, None] = None,
+                 offset: int = 0, record_index: int = 0) -> None:
         self.path = str(path) if path is not None else None
         self.offset = offset
         self.record_index = record_index

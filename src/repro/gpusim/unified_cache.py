@@ -28,6 +28,7 @@ from collections import deque
 from typing import Deque, Optional, Set, Tuple
 
 from repro.obs.events import (
+    BusLike,
     NULL_BUS,
     PrefetchDropEvent,
     PrefetchFillEvent,
@@ -36,6 +37,7 @@ from repro.obs.events import (
 
 from .cache import LineState, MSHR, SetAssocCache
 from .config import CacheConfig, GPUConfig
+from .faults import FaultInjector
 from .interconnect import Interconnect
 from .l2 import L2Cache
 from .stats import SimStats
@@ -67,9 +69,9 @@ class UnifiedL1Cache:
         l2: L2Cache,
         stats: SimStats,
         mode: StorageMode = StorageMode.COUPLED,
-        obs=None,
+        obs: Optional[BusLike] = None,
         sm_id: int = -1,
-        faults=None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.config = config
         self.mode = mode
@@ -424,7 +426,7 @@ class UnifiedL1Cache:
         entry.sectors = sector_mask if self.config.l1_sector_bytes else -1
         return L1Outcome.MISS, fill_time + 1
 
-    def _sectors_present(self, state, sector_mask: int) -> bool:
+    def _sectors_present(self, state: LineState, sector_mask: int) -> bool:
         """Does the resident line hold every requested sector?"""
         if not self.config.l1_sector_bytes or sector_mask == -1:
             return True

@@ -29,7 +29,11 @@ Tuning guidance lives in ``docs/ROBUSTNESS.md``.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import TYPE_CHECKING, Mapping, Optional, Tuple
+
+if TYPE_CHECKING:  # import cycle: gpu.py imports this module at runtime
+    from .gpu import GPU
+    from .sanitizer import SimSanitizer
 
 
 class SimulationHangError(RuntimeError):
@@ -38,13 +42,14 @@ class SimulationHangError(RuntimeError):
     detection time; ``reason`` is ``no_forward_progress`` or ``max_cycles``."""
 
     def __init__(self, message: str, reason: str = "no_forward_progress",
-                 state_dump=None) -> None:
+                 state_dump: Optional[Mapping[str, object]] = None) -> None:
         super().__init__(message)
         self.reason = reason
         self.state_dump = dict(state_dump or {})
 
 
-def collect_state_dump(gpu, max_warps_per_sm: int = 64, sanitizer=None) -> dict:
+def collect_state_dump(gpu: "GPU", max_warps_per_sm: int = 64,
+                       sanitizer: Optional["SimSanitizer"] = None) -> dict:
     """Snapshot the machine for hang diagnosis.
 
     Everything is plain data (ints/strings/lists) so the dump survives a
@@ -109,8 +114,8 @@ def collect_state_dump(gpu, max_warps_per_sm: int = 64, sanitizer=None) -> dict:
 class Watchdog:
     """Tracks the progress signature across ``GPU.run_many`` loop checks."""
 
-    def __init__(self, gpu, window_cycles: int, max_cycles: int,
-                 sanitizer=None) -> None:
+    def __init__(self, gpu: "GPU", window_cycles: int, max_cycles: int,
+                 sanitizer: Optional["SimSanitizer"] = None) -> None:
         self.gpu = gpu
         self.window = window_cycles
         self.max_cycles = max_cycles

@@ -1,0 +1,46 @@
+"""simlint — simulator-aware static analysis for this repro (SL0xx-SL5xx).
+
+Off-the-shelf linters cannot know that ``self.now`` is the simulated
+clock, that ``emit()`` payloads must match the dataclasses in
+``repro/obs/events.py``, or that a ``GPUConfig`` field nothing reads is a
+lying knob.  simlint parses the repo's own source with :mod:`ast` and
+proves those properties *absent* before any simulation runs — the static
+complement to the runtime sanitizer (``docs/ROBUSTNESS.md``).
+
+Entry points: ``snake-repro lint`` (CLI, :mod:`repro.lint.cli`),
+:func:`run_lint` (library), ``docs/STATIC_ANALYSIS.md`` (rule catalog and
+suppression policy).
+"""
+
+from .baseline import BaselineError, BaselineResult, load, save, screen
+from .engine import (
+    LintError,
+    RepoContext,
+    Rule,
+    Suppressions,
+    harvest,
+    module_of,
+    run_lint,
+)
+from .findings import Finding
+from .registry import RULE_CLASSES, build_rules, catalog, rule_ids
+
+__all__ = [
+    "BaselineError",
+    "BaselineResult",
+    "Finding",
+    "LintError",
+    "RULE_CLASSES",
+    "RepoContext",
+    "Rule",
+    "Suppressions",
+    "build_rules",
+    "catalog",
+    "harvest",
+    "load",
+    "module_of",
+    "rule_ids",
+    "run_lint",
+    "save",
+    "screen",
+]

@@ -1,0 +1,128 @@
+"""Grandfathering with an atomic ratchet (``lint-baseline.json``).
+
+The baseline maps finding fingerprints (line-insensitive, see
+:meth:`repro.lint.findings.Finding.fingerprint`) to allowed counts.  The
+contract is a one-way ratchet:
+
+* a finding **not in** the baseline, or **exceeding** its allowed count,
+  always fails — new debt cannot be added;
+* a baseline entry whose violation was fixed goes *stale* and is reported,
+  and ``--update-baseline`` rewrites the file (atomically, via a temp file
+  + ``os.replace``) with only what still exists — the allowance can only
+  shrink.
+
+The file is committed, so the ratchet-down is reviewed like any other
+code change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from .findings import Finding
+
+#: default committed location, relative to the repo root
+DEFAULT_BASELINE = "lint-baseline.json"
+
+_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is unreadable or structurally invalid."""
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of screening findings against a baseline."""
+
+    #: findings not covered by the baseline — these fail the gate
+    new: List[Finding] = field(default_factory=list)
+    #: findings absorbed by a baseline allowance
+    grandfathered: List[Finding] = field(default_factory=list)
+    #: fingerprint -> unused allowance (fixed debt; ratchet these away)
+    stale: Dict[str, int] = field(default_factory=dict)
+
+
+def load(path: Path) -> Dict[str, int]:
+    """Read a baseline; a missing file is an empty baseline."""
+    if not path.exists():
+        return {}
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise BaselineError("cannot read baseline %s: %s" % (path, exc)) from exc
+    if (
+        not isinstance(data, dict)
+        or data.get("version") != _VERSION
+        or not isinstance(data.get("findings"), dict)
+    ):
+        raise BaselineError(
+            "baseline %s is not a version-%d simlint baseline" % (path, _VERSION)
+        )
+    findings = data["findings"]
+    for key, count in findings.items():
+        if not isinstance(count, int) or count < 1:
+            raise BaselineError(
+                "baseline entry %r has invalid count %r" % (key, count)
+            )
+    return dict(findings)
+
+
+def save(path: Path, findings: Sequence[Finding]) -> Dict[str, int]:
+    """Atomically (re)write the baseline from the current findings."""
+    counts = Counter(f.fingerprint() for f in findings)
+    payload = {
+        "version": _VERSION,
+        "tool": "simlint",
+        "comment": (
+            "Grandfathered findings; counts may only shrink. Regenerate "
+            "with `snake-repro lint --update-baseline`."
+        ),
+        "findings": {key: counts[key] for key in sorted(counts)},
+    }
+    text = json.dumps(payload, indent=2, sort_keys=False) + "\n"
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return dict(counts)
+
+
+def screen(
+    findings: Sequence[Finding], baseline: Dict[str, int]
+) -> BaselineResult:
+    """Split findings into new vs. grandfathered and spot stale allowances.
+
+    Within one fingerprint the first ``allowed`` occurrences (in sorted
+    order) are grandfathered; every excess occurrence is new.
+    """
+    result = BaselineResult()
+    used: Counter = Counter()
+    for finding in sorted(findings):
+        key = finding.fingerprint()
+        if used[key] < baseline.get(key, 0):
+            used[key] += 1
+            result.grandfathered.append(finding)
+        else:
+            result.new.append(finding)
+    for key, allowed in sorted(baseline.items()):
+        if used[key] < allowed:
+            result.stale[key] = allowed - used[key]
+    return result

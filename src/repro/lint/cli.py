@@ -1,0 +1,157 @@
+"""``snake-repro lint`` — the merge-gate front end for simlint.
+
+Exit status: 0 clean (every finding baselined), 1 findings, 2 usage /
+broken input.  ``--json`` renders a machine-readable report (schema below)
+for CI annotation tooling::
+
+    {
+      "version": 1,
+      "clean": false,
+      "findings":      [{path, line, col, rule, severity, message}, ...],
+      "grandfathered": [...same shape...],
+      "stale_baseline": {"<fingerprint>": unused_count, ...},
+      "counts": {"SL101": 2, ...}          # new findings per rule
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from . import baseline as baseline_mod
+from .engine import LintError, run_lint
+from .findings import Finding
+from .registry import catalog
+
+JSON_SCHEMA_VERSION = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="snake-repro lint",
+        description="Run simlint, the simulator-aware static-analysis "
+        "gate (determinism, event schema, cycle accounting, config drift, "
+        "API hygiene).  See docs/STATIC_ANALYSIS.md.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--rule", action="append", metavar="ID", default=None,
+        help="run only this rule id (repeatable, e.g. --rule SL101)",
+    )
+    parser.add_argument(
+        "--baseline", action="store_true",
+        help="screen findings against the committed lint-baseline.json; "
+        "only non-grandfathered findings fail",
+    )
+    parser.add_argument(
+        "--baseline-file", metavar="PATH", default=None,
+        help="alternate baseline path (default: lint-baseline.json)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="atomically rewrite the baseline from the current findings "
+        "(the ratchet: review the diff — counts should only shrink)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable report on stdout"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog"
+    )
+    parser.add_argument(
+        "--root", metavar="DIR", default=None,
+        help="repository root (default: auto-detected from this package)",
+    )
+    return parser
+
+
+def _detect_root(explicit: Optional[str]) -> Path:
+    if explicit:
+        return Path(explicit).resolve()
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "src" / "repro").is_dir():
+            return parent
+    return Path.cwd()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, title, scope in catalog():
+            print("%-6s %-62s [%s]" % (rule_id, title, scope))
+        return 0
+
+    root = _detect_root(args.root)
+    try:
+        findings = run_lint(root, paths=args.paths or None, only=args.rule)
+    except LintError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+    baseline_path = Path(
+        args.baseline_file
+        if args.baseline_file
+        else root / baseline_mod.DEFAULT_BASELINE
+    )
+    if args.update_baseline:
+        counts = baseline_mod.save(baseline_path, findings)
+        print(
+            "baseline: wrote %d finding%s (%d fingerprint%s) to %s"
+            % (
+                len(findings), "" if len(findings) == 1 else "s",
+                len(counts), "" if len(counts) == 1 else "s", baseline_path,
+            )
+        )
+        return 0
+
+    grandfathered: List[Finding] = []
+    stale = {}
+    if args.baseline:
+        try:
+            allowed = baseline_mod.load(baseline_path)
+        except baseline_mod.BaselineError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+        screened = baseline_mod.screen(findings, allowed)
+        findings, grandfathered = screened.new, screened.grandfathered
+        stale = screened.stale
+
+    if args.json:
+        print(json.dumps({
+            "version": JSON_SCHEMA_VERSION,
+            "clean": not findings,
+            "findings": [f.to_json_dict() for f in findings],
+            "grandfathered": [f.to_json_dict() for f in grandfathered],
+            "stale_baseline": stale,
+            "counts": dict(Counter(f.rule for f in findings)),
+        }, indent=2))
+        return 1 if findings else 0
+
+    for finding in findings:
+        print(finding.render())
+    for key, unused in sorted(stale.items()):
+        print(
+            "stale baseline entry (fixed; ratchet it away with "
+            "--update-baseline): %s x%d" % (key, unused)
+        )
+    summary = "simlint: %d finding%s" % (
+        len(findings), "" if len(findings) == 1 else "s"
+    )
+    if grandfathered:
+        summary += ", %d grandfathered by baseline" % len(grandfathered)
+    print(summary)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,411 @@
+"""simlint's chassis: rule base class, repo harvesting, suppression, runner.
+
+The framework is deliberately small: a :class:`Rule` is a class with an id
+(``SL101``), a severity, the dotted package prefixes it guards, and a
+``check(tree, path) -> list[Finding]`` method over one parsed module.  What
+makes the rules *simulator-aware* is the :class:`RepoContext` handed to them
+at construction: a pre-pass over the whole file set harvests the event
+dataclass schema from ``repro/obs/events.py``, the ``SimStats`` /
+``PrefetchStats`` counter fields from ``repro/gpusim/stats.py`` and the
+``GPUConfig`` surface (fields, numeric fields, properties, what
+``validate()`` covers, and every config attribute read in the repo) from
+``repro/gpusim/config.py`` — so each rule can prove schema discipline
+instead of pattern-matching strings.
+
+Suppression policy (``docs/STATIC_ANALYSIS.md``): a finding may be silenced
+with an end-of-line comment ``# simlint: disable=SL101 -- <justification>``.
+The justification is mandatory; a suppression without one (or naming an
+unknown rule id) is itself reported as ``SL000`` and cannot be suppressed.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding
+
+#: Matches one suppression comment; group 1 = rule ids, group 2 = reason.
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*disable=([A-Z0-9,\s]+?)(?:\s*--\s*(.*))?$"
+)
+
+#: Default tree linted by ``snake-repro lint`` (relative to the repo root).
+DEFAULT_LINT_ROOT = "src/repro"
+
+
+def module_of(path: str) -> str:
+    """Dotted module for a repo-relative path: ``src/repro/gpusim/sm.py`` →
+    ``repro.gpusim.sm``.  Paths outside ``src/`` keep their slash-derived
+    name, so fixture files can impersonate any package by path alone."""
+    parts = Path(path).with_suffix("").parts
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+class Rule:
+    """Base class every simlint rule derives from.
+
+    Class attributes double as the machine-readable catalog: ``id`` is the
+    stable ``SLnnn`` identifier, ``title`` a one-line summary (shown by
+    ``--list-rules`` and required verbatim in ``docs/STATIC_ANALYSIS.md``),
+    and ``packages`` the dotted prefixes the rule guards (empty = all of
+    ``src/``).
+    """
+
+    id: str = "SL000"
+    title: str = ""
+    severity: str = "error"
+    packages: Tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        if not self.packages:
+            return True
+        module = module_of(path)
+        return any(
+            module == pkg or module.startswith(pkg + ".") for pkg in self.packages
+        )
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, path: str, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+# ----------------------------------------------------------------------
+# Repo harvesting (the simulator-awareness pre-pass)
+
+
+def _dataclass_fields(cls: ast.ClassDef) -> List[Tuple[str, str]]:
+    """Annotated (name, annotation-source) pairs declared directly on a
+    class body — dataclass fields.  ``ClassVar`` annotations are skipped
+    (they are schema metadata like ``Event.kind``, not payload)."""
+    out: List[Tuple[str, str]] = []
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            ann = ast.unparse(stmt.annotation)
+            if "ClassVar" in ann:
+                continue
+            out.append((stmt.target.id, ann))
+    return out
+
+
+_CONFIG_NAMES = {"config", "cfg", "gpu_config", "_config"}
+_CONFIG_FACTORIES = {"scaled", "volta_v100", "with_", "from_dict"}
+
+
+def is_configish(node: ast.AST) -> bool:
+    """Heuristic: does this expression evaluate to a ``GPUConfig``?
+
+    Covers the idioms the codebase actually uses — a variable named
+    ``config``/``cfg``, an attribute ``*.config`` / ``*._config``, and calls
+    to the well-known constructors (``GPUConfig(...)``, ``.scaled()``,
+    ``.with_(...)``, ``.from_dict(...)``).
+    """
+    if isinstance(node, ast.Name):
+        return node.id in _CONFIG_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("config", "_config")
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id == "GPUConfig"
+        if isinstance(func, ast.Attribute):
+            return func.attr in _CONFIG_FACTORIES
+    return False
+
+
+class RepoContext:
+    """Everything harvested from the repo that rules need to be
+    simulator-aware.  Tests construct one by hand to exercise a rule
+    against fixtures without the full source tree."""
+
+    def __init__(
+        self,
+        event_fields: Optional[Dict[str, Set[str]]] = None,
+        stats_fields: Optional[Set[str]] = None,
+        prefetch_stats_fields: Optional[Set[str]] = None,
+        config_fields: Optional[Set[str]] = None,
+        config_numeric_fields: Optional[Set[str]] = None,
+        config_attrs: Optional[Set[str]] = None,
+        validate_reads: Optional[Set[str]] = None,
+        config_reads: Optional[Set[str]] = None,
+        config_field_lines: Optional[Dict[str, int]] = None,
+    ) -> None:
+        #: event class name -> payload field names (inheritance resolved)
+        self.event_fields = event_fields or {}
+        self.stats_fields = stats_fields or set()
+        self.prefetch_stats_fields = prefetch_stats_fields or set()
+        #: GPUConfig dataclass fields
+        self.config_fields = config_fields or set()
+        #: the int/float subset that validate() must cover
+        self.config_numeric_fields = config_numeric_fields or set()
+        #: every legal attribute on a config object (fields + properties
+        #: + methods + dataclass machinery)
+        self.config_attrs = config_attrs or set()
+        #: self.<field> reads inside GPUConfig.validate()
+        self.validate_reads = validate_reads or set()
+        #: config fields read anywhere outside config.py's validate gate
+        self.config_reads = config_reads or set()
+        #: field name -> definition line in config.py (finding anchors)
+        self.config_field_lines = config_field_lines or {}
+
+    # -- harvest helpers -------------------------------------------------
+
+    def harvest_events(self, tree: ast.Module) -> None:
+        """Collect the event payload schema from ``repro/obs/events.py``."""
+        own: Dict[str, List[Tuple[str, str]]] = {}
+        bases: Dict[str, List[str]] = {}
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                own[node.name] = _dataclass_fields(node)
+                bases[node.name] = [
+                    b.id for b in node.bases if isinstance(b, ast.Name)
+                ]
+        for name in own:
+            if name != "Event" and not name.endswith("Event"):
+                continue
+            fields: Set[str] = set()
+            chain = [name]
+            while chain:
+                cls = chain.pop()
+                fields.update(f for f, _ in own.get(cls, []))
+                chain.extend(b for b in bases.get(cls, []) if b in own)
+            self.event_fields[name] = fields
+
+    def harvest_stats(self, tree: ast.Module) -> None:
+        """Collect counter fields from ``repro/gpusim/stats.py``."""
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == "SimStats":
+                self.stats_fields = {f for f, _ in _dataclass_fields(node)}
+            elif isinstance(node, ast.ClassDef) and node.name == "PrefetchStats":
+                self.prefetch_stats_fields = {
+                    f for f, _ in _dataclass_fields(node)
+                }
+
+    def harvest_config(self, tree: ast.Module) -> None:
+        """Collect the ``GPUConfig`` surface from ``repro/gpusim/config.py``.
+
+        The nested machine-description dataclasses (``CacheConfig``,
+        ``DRAMTimings``) contribute their fields/properties to the *legal
+        attribute* set only: variables named ``config`` routinely hold a
+        ``CacheConfig`` (the cache constructors), and SL403 must not flag
+        ``config.num_sets`` there.
+        """
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef) and node.name in (
+                "CacheConfig", "DRAMTimings"
+            ):
+                self.config_attrs.update(f for f, _ in _dataclass_fields(node))
+                self.config_attrs.update(
+                    stmt.name for stmt in node.body
+                    if isinstance(stmt, ast.FunctionDef)
+                )
+            if not (isinstance(node, ast.ClassDef) and node.name == "GPUConfig"):
+                continue
+            for fname, ann in _dataclass_fields(node):
+                self.config_fields.add(fname)
+                self.config_attrs.add(fname)
+                if ann in ("int", "float"):
+                    self.config_numeric_fields.add(fname)
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    self.config_field_lines[stmt.target.id] = stmt.lineno
+                if isinstance(stmt, ast.FunctionDef):
+                    self.config_attrs.add(stmt.name)
+                    reads = {
+                        sub.attr
+                        for sub in ast.walk(stmt)
+                        if isinstance(sub, ast.Attribute)
+                        and isinstance(sub.value, ast.Name)
+                        and sub.value.id == "self"
+                    }
+                    if stmt.name == "validate":
+                        self.validate_reads |= reads
+                    elif stmt.name != "__post_init__":
+                        # Properties / helpers count as real uses: a field
+                        # consumed through max_warps_per_sm is not drift.
+                        self.config_reads |= reads & self.config_fields
+
+    def harvest_reads(self, tree: ast.Module) -> None:
+        """Record config-field reads in an arbitrary module."""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute) and is_configish(node.value):
+                if node.attr in self.config_fields:
+                    self.config_reads.add(node.attr)
+
+
+def harvest(files: Sequence[Tuple[str, ast.Module]]) -> RepoContext:
+    """One pre-pass over (path, tree) pairs building the shared context."""
+    ctx = RepoContext()
+    for path, tree in files:
+        module = module_of(path)
+        if module == "repro.obs.events":
+            ctx.harvest_events(tree)
+        elif module == "repro.gpusim.stats":
+            ctx.harvest_stats(tree)
+        elif module == "repro.gpusim.config":
+            ctx.harvest_config(tree)
+    for path, tree in files:
+        if module_of(path) != "repro.gpusim.config":
+            ctx.harvest_reads(tree)
+    return ctx
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+
+
+class Suppressions:
+    """Per-file map of justified line-level suppressions."""
+
+    def __init__(self) -> None:
+        self.by_line: Dict[int, Set[str]] = {}
+        self.problems: List[Finding] = []
+
+    @classmethod
+    def scan(cls, path: str, source: str, known_ids: Set[str]) -> "Suppressions":
+        supp = cls()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            reason = (match.group(2) or "").strip()
+            anchor = Finding(
+                path=path, line=lineno, col=match.start() + 1,
+                rule="SL000", severity="error", message="",
+            )
+            unknown = sorted(ids - known_ids)
+            if unknown:
+                supp.problems.append(
+                    Finding(
+                        path=path, line=lineno, col=anchor.col, rule="SL000",
+                        severity="error",
+                        message="suppression names unknown rule id%s %s"
+                        % ("" if len(unknown) == 1 else "s", ", ".join(unknown)),
+                    )
+                )
+                ids -= set(unknown)
+            if not reason:
+                supp.problems.append(
+                    Finding(
+                        path=path, line=lineno, col=anchor.col, rule="SL000",
+                        severity="error",
+                        message="suppression without justification "
+                        "(write `# simlint: disable=SLnnn -- <why>`)",
+                    )
+                )
+                continue  # an unjustified suppression silences nothing
+            if ids:
+                supp.by_line.setdefault(lineno, set()).update(ids)
+        return supp
+
+    def allows(self, finding: Finding) -> bool:
+        return finding.rule in self.by_line.get(finding.line, ())
+
+
+# ----------------------------------------------------------------------
+# Runner
+
+
+class LintError(ValueError):
+    """A source file could not be parsed (syntax error during lint)."""
+
+
+def collect_files(
+    root: Path, paths: Optional[Sequence[str]] = None
+) -> List[Path]:
+    """Python files to lint: the given files/dirs, default ``src/repro``."""
+    targets = [root / p for p in paths] if paths else [root / DEFAULT_LINT_ROOT]
+    out: List[Path] = []
+    for target in targets:
+        if target.is_dir():
+            out.extend(sorted(target.rglob("*.py")))
+        elif target.suffix == ".py":
+            out.append(target)
+        else:
+            raise LintError("not a python file or directory: %s" % target)
+    return [p for p in out if "egg-info" not in str(p)]
+
+
+def run_lint(
+    root: Path,
+    paths: Optional[Sequence[str]] = None,
+    only: Optional[Iterable[str]] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint the repo rooted at ``root`` and return sorted findings.
+
+    ``only`` filters to specific rule ids (the CLI's ``--rule``);
+    ``rules`` substitutes a hand-built rule set (tests).  Harvesting always
+    runs over the *default* tree so single-file invocations still know the
+    repo's schemas.
+    """
+    from .registry import build_rules, rule_ids
+
+    files = collect_files(root, paths)
+    parsed: List[Tuple[str, ast.Module, str]] = []
+    for path in files:
+        rel = path.relative_to(root).as_posix() if path.is_absolute() else str(path)
+        source = path.read_text()
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            raise LintError("cannot parse %s: %s" % (rel, exc)) from exc
+        parsed.append((rel, tree, source))
+
+    harvest_set = [(rel, tree) for rel, tree, _ in parsed]
+    if paths:
+        # Partial invocations still harvest schemas from the full tree.
+        try:
+            full = collect_files(root, None)
+            harvest_set = []
+            for path in full:
+                rel = path.relative_to(root).as_posix()
+                harvest_set.append((rel, ast.parse(path.read_text())))
+        except (OSError, LintError, SyntaxError):
+            pass  # fixture trees without src/repro harvest from themselves
+
+    context = harvest(harvest_set)
+    if rules is None:
+        rules = build_rules(context)
+    if only:
+        wanted = set(only)
+        unknown = wanted - rule_ids()
+        if unknown:
+            raise LintError(
+                "unknown rule id%s: %s (see --list-rules)"
+                % ("" if len(unknown) == 1 else "s", ", ".join(sorted(unknown)))
+            )
+        rules = [r for r in rules if r.id in wanted]
+
+    known = rule_ids()
+    findings: List[Finding] = []
+    for rel, tree, source in parsed:
+        supp = Suppressions.scan(rel, source, known)
+        findings.extend(supp.problems)
+        for rule in rules:
+            if not rule.applies_to(rel):
+                continue
+            for finding in rule.check(tree, rel):
+                if not supp.allows(finding):
+                    findings.append(finding)
+    return sorted(findings)

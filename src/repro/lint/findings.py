@@ -1,0 +1,42 @@
+"""The unit of simlint output: one rule violation at one source location.
+
+A :class:`Finding` is deliberately flat and JSON-safe (the ``--json`` CLI
+mode serialises it as-is).  Its :meth:`fingerprint` intentionally excludes
+the line/column so that a grandfathered violation does not "escape" the
+baseline when unrelated edits shift it a few lines — the baseline tracks
+*what* is wrong and *how many times*, not where exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Union
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation.
+
+    ``path`` is repository-relative with forward slashes; ``message`` must
+    stay line-number-free so the fingerprint is stable across reflows.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+
+    def fingerprint(self) -> str:
+        """Line-insensitive identity used by the baseline ratchet."""
+        return "%s::%s::%s" % (self.path, self.rule, self.message)
+
+    def render(self) -> str:
+        """``file:line:col: RULE message`` — the grep/editor-friendly form."""
+        return "%s:%d:%d: %s %s" % (
+            self.path, self.line, self.col, self.rule, self.message
+        )
+
+    def to_json_dict(self) -> Dict[str, Union[str, int]]:
+        return asdict(self)

@@ -1,0 +1,81 @@
+"""The rule catalog: one place that knows every simlint rule.
+
+``tools/check_docs.py`` walks :data:`RULE_CLASSES` to enforce that every
+rule id is documented (with a bad/good example) in
+``docs/STATIC_ANALYSIS.md``, and the CLI's ``--list-rules`` renders it.
+SL000 (malformed suppression) is emitted by the engine itself, not a rule
+class, but is part of the public catalog.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple, Type
+
+from .engine import RepoContext, Rule
+from .rules_config import (
+    ConfigFieldReadRule,
+    ConfigValidateRule,
+    UnknownConfigFieldRule,
+)
+from .rules_cycles import CycleAdvanceRule, StatsFieldRule
+from .rules_determinism import SetIterationRule, UnseededRngRule, WallClockRule
+from .rules_events import AdHocEventRule, EventSchemaRule
+from .rules_hygiene import AssertControlFlowRule, BareExceptRule, MutableDefaultRule
+
+#: every rule class, in catalog order
+RULE_CLASSES: Tuple[Type[Rule], ...] = (
+    WallClockRule,
+    UnseededRngRule,
+    SetIterationRule,
+    EventSchemaRule,
+    AdHocEventRule,
+    CycleAdvanceRule,
+    StatsFieldRule,
+    ConfigFieldReadRule,
+    ConfigValidateRule,
+    UnknownConfigFieldRule,
+    MutableDefaultRule,
+    BareExceptRule,
+    AssertControlFlowRule,
+)
+
+#: rules that need the harvested repo context at construction
+_CONTEXT_RULES = (
+    EventSchemaRule,
+    StatsFieldRule,
+    ConfigFieldReadRule,
+    ConfigValidateRule,
+    UnknownConfigFieldRule,
+)
+
+#: id the engine uses for malformed suppressions
+SUPPRESSION_RULE_ID = "SL000"
+SUPPRESSION_RULE_TITLE = "malformed or unjustified suppression comment"
+
+
+def build_rules(
+    context: RepoContext, only: Optional[Iterable[str]] = None
+) -> List[Rule]:
+    """Instantiate the catalog (context-aware rules get the harvest)."""
+    wanted = set(only) if only else None
+    rules: List[Rule] = []
+    for cls in RULE_CLASSES:
+        if wanted is not None and cls.id not in wanted:
+            continue
+        rules.append(cls(context) if cls in _CONTEXT_RULES else cls())
+    return rules
+
+
+def rule_ids() -> Set[str]:
+    """Every valid rule id, including the engine's SL000."""
+    return {cls.id for cls in RULE_CLASSES} | {SUPPRESSION_RULE_ID}
+
+
+def catalog() -> List[Tuple[str, str, str]]:
+    """(id, title, guarded packages) rows for --list-rules and the docs
+    gate, SL000 included."""
+    rows = [(SUPPRESSION_RULE_ID, SUPPRESSION_RULE_TITLE, "src/")]
+    for cls in RULE_CLASSES:
+        scope = ", ".join(cls.packages) if cls.packages else "src/"
+        rows.append((cls.id, cls.title, scope))
+    return rows

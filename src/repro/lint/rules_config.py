@@ -1,0 +1,133 @@
+"""Config-drift rules (SL4xx).
+
+``GPUConfig`` is the single source of truth for the modeled machine, so
+three kinds of drift matter:
+
+* a field nothing reads (SL401) — the knob silently does nothing, which is
+  worse than not having it: sweeps over it produce identical rows that
+  *look* like a real insensitivity result;
+* a numeric field ``validate()`` does not cover (SL402) — a nonsense value
+  sails into the timing model instead of failing construction;
+* a reference to a field that does not exist (SL403) — a renamed field
+  leaves ``.with_(old_name=...)`` call sites or ``config.old_name`` reads
+  that only explode (or worse, no-op) at runtime.
+
+All three anchor their findings at ``repro/gpusim/config.py`` (SL401/402)
+or the offending call site (SL403), using the surface harvested by the
+engine pre-pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from .engine import RepoContext, Rule, is_configish
+from .findings import Finding
+
+#: attributes legal on any dataclass instance (not drift)
+_DATACLASS_ATTRS = {"__dataclass_fields__", "__class__", "__dict__"}
+
+
+class ConfigFieldReadRule(Rule):
+    """SL401: every GPUConfig field must be read by the simulator."""
+
+    id = "SL401"
+    title = "GPUConfig field never read outside validate()"
+
+    def __init__(self, context: RepoContext) -> None:
+        self._ctx = context
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        if not path.endswith("gpusim/config.py"):
+            return []
+        ctx = self._ctx
+        findings: List[Finding] = []
+        for field in sorted(ctx.config_fields - ctx.config_reads):
+            line = ctx.config_field_lines.get(field, 1)
+            anchor = ast.Module(body=[], type_ignores=[])
+            anchor.lineno, anchor.col_offset = line, 0
+            findings.append(self.finding(
+                path, anchor,
+                "GPUConfig.%s is never read by the simulator — a knob that "
+                "does nothing; wire it up or remove it" % field,
+            ))
+        return findings
+
+
+class ConfigValidateRule(Rule):
+    """SL402: every numeric GPUConfig field must be covered by validate()."""
+
+    id = "SL402"
+    title = "numeric GPUConfig field not covered by validate()"
+
+    def __init__(self, context: RepoContext) -> None:
+        self._ctx = context
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        if not path.endswith("gpusim/config.py"):
+            return []
+        ctx = self._ctx
+        findings: List[Finding] = []
+        for field in sorted(ctx.config_numeric_fields - ctx.validate_reads):
+            line = ctx.config_field_lines.get(field, 1)
+            anchor = ast.Module(body=[], type_ignores=[])
+            anchor.lineno, anchor.col_offset = line, 0
+            findings.append(self.finding(
+                path, anchor,
+                "GPUConfig.%s is numeric but validate() never checks it; "
+                "an InvalidConfigError bound is required" % field,
+            ))
+        return findings
+
+
+class UnknownConfigFieldRule(Rule):
+    """SL403: no reference to a GPUConfig field that does not exist."""
+
+    id = "SL403"
+    title = "reference to a nonexistent GPUConfig field"
+
+    def __init__(self, context: RepoContext) -> None:
+        self._attrs = context.config_attrs
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        if not self._attrs or path.endswith("gpusim/config.py"):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute) and is_configish(node.value):
+                if (
+                    node.attr not in self._attrs
+                    and node.attr not in _DATACLASS_ATTRS
+                    and not node.attr.startswith("__")
+                ):
+                    findings.append(self.finding(
+                        path, node,
+                        "GPUConfig has no attribute %r — renamed or typo'd "
+                        "config field" % node.attr,
+                    ))
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "with_"
+                and is_configish(node.func.value)
+            ):
+                for kw in node.keywords:
+                    if kw.arg is not None and kw.arg not in self._attrs:
+                        findings.append(self.finding(
+                            path, node,
+                            "with_(%s=...) names a nonexistent GPUConfig "
+                            "field" % kw.arg,
+                        ))
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "GPUConfig"
+            ):
+                for kw in node.keywords:
+                    if kw.arg is not None and kw.arg not in self._attrs:
+                        findings.append(self.finding(
+                            path, node,
+                            "GPUConfig(%s=...) names a nonexistent field" % kw.arg,
+                        ))
+        return findings

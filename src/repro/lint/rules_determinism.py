@@ -1,0 +1,188 @@
+"""Determinism rules (SL1xx).
+
+The simulator's contract is bit-identical reruns: same trace + same seed =
+same figures (the runner's checkpoint resume and the chaos harness both
+lean on it).  Three things silently break that contract in Python:
+
+* wall-clock reads (``time.time()`` & friends) leaking into simulated time,
+* the process-global RNG (``random.random()``, ``numpy.random.*``,
+  ``os.urandom``) instead of a seeded ``random.Random`` instance,
+* iteration order of ``set`` objects, which for strings varies run-to-run
+  under hash randomisation (PYTHONHASHSEED).
+
+These rules guard the timing-model packages (``repro.gpusim``,
+``repro.core``, ``repro.prefetch``); the wall-clock-domain runner is
+exempt by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Tuple
+
+from .engine import Rule
+from .findings import Finding
+
+GUARDED: Tuple[str, ...] = ("repro.gpusim", "repro.core", "repro.prefetch")
+
+#: time-module functions that read the host clock
+_WALL_CLOCK_FNS = {
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns",
+}
+#: datetime/date constructors that read the host clock
+_NOW_FNS = {"now", "utcnow", "today"}
+
+
+class WallClockRule(Rule):
+    """SL101: no wall-clock reads inside the timing model."""
+
+    id = "SL101"
+    title = "wall-clock read in simulated-time code"
+    packages = GUARDED
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute):
+                base = node.value
+                if (
+                    isinstance(base, ast.Name)
+                    and base.id == "time"
+                    and node.attr in _WALL_CLOCK_FNS
+                ):
+                    findings.append(self.finding(
+                        path, node,
+                        "time.%s() reads the host clock; simulated time must "
+                        "come from the cycle domain (SM.now)" % node.attr,
+                    ))
+                elif node.attr in _NOW_FNS and (
+                    (isinstance(base, ast.Name) and base.id in ("datetime", "date"))
+                    or (isinstance(base, ast.Attribute)
+                        and base.attr in ("datetime", "date"))
+                ):
+                    findings.append(self.finding(
+                        path, node,
+                        "datetime.%s() reads the host clock inside the "
+                        "timing model" % node.attr,
+                    ))
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _WALL_CLOCK_FNS:
+                        findings.append(self.finding(
+                            path, node,
+                            "`from time import %s` pulls the host clock into "
+                            "simulated-time code" % alias.name,
+                        ))
+        return findings
+
+
+class UnseededRngRule(Rule):
+    """SL102: randomness must flow through a seeded ``random.Random``."""
+
+    id = "SL102"
+    title = "unseeded / process-global randomness in the timing model"
+    packages = GUARDED
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute):
+                base = node.value
+                if (
+                    isinstance(base, ast.Name)
+                    and base.id == "random"
+                    and node.attr not in ("Random", "SystemRandom")
+                    and isinstance(getattr(node, "ctx", ast.Load()), ast.Load)
+                ):
+                    # random.<fn>() uses the process-global Mersenne Twister
+                    # whose state is shared across every caller in-process.
+                    findings.append(self.finding(
+                        path, node,
+                        "random.%s uses the process-global RNG; construct a "
+                        "random.Random(seed) owned by the component" % node.attr,
+                    ))
+                elif node.attr == "random" and isinstance(base, ast.Name) and (
+                    base.id in ("np", "numpy")
+                ):
+                    findings.append(self.finding(
+                        path, node,
+                        "numpy.random module-level RNG is process-global; "
+                        "use numpy.random.Generator seeded per component",
+                    ))
+                elif node.attr == "urandom" and isinstance(base, ast.Name) and (
+                    base.id == "os"
+                ):
+                    findings.append(self.finding(
+                        path, node,
+                        "os.urandom is entropy, not simulation state; derive "
+                        "values from the seeded RNG",
+                    ))
+                elif node.attr in ("uuid1", "uuid4") and isinstance(
+                    base, ast.Name
+                ) and base.id == "uuid":
+                    findings.append(self.finding(
+                        path, node,
+                        "uuid.%s is nondeterministic; derive ids from the "
+                        "seeded RNG or a counter" % node.attr,
+                    ))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    for alias in node.names:
+                        if alias.name not in ("Random", "SystemRandom"):
+                            findings.append(self.finding(
+                                path, node,
+                                "`from random import %s` binds the "
+                                "process-global RNG" % alias.name,
+                            ))
+                elif node.module == "secrets":
+                    findings.append(self.finding(
+                        path, node,
+                        "the secrets module is entropy by design; the timing "
+                        "model must be seeded",
+                    ))
+        return findings
+
+
+def _is_setish(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+class SetIterationRule(Rule):
+    """SL103: no order-sensitive iteration directly over a set."""
+
+    id = "SL103"
+    title = "order-sensitive iteration over a set"
+    packages = GUARDED
+
+    _MESSAGE = (
+        "iteration order of a set is hash-dependent (PYTHONHASHSEED); "
+        "wrap it in sorted(...) before iterating"
+    )
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)) and _is_setish(node.iter):
+                findings.append(self.finding(path, node.iter, self._MESSAGE))
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for gen in node.generators:
+                    if _is_setish(gen.iter):
+                        findings.append(self.finding(path, gen.iter, self._MESSAGE))
+            elif isinstance(node, ast.Call):
+                func = node.func
+                # list(set(..)) / tuple(set(..)) freeze the arbitrary order;
+                # "".join(set(..)) serialises it.  (sorted/min/max/len/sum
+                # are order-insensitive and stay legal.)
+                order_sensitive = (
+                    isinstance(func, ast.Name) and func.id in ("list", "tuple", "enumerate")
+                ) or (isinstance(func, ast.Attribute) and func.attr == "join")
+                if order_sensitive and node.args and _is_setish(node.args[0]):
+                    findings.append(self.finding(path, node.args[0], self._MESSAGE))
+        return findings

@@ -1,0 +1,117 @@
+"""Event-schema rules (SL2xx).
+
+Every telemetry emission site must construct one of the dataclasses
+declared in ``repro/obs/events.py`` with keyword arguments that exist on
+that dataclass.  Because ``emit`` accepts any object and sinks dispatch on
+``event.kind``, a typo'd field name or an ad-hoc ``dict`` payload would
+sail through at runtime and silently drop data from every sink — the
+classic schema-drift failure these rules prove absent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from .engine import RepoContext, Rule
+from .findings import Finding
+
+#: positional arguments every event accepts (the Event base header)
+_HEADER_FIELDS = ("cycle", "sm_id")
+
+
+class EventSchemaRule(Rule):
+    """SL201: emit() payload fields must match the event dataclass."""
+
+    id = "SL201"
+    title = "emit() payload does not match the event dataclass schema"
+
+    def __init__(self, context: RepoContext) -> None:
+        self._schema = context.event_fields
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        if not self._schema:
+            return []  # schema module absent (fixture tree) — nothing to prove
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not _is_emit_call(node):
+                continue
+            payload = node.args[0]
+            if not (isinstance(payload, ast.Call)
+                    and isinstance(payload.func, ast.Name)):
+                continue  # SL202's department
+            name = payload.func.id
+            if name not in self._schema:
+                if name.endswith("Event"):
+                    findings.append(self.finding(
+                        path, payload,
+                        "emit() constructs %s which is not declared in "
+                        "repro/obs/events.py" % name,
+                    ))
+                continue
+            fields = self._schema[name]
+            if len(payload.args) > len(_HEADER_FIELDS):
+                findings.append(self.finding(
+                    path, payload,
+                    "%s called with %d positional args; only the (cycle, "
+                    "sm_id) header may be positional" % (name, len(payload.args)),
+                ))
+            for kw in payload.keywords:
+                if kw.arg is None:
+                    findings.append(self.finding(
+                        path, payload,
+                        "%s built from **kwargs cannot be schema-checked; "
+                        "pass fields explicitly" % name,
+                    ))
+                elif kw.arg not in fields:
+                    findings.append(self.finding(
+                        path, payload,
+                        "%s has no field %r (declared: %s)"
+                        % (name, kw.arg, ", ".join(sorted(fields))),
+                    ))
+        return findings
+
+
+class AdHocEventRule(Rule):
+    """SL202: emit() takes a declared event object, never an ad-hoc dict."""
+
+    id = "SL202"
+    title = "emit() called with an ad-hoc payload instead of a declared event"
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not _is_emit_call(node):
+                continue
+            payload = node.args[0]
+            if isinstance(payload, ast.Dict) or (
+                isinstance(payload, ast.Call)
+                and isinstance(payload.func, ast.Name)
+                and payload.func.id == "dict"
+            ):
+                findings.append(self.finding(
+                    path, payload,
+                    "emit() called with a dict payload; declare a dataclass "
+                    "in repro/obs/events.py so sinks can dispatch on kind",
+                ))
+            elif isinstance(payload, (ast.Constant, ast.Tuple, ast.List)):
+                findings.append(self.finding(
+                    path, payload,
+                    "emit() called with a literal payload; events must be "
+                    "the dataclasses declared in repro/obs/events.py",
+                ))
+        return findings
+
+
+def _is_emit_call(node: ast.AST) -> bool:
+    """``<expr>.emit(<payload>)`` with exactly one argument-ish payload.
+
+    ``EventBus.emit`` / ``NullBus.emit`` definitions themselves don't match
+    (those are FunctionDef, not Call).
+    """
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "emit"
+        and bool(node.args)
+    )

@@ -1,0 +1,102 @@
+"""API-hygiene rules (SL5xx) — the general-purpose tier.
+
+These apply to all of ``src/`` (not just the timing model): mutable
+default arguments (shared across calls, the classic aliasing bug), bare
+``except:`` (swallows KeyboardInterrupt/SystemExit and hides the runner's
+typed error taxonomy), and ``assert`` used for control flow (stripped
+under ``python -O``, so the "check" vanishes in optimised runs).  Asserts
+that only *narrow types* (``assert x is not None``, ``assert
+isinstance(x, T)``) are allowed — they document invariants for mypy and
+removing them cannot change behaviour of correct code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from .engine import Rule
+from .findings import Finding
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+
+
+class MutableDefaultRule(Rule):
+    """SL501: no mutable default arguments."""
+
+    id = "SL501"
+    title = "mutable default argument"
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                mutable = isinstance(
+                    default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                              ast.DictComp, ast.SetComp)
+                ) or (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in _MUTABLE_CALLS
+                )
+                if mutable:
+                    findings.append(self.finding(
+                        path, default,
+                        "mutable default argument in %s() is shared across "
+                        "calls; default to None and construct inside" % node.name,
+                    ))
+        return findings
+
+
+class BareExceptRule(Rule):
+    """SL502: no bare ``except:`` clauses."""
+
+    id = "SL502"
+    title = "bare except clause"
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                findings.append(self.finding(
+                    path, node,
+                    "bare `except:` swallows KeyboardInterrupt/SystemExit and "
+                    "hides the error taxonomy; catch specific exceptions",
+                ))
+        return findings
+
+
+def _is_narrowing(test: ast.AST) -> bool:
+    """``x is not None`` / ``x is None`` comparisons and ``isinstance``
+    calls are type-narrowing, not control flow."""
+    if isinstance(test, ast.Compare):
+        return all(isinstance(op, (ast.Is, ast.IsNot)) for op in test.ops)
+    if isinstance(test, ast.Call) and isinstance(test.func, ast.Name):
+        return test.func.id == "isinstance"
+    if isinstance(test, ast.BoolOp):
+        return all(_is_narrowing(value) for value in test.values)
+    return False
+
+
+class AssertControlFlowRule(Rule):
+    """SL503: ``assert`` only for type narrowing, never for control flow."""
+
+    id = "SL503"
+    title = "assert used for control flow / validation"
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assert) and not _is_narrowing(node.test):
+                findings.append(self.finding(
+                    path, node,
+                    "assert is stripped under -O so this check vanishes in "
+                    "optimised runs; raise an exception (narrowing asserts "
+                    "`is [not] None` / isinstance are allowed)",
+                ))
+        return findings

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List
+from typing import ClassVar, Iterable, List, Union
 
 
 class EventKind(enum.IntEnum):
@@ -52,7 +52,8 @@ class Event:
     cycle: int
     sm_id: int
 
-    kind = None  # type: EventKind  # overridden per subclass
+    #: discriminator, assigned per subclass (schema metadata, not payload)
+    kind: ClassVar[EventKind]
 
 
 @dataclass
@@ -227,7 +228,7 @@ class EventBus:
     sinks behaves exactly like :data:`NULL_BUS`.
     """
 
-    def __init__(self, sinks=()) -> None:
+    def __init__(self, sinks: Iterable[Sink] = ()) -> None:
         self._sinks: List[Sink] = list(sinks)
         self.enabled = bool(self._sinks)
         self.events_emitted = 0
@@ -277,3 +278,8 @@ class NullBus:
 
 #: Shared disabled bus — the default wired into every component.
 NULL_BUS = NullBus()
+
+#: What components accept as their ``obs`` wiring: a live bus or the
+#: shared disabled one.  Kept a Union (not a Protocol) so mypy flags a
+#: third bus-like class sneaking in instead of structurally admitting it.
+BusLike = Union[EventBus, NullBus]

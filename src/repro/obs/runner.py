@@ -14,9 +14,12 @@ profile`` (see :mod:`repro.cli`); library users can call
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from .events import EventBus
+
+if TYPE_CHECKING:  # repro.obs must stay importable before gpusim loads
+    from repro.gpusim.config import GPUConfig
 from .sinks import ChromeTraceExporter, PCMetricsSink, TimeSeriesSampler
 
 
@@ -38,7 +41,7 @@ def traced_run(
     mechanism: str = "snake",
     scale: float = 1.0,
     seed: int = 1,
-    config=None,
+    config: Optional["GPUConfig"] = None,
     bucket_cycles: int = 1000,
     chrome: bool = True,
 ) -> TracedRun:

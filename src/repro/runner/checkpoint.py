@@ -112,7 +112,7 @@ class Checkpoint:
     # ------------------------------------------------------------------
     # Interpretation
 
-    def result_for(self, key: str):
+    def result_for(self, key: str) -> Union[SimStats, FailedResult, None]:
         """Materialize the stored outcome: ``SimStats``, ``FailedResult``,
         or ``None`` when the key has no record."""
         record = self.records.get(key)
@@ -129,8 +129,8 @@ class Checkpoint:
         return key in self.records
 
 
-def make_record(key: str, spec_dict: dict, result, attempts: int,
-                elapsed_s: float) -> dict:
+def make_record(key: str, spec_dict: dict, result: Union[SimStats, FailedResult],
+                attempts: int, elapsed_s: float) -> dict:
     """Build the JSONL record for one finished job."""
     record = {
         "version": FORMAT_VERSION,

@@ -24,7 +24,7 @@ import signal
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Mapping, Optional, Tuple
+from typing import Any, Iterator, Mapping, Optional, Tuple, Union
 
 from repro.gpusim import GPUConfig, SimStats
 from repro.gpusim.config import InvalidConfigError
@@ -62,11 +62,11 @@ class JobSpec:
         cls,
         app: str,
         mechanism: str,
-        config=None,
+        config: Union[GPUConfig, Mapping[str, Any], None] = None,
         scale: float = 1.0,
         seed: int = 1,
         fault: Optional[str] = None,
-        **mech_kwargs,
+        **mech_kwargs: Any,
     ) -> "JobSpec":
         if isinstance(config, GPUConfig):
             config = config.to_dict()
@@ -128,7 +128,7 @@ def job_hash(spec: JobSpec) -> str:
 
 
 @contextlib.contextmanager
-def _fault_context(fault: Optional[str]):
+def _fault_context(fault: Optional[str]) -> Iterator[None]:
     """Apply a chaos fault for the duration of one job execution.
 
     * ``crash`` — SIGKILL the current process immediately (a worker dying
@@ -161,7 +161,10 @@ def _fault_context(fault: Optional[str]):
     if fault == "livelock":
         from repro.gpusim.unified_cache import L1Outcome, UnifiedL1Cache
 
-        def _always_fail(self, line_addr, now, sector_mask=-1):
+        def _always_fail(
+            self: UnifiedL1Cache, line_addr: int, now: int,
+            sector_mask: int = -1,
+        ) -> Tuple[L1Outcome, int]:
             self.stats.l1_reservation_fails += 1
             return (L1Outcome.RESERVATION_FAIL, now + self.config.replay_interval)
 

@@ -32,12 +32,16 @@ as :class:`~repro.obs.events.RunnerJobEvent` on a caller-supplied
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.context
 import os
 import time
+from multiprocessing.connection import Connection
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
-from repro.obs.events import NULL_BUS, RunnerJobEvent
+from repro.gpusim.config import GPUConfig
+from repro.gpusim.stats import SimStats
+from repro.obs.events import BusLike, NULL_BUS, RunnerJobEvent
 
 from .checkpoint import Checkpoint, make_record
 from .errors import FailedResult, JobError, is_retryable
@@ -49,13 +53,13 @@ DEFAULT_RETRIES = 2
 DEFAULT_BACKOFF_S = 0.25
 
 
-def _pool_context():
+def _pool_context() -> multiprocessing.context.BaseContext:
     """Prefer fork (fast, inherits the loaded modules); fall back to spawn."""
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
-def _worker_entry(spec_dict: dict, conn) -> None:
+def _worker_entry(spec_dict: dict, conn: Connection) -> None:
     """Subprocess entry: run one job, ship the outcome over the pipe.
 
     Typed failures travel as data; anything else becomes a ``JobCrash``
@@ -167,7 +171,7 @@ def run_jobs(
     resume: bool = False,
     retry_failed: bool = False,
     on_result: Optional[Callable[[str, JobSpec, object], None]] = None,
-    obs=None,
+    obs: Optional[BusLike] = None,
 ) -> SweepResult:
     """Run every spec; never raises for a failing *cell*.
 
@@ -217,7 +221,8 @@ def run_jobs(
             continue
         todo.append(spec)
 
-    def finish(spec: JobSpec, key: str, outcome, attempts: int, started: float):
+    def finish(spec: JobSpec, key: str, outcome: Union[SimStats, FailedResult],
+               attempts: int, started: float) -> None:
         elapsed = time.monotonic() - started
         result.results[key] = outcome
         result.executed += 1
@@ -252,7 +257,8 @@ def run_jobs(
     return result
 
 
-def _run_inline(todo, result, finish, bus) -> None:
+def _run_inline(todo: Sequence[JobSpec], result: SweepResult,
+                finish: Callable[..., None], bus: BusLike) -> None:
     for spec in todo:
         key = job_hash(spec)
         started = time.monotonic()
@@ -270,7 +276,10 @@ def _run_inline(todo, result, finish, bus) -> None:
         finish(spec, key, outcome, attempts=1, started=started)
 
 
-def _run_pooled(todo, result, finish, bus, *, jobs, timeout, retries, backoff_s):
+def _run_pooled(todo: Sequence[JobSpec], result: SweepResult,
+                finish: Callable[..., None], bus: BusLike, *, jobs: int,
+                timeout: Optional[float], retries: int,
+                backoff_s: float) -> None:
     ctx = _pool_context()
     # (spec, key, attempt, not_before, first_started)
     pending: List[tuple] = [
@@ -301,7 +310,8 @@ def _run_pooled(todo, result, finish, bus, *, jobs, timeout, retries, backoff_s)
                 )
             )
 
-    def settle(entry: _Running, outcome, first_started) -> None:
+    def settle(entry: _Running, outcome: Union[SimStats, FailedResult],
+               first_started: Optional[float]) -> None:
         finish(
             entry.spec, entry.key, outcome, attempts=entry.attempt,
             started=first_started if first_started is not None else entry.started,
@@ -414,7 +424,7 @@ def grid_specs(
     apps: Sequence[str],
     mechanisms: Sequence[str],
     *,
-    config=None,
+    config: Union[GPUConfig, Mapping[str, Any], None] = None,
     scale: float = 1.0,
     seed: int = 1,
     faults: Optional[Dict[tuple, str]] = None,
@@ -439,11 +449,11 @@ def run_grid(
     apps: Sequence[str],
     mechanisms: Sequence[str],
     *,
-    config=None,
+    config: Union[GPUConfig, Mapping[str, Any], None] = None,
     scale: float = 1.0,
     seed: int = 1,
     faults: Optional[Dict[tuple, str]] = None,
-    **run_kwargs,
+    **run_kwargs: Any,
 ) -> SweepResult:
     """Run the full (app x mechanism) grid; see :func:`run_jobs`."""
     return run_jobs(

@@ -1,0 +1,38 @@
+"""Shared fixtures for the simlint tests.
+
+The helpers build throwaway repo trees under ``tmp_path`` whose layout
+mirrors the real one (``src/repro/...``), so the path-derived package
+guards and the schema harvest behave exactly as they do on the real
+source tree.
+"""
+
+from pathlib import Path
+from typing import Dict, List
+
+from repro.lint import Finding, run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: canonical destinations inside a fixture tree
+GUARDED = "src/repro/gpusim/mod_under_test.py"
+UNGUARDED = "src/repro/analysis/mod_under_test.py"
+EVENTS = "src/repro/obs/events.py"
+STATS = "src/repro/gpusim/stats.py"
+CONFIG = "src/repro/gpusim/config.py"
+
+
+def build_tree(root: Path, mapping: Dict[str, str]) -> Path:
+    """Install fixture files into ``root`` at repo-relative destinations."""
+    for dest, fixture in mapping.items():
+        target = root / dest
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text((FIXTURES / fixture).read_text())
+    return root
+
+
+def lint_tree(root: Path, mapping: Dict[str, str], **kwargs) -> List[Finding]:
+    return run_lint(build_tree(root, mapping), **kwargs)
+
+
+def rules_hit(findings: List[Finding]) -> List[str]:
+    return [f.rule for f in findings]

@@ -1,0 +1,20 @@
+"""GPUConfig without drift: every field is read and validate() covers both
+numeric fields (the SL401/SL402 negative, harvested as config.py)."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    num_sms: int = 4
+    issue_width: int = 4
+
+    def validate(self) -> None:
+        if self.num_sms < 1:
+            raise ValueError("num_sms must be >= 1")
+        if self.issue_width < 1:
+            raise ValueError("issue_width must be >= 1")
+
+    def with_(self, **kwargs):
+        import dataclasses
+        return dataclasses.replace(self, **kwargs)

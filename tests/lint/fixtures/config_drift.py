@@ -1,0 +1,14 @@
+"""GPUConfig with drift, harvested as repro/gpusim/config.py: one field is
+never read anywhere (SL401) and one numeric field escapes validate() (SL402)."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    num_sms: int = 4
+    unused_knob: int = 7
+
+    def validate(self) -> None:
+        if self.num_sms < 1:
+            raise ValueError("num_sms must be >= 1")

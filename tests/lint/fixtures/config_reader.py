@@ -1,0 +1,5 @@
+"""Reads config.num_sms and config.issue_width (the SL401 read harvest)."""
+
+
+def shape(config):
+    return config.num_sms * config.issue_width

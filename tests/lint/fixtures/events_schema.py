@@ -1,0 +1,14 @@
+"""Minimal event schema harvested as repro/obs/events.py in fixture trees."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Event:
+    cycle: int
+    sm_id: int
+
+
+@dataclass
+class PingEvent(Event):
+    value: int = 0

@@ -1,0 +1,7 @@
+"""SL000 negative: a justified suppression silences its rule on that line."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # simlint: disable=SL101 -- wall-clock used for log banner only

@@ -1,0 +1,7 @@
+"""SL000 positive: suppression without justification silences nothing."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # simlint: disable=SL101

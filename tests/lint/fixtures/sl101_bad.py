@@ -1,0 +1,12 @@
+"""SL101 positive: wall-clock reads inside the simulator core."""
+
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def when() -> object:
+    return datetime.now()

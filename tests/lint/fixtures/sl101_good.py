@@ -1,0 +1,9 @@
+"""SL101 negative: simulated time comes from the component clock."""
+
+
+class Component:
+    def __init__(self) -> None:
+        self.now = 0
+
+    def stamp(self) -> int:
+        return self.now

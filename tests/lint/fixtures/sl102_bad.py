@@ -1,0 +1,12 @@
+"""SL102 positive: unseeded randomness in the simulator core."""
+
+import os
+import random
+
+
+def jitter() -> float:
+    return random.random()
+
+
+def token() -> bytes:
+    return os.urandom(8)

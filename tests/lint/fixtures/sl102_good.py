@@ -1,0 +1,8 @@
+"""SL102 negative: a seeded private RNG stream is deterministic."""
+
+import random
+
+
+def jitter(seed: int) -> float:
+    rng = random.Random(seed)
+    return rng.random()

@@ -1,0 +1,12 @@
+"""SL103 positive: iterating a set in hash order is nondeterministic."""
+
+
+def pcs(entries):
+    out = []
+    for pc in set(entries):
+        out.append(pc)
+    return out
+
+
+def names(items):
+    return list({item.name for item in items})

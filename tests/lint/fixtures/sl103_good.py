@@ -1,0 +1,12 @@
+"""SL103 negative: sets are sorted before iteration."""
+
+
+def pcs(entries):
+    out = []
+    for pc in sorted(set(entries)):
+        out.append(pc)
+    return out
+
+
+def names(items):
+    return sorted({item.name for item in items})

@@ -1,0 +1,7 @@
+"""SL201 positive: emit() payload names a field the event does not declare."""
+
+from repro.obs.events import PingEvent
+
+
+def fire(bus):
+    bus.emit(PingEvent(cycle=0, sm_id=1, valu=3))

@@ -1,0 +1,7 @@
+"""SL201 negative: emit() payload matches the declared event fields."""
+
+from repro.obs.events import PingEvent
+
+
+def fire(bus):
+    bus.emit(PingEvent(cycle=0, sm_id=1, value=3))

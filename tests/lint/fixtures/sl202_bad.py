@@ -1,0 +1,5 @@
+"""SL202 positive: an ad-hoc dict payload bypasses the typed event schema."""
+
+
+def fire(bus):
+    bus.emit({"cycle": 0, "sm_id": 1, "value": 3})

@@ -1,0 +1,9 @@
+"""SL301 positive: the clock moves outside a designated advance method."""
+
+
+class Component:
+    def __init__(self) -> None:
+        self.now = 0
+
+    def sneak(self) -> None:
+        self.now += 5

@@ -1,0 +1,12 @@
+"""SL301 negative: the clock moves only in __init__/step/reset."""
+
+
+class Component:
+    def __init__(self) -> None:
+        self.now = 0
+
+    def step(self) -> None:
+        self.now += 1
+
+    def reset(self) -> None:
+        self.now = 0

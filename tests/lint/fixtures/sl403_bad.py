@@ -1,0 +1,9 @@
+"""SL403 positive: references to GPUConfig fields that do not exist."""
+
+
+def shape(config):
+    return config.num_smz
+
+
+def widen(config):
+    return config.with_(issue_widthh=8)

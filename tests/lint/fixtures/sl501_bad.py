@@ -1,0 +1,10 @@
+"""SL501 positive: mutable default arguments."""
+
+
+def collect(item, into=[]):
+    into.append(item)
+    return into
+
+
+def index(key, table={}):
+    return table.get(key)

@@ -1,0 +1,7 @@
+"""SL501 negative: None sentinel instead of a mutable default."""
+
+
+def collect(item, into=None):
+    into = into if into is not None else []
+    into.append(item)
+    return into

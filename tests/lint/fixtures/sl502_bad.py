@@ -1,0 +1,8 @@
+"""SL502 positive: a bare except swallows KeyboardInterrupt and bugs alike."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except:
+        return None

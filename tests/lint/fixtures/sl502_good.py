@@ -1,0 +1,8 @@
+"""SL502 negative: a typed except clause."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except OSError:
+        return None

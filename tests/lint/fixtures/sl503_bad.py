@@ -1,0 +1,6 @@
+"""SL503 positive: assert used for control flow (gone under python -O)."""
+
+
+def take(queue):
+    assert len(queue) > 0, "queue must not be empty"
+    return queue.pop()

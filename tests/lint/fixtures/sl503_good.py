@@ -1,0 +1,9 @@
+"""SL503 negative: narrowing asserts (is not None / isinstance) are fine."""
+
+
+def take(queue, item):
+    assert queue is not None
+    assert isinstance(item, int)
+    if not queue:
+        raise ValueError("queue must not be empty")
+    return queue.pop()

@@ -1,0 +1,15 @@
+"""Minimal stats schema harvested as repro/gpusim/stats.py in fixture trees."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PrefetchStats:
+    issued: int = 0
+
+
+@dataclass
+class SimStats:
+    cycles: int = 0
+    instructions: int = 0
+    prefetch: PrefetchStats = field(default_factory=PrefetchStats)

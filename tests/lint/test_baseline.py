@@ -1,0 +1,128 @@
+"""Baseline grandfathering and the one-way ratchet."""
+
+import json
+
+import pytest
+
+from repro.lint import BaselineError, load, run_lint, save, screen
+from repro.lint.cli import main as lint_main
+
+from .conftest import GUARDED, UNGUARDED, build_tree
+
+
+def test_save_load_round_trip(tmp_path):
+    build_tree(tmp_path, {GUARDED: "sl101_bad.py"})
+    findings = run_lint(tmp_path)
+    assert findings
+    baseline_path = tmp_path / "lint-baseline.json"
+    counts = save(baseline_path, findings)
+    assert load(baseline_path) == counts
+    # the file is valid versioned JSON
+    payload = json.loads(baseline_path.read_text())
+    assert payload["version"] == 1
+    assert payload["tool"] == "simlint"
+
+
+def test_screen_grandfathers_known_findings(tmp_path):
+    build_tree(tmp_path, {GUARDED: "sl101_bad.py"})
+    findings = run_lint(tmp_path)
+    baseline = save(tmp_path / "b.json", findings)
+    result = screen(findings, baseline)
+    assert result.new == []
+    assert sorted(result.grandfathered) == sorted(findings)
+    assert result.stale == {}
+
+
+def test_ratchet_new_violation_fails_even_with_baseline(tmp_path):
+    """The acceptance property: a baseline never hides a *new* finding."""
+    build_tree(tmp_path, {GUARDED: "sl101_bad.py"})
+    baseline_path = tmp_path / "lint-baseline.json"
+    save(baseline_path, run_lint(tmp_path))
+    # introduce a brand-new violation in another module
+    build_tree(tmp_path, {"src/repro/gpusim/newmod.py": "sl102_bad.py"})
+    rc = lint_main(["--root", str(tmp_path), "--baseline"])
+    assert rc == 1
+    new = screen(run_lint(tmp_path), load(baseline_path)).new
+    assert new and all(f.rule == "SL102" for f in new)
+
+
+def test_ratchet_is_line_insensitive(tmp_path):
+    """Shifting a grandfathered violation down a few lines does not
+    resurrect it: fingerprints carry no line numbers."""
+    build_tree(tmp_path, {GUARDED: "sl101_bad.py"})
+    baseline = save(tmp_path / "b.json", run_lint(tmp_path))
+    target = tmp_path / GUARDED
+    target.write_text("# moved\n# down\n" + target.read_text())
+    result = screen(run_lint(tmp_path), baseline)
+    assert result.new == []
+
+
+def test_stale_entries_are_reported(tmp_path):
+    build_tree(tmp_path, {GUARDED: "sl101_bad.py"})
+    findings = run_lint(tmp_path)
+    baseline = save(tmp_path / "b.json", findings)
+    # fix the violations: every baseline entry is now stale
+    build_tree(tmp_path, {GUARDED: "sl101_good.py"})
+    result = screen(run_lint(tmp_path), baseline)
+    assert result.new == [] and result.grandfathered == []
+    assert set(result.stale) == set(baseline)
+
+
+def test_excess_occurrences_beyond_count_are_new(tmp_path):
+    """The baseline stores per-fingerprint *counts*: duplicating a
+    grandfathered violation is a new finding, not more grandfather."""
+    build_tree(tmp_path, {GUARDED: "sl502_bad.py"})
+    findings = run_lint(tmp_path)
+    assert len(findings) == 1
+    baseline = save(tmp_path / "b.json", findings)
+    target = tmp_path / GUARDED
+    source = target.read_text()
+    target.write_text(
+        source + "\n\ndef load2(path):\n    try:\n        return open(path)\n"
+        "    except:\n        return None\n"
+    )
+    result = screen(run_lint(tmp_path), baseline)
+    assert len(result.grandfathered) == 1
+    assert len(result.new) == 1
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert load(tmp_path / "nope.json") == {}
+
+
+@pytest.mark.parametrize("payload", [
+    "not json{",
+    '{"version": 99, "findings": {}}',
+    '{"version": 1, "findings": ["not", "a", "mapping"]}',
+    '{"version": 1, "findings": {"fp": "not-a-count"}}',
+])
+def test_corrupt_baseline_raises(tmp_path, payload):
+    path = tmp_path / "b.json"
+    path.write_text(payload)
+    with pytest.raises(BaselineError):
+        load(path)
+
+
+def test_corrupt_baseline_is_cli_usage_error(tmp_path):
+    build_tree(tmp_path, {GUARDED: "sl101_good.py"})
+    bad = tmp_path / "corrupt.json"
+    bad.write_text("not json{")
+    rc = lint_main([
+        "--root", str(tmp_path), "--baseline", "--baseline-file", str(bad),
+    ])
+    assert rc == 2
+
+
+def test_update_baseline_cli_writes_atomically(tmp_path, capsys):
+    build_tree(tmp_path, {GUARDED: "sl101_bad.py", UNGUARDED: "sl502_bad.py"})
+    rc = lint_main(["--root", str(tmp_path), "--update-baseline"])
+    assert rc == 0
+    baseline_path = tmp_path / "lint-baseline.json"
+    assert baseline_path.exists()
+    counts = load(baseline_path)
+    assert sum(counts.values()) == len(run_lint(tmp_path))
+    # no temp litter left behind by the atomic replace
+    litter = [p for p in tmp_path.iterdir() if p.name.startswith(".")]
+    assert litter == []
+    # and the freshly written baseline makes the gate pass
+    assert lint_main(["--root", str(tmp_path), "--baseline"]) == 0

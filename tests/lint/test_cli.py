@@ -1,0 +1,89 @@
+"""The ``snake-repro lint`` command-line contract."""
+
+import json
+
+from repro.cli import main as repro_main
+from repro.lint.cli import JSON_SCHEMA_VERSION, main as lint_main
+from repro.lint.registry import rule_ids
+
+from .conftest import GUARDED, UNGUARDED, build_tree
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    build_tree(tmp_path, {GUARDED: "sl101_good.py"})
+    rc = lint_main(["--root", str(tmp_path)])
+    assert rc == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_findings_exit_one_with_file_line_rule(tmp_path, capsys):
+    build_tree(tmp_path, {GUARDED: "sl101_bad.py"})
+    rc = lint_main(["--root", str(tmp_path)])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "src/repro/gpusim/mod_under_test.py:" in out
+    assert "SL101" in out
+
+
+def test_unknown_rule_is_usage_error(tmp_path, capsys):
+    build_tree(tmp_path, {GUARDED: "sl101_good.py"})
+    rc = lint_main(["--root", str(tmp_path), "--rule", "SL999"])
+    assert rc == 2
+    assert "SL999" in capsys.readouterr().err
+
+
+def test_rule_filter(tmp_path, capsys):
+    build_tree(tmp_path, {GUARDED: "sl101_bad.py", UNGUARDED: "sl502_bad.py"})
+    rc = lint_main(["--root", str(tmp_path), "--rule", "SL502"])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "SL502" in out and "SL101" not in out
+
+
+def test_json_report_schema(tmp_path, capsys):
+    build_tree(tmp_path, {GUARDED: "sl101_bad.py"})
+    rc = lint_main(["--root", str(tmp_path), "--json"])
+    assert rc == 1
+    report = json.loads(capsys.readouterr().out)
+    assert set(report) == {
+        "version", "clean", "findings", "grandfathered", "stale_baseline",
+        "counts",
+    }
+    assert report["version"] == JSON_SCHEMA_VERSION
+    assert report["clean"] is False
+    assert report["counts"].get("SL101", 0) >= 1
+    for entry in report["findings"]:
+        assert set(entry) == {
+            "path", "line", "col", "rule", "severity", "message"
+        }
+
+
+def test_json_report_clean(tmp_path, capsys):
+    build_tree(tmp_path, {GUARDED: "sl101_good.py"})
+    rc = lint_main(["--root", str(tmp_path), "--json"])
+    assert rc == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["clean"] is True and report["findings"] == []
+
+
+def test_list_rules_prints_whole_catalog(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in rule_ids() | {"SL000"}:
+        assert rule_id in out
+
+
+def test_lint_subcommand_is_wired_into_snake_repro(tmp_path, capsys):
+    """``snake-repro lint`` dispatches to the simlint CLI."""
+    build_tree(tmp_path, {GUARDED: "sl101_bad.py"})
+    rc = repro_main(["lint", "--root", str(tmp_path)])
+    assert rc == 1
+    assert "SL101" in capsys.readouterr().out
+
+
+def test_explicit_paths_limit_the_lint(tmp_path, capsys):
+    build_tree(tmp_path, {GUARDED: "sl101_bad.py", UNGUARDED: "sl502_bad.py"})
+    rc = lint_main(["--root", str(tmp_path), "src/repro/analysis"])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "SL502" in out and "SL101" not in out

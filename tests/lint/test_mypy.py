@@ -1,0 +1,27 @@
+"""The strict typing gate (runs only where mypy is installed — CI installs
+it; the pinned local container does not ship it)."""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+pytestmark = pytest.mark.skipif(
+    importlib.util.find_spec("mypy") is None,
+    reason="mypy not installed (CI-only gate)",
+)
+
+
+def test_mypy_strict_gate_passes():
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "mypy",
+            "--config-file", "pyproject.toml", "src/repro",
+        ],
+        cwd=REPO, capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,74 @@
+"""The real source tree must satisfy simlint (modulo the committed
+baseline), and an injected violation must be caught — the merge gate's
+end-to-end acceptance criteria."""
+
+import shutil
+from pathlib import Path
+
+from repro.lint import load, run_lint, screen
+from repro.lint.baseline import DEFAULT_BASELINE
+from repro.lint.cli import main as lint_main
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_repo_lints_clean_against_committed_baseline():
+    findings = run_lint(REPO)
+    baseline = load(REPO / DEFAULT_BASELINE)
+    result = screen(findings, baseline)
+    assert result.new == [], "new lint findings:\n%s" % "\n".join(
+        f.render() for f in result.new
+    )
+
+
+def test_committed_baseline_has_no_stale_entries():
+    """The ratchet: fixed violations must be removed from the baseline."""
+    findings = run_lint(REPO)
+    result = screen(findings, load(REPO / DEFAULT_BASELINE))
+    assert result.stale == {}
+
+
+def test_committed_baseline_stays_small():
+    """ISSUE acceptance: the baseline holds at most a handful of entries."""
+    baseline = load(REPO / DEFAULT_BASELINE)
+    assert sum(baseline.values()) <= 5
+
+
+def _copy_src(tmp_path: Path) -> Path:
+    shutil.copytree(
+        REPO / "src" / "repro", tmp_path / "src" / "repro",
+        ignore=shutil.ignore_patterns("__pycache__", "*.egg-info"),
+    )
+    return tmp_path
+
+
+def test_injected_wall_clock_in_gpusim_is_caught(tmp_path, capsys):
+    root = _copy_src(tmp_path)
+    sm = root / "src" / "repro" / "gpusim" / "sm.py"
+    sm.write_text(
+        sm.read_text()
+        + "\n\ndef _leak_wallclock():\n"
+        "    import time\n"
+        "    return time.time()\n"
+    )
+    rc = lint_main([
+        "--root", str(root), "--baseline",
+        "--baseline-file", str(REPO / DEFAULT_BASELINE),
+    ])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "SL101" in out
+    assert "src/repro/gpusim/sm.py:" in out
+
+
+def test_injected_stats_typo_in_gpusim_is_caught(tmp_path):
+    root = _copy_src(tmp_path)
+    sm = root / "src" / "repro" / "gpusim" / "sm.py"
+    sm.write_text(
+        sm.read_text()
+        + "\n\ndef _typo(sm):\n"
+        "    sm.stats.instructionz = 1\n"
+    )
+    findings = run_lint(root)
+    result = screen(findings, load(REPO / DEFAULT_BASELINE))
+    assert any(f.rule == "SL302" for f in result.new)

@@ -1,0 +1,209 @@
+"""Per-rule positive/negative fixtures for every simlint rule."""
+
+import pytest
+
+from repro.lint import run_lint
+
+from .conftest import (
+    CONFIG, EVENTS, GUARDED, STATS, UNGUARDED, build_tree, lint_tree, rules_hit
+)
+
+
+# ---------------------------------------------------------------------------
+# Determinism (SL1xx) — guarded packages only.
+
+
+@pytest.mark.parametrize("rule,bad,good", [
+    ("SL101", "sl101_bad.py", "sl101_good.py"),
+    ("SL102", "sl102_bad.py", "sl102_good.py"),
+    ("SL103", "sl103_bad.py", "sl103_good.py"),
+])
+def test_determinism_rules(tmp_path, rule, bad, good):
+    findings = lint_tree(tmp_path / "bad", {GUARDED: bad})
+    assert rule in rules_hit(findings)
+    findings = lint_tree(tmp_path / "good", {GUARDED: good})
+    assert rule not in rules_hit(findings)
+
+
+@pytest.mark.parametrize("bad", [
+    "sl101_bad.py", "sl102_bad.py", "sl103_bad.py",
+])
+def test_determinism_rules_scope_to_simulator_packages(tmp_path, bad):
+    """The same violation outside gpusim/core/prefetch is not flagged:
+    analysis scripts may legitimately time themselves."""
+    findings = lint_tree(tmp_path, {UNGUARDED: bad})
+    assert not rules_hit(findings)
+
+
+# ---------------------------------------------------------------------------
+# Event schema (SL2xx) — needs the harvested obs/events.py schema.
+
+
+def test_sl201_unknown_event_kwarg(tmp_path):
+    findings = lint_tree(
+        tmp_path, {EVENTS: "events_schema.py", GUARDED: "sl201_bad.py"}
+    )
+    hits = [f for f in findings if f.rule == "SL201"]
+    assert len(hits) == 1
+    assert "valu" in hits[0].message
+
+
+def test_sl201_matching_payload_is_clean(tmp_path):
+    findings = lint_tree(
+        tmp_path, {EVENTS: "events_schema.py", GUARDED: "sl201_good.py"}
+    )
+    assert "SL201" not in rules_hit(findings)
+
+
+def test_sl202_dict_payload(tmp_path):
+    findings = lint_tree(
+        tmp_path, {EVENTS: "events_schema.py", GUARDED: "sl202_bad.py"}
+    )
+    assert "SL202" in rules_hit(findings)
+
+
+# ---------------------------------------------------------------------------
+# Cycle accounting (SL3xx).
+
+
+def test_sl301_clock_write_outside_advance_methods(tmp_path):
+    findings = lint_tree(tmp_path / "bad", {GUARDED: "sl301_bad.py"})
+    hits = [f for f in findings if f.rule == "SL301"]
+    assert len(hits) == 1 and "sneak" in hits[0].message
+    findings = lint_tree(tmp_path / "good", {GUARDED: "sl301_good.py"})
+    assert "SL301" not in rules_hit(findings)
+
+
+def test_sl302_undeclared_stats_counter(tmp_path):
+    findings = lint_tree(
+        tmp_path, {STATS: "stats_schema.py", GUARDED: "sl302_bad.py"}
+    )
+    hits = [f for f in findings if f.rule == "SL302"]
+    # one SimStats typo + one PrefetchStats typo
+    assert len(hits) == 2
+    assert any("instructionz" in f.message for f in hits)
+    assert any("issuedd" in f.message for f in hits)
+
+
+def test_sl302_declared_counters_are_clean(tmp_path):
+    findings = lint_tree(
+        tmp_path, {STATS: "stats_schema.py", GUARDED: "sl302_good.py"}
+    )
+    assert "SL302" not in rules_hit(findings)
+
+
+# ---------------------------------------------------------------------------
+# Config drift (SL4xx) — needs the harvested gpusim/config.py schema.
+
+
+def test_sl401_sl402_drifted_config(tmp_path):
+    findings = lint_tree(tmp_path, {
+        CONFIG: "config_drift.py",
+        GUARDED: "config_reader.py",
+    })
+    hits = {f.rule: f for f in findings}
+    assert "SL401" in hits and "unused_knob" in hits["SL401"].message
+    assert "SL402" in hits and "unused_knob" in hits["SL402"].message
+    # findings anchor at the field's definition line in config.py
+    assert hits["SL401"].path.endswith("gpusim/config.py")
+    assert hits["SL401"].line > 1
+
+
+def test_sl401_sl402_clean_config(tmp_path):
+    findings = lint_tree(tmp_path, {
+        CONFIG: "config_clean.py",
+        GUARDED: "config_reader.py",
+    })
+    assert "SL401" not in rules_hit(findings)
+    assert "SL402" not in rules_hit(findings)
+
+
+def test_sl403_nonexistent_field_reference(tmp_path):
+    findings = lint_tree(tmp_path, {
+        CONFIG: "config_clean.py",
+        GUARDED: "config_reader.py",
+        UNGUARDED: "sl403_bad.py",
+    })
+    hits = [f for f in findings if f.rule == "SL403"]
+    assert len(hits) == 2
+    assert any("num_smz" in f.message for f in hits)
+    assert any("issue_widthh" in f.message for f in hits)
+
+
+# ---------------------------------------------------------------------------
+# API hygiene (SL5xx) — repo-wide.
+
+
+@pytest.mark.parametrize("rule,bad,good", [
+    ("SL501", "sl501_bad.py", "sl501_good.py"),
+    ("SL502", "sl502_bad.py", "sl502_good.py"),
+    ("SL503", "sl503_bad.py", "sl503_good.py"),
+])
+def test_hygiene_rules(tmp_path, rule, bad, good):
+    findings = lint_tree(tmp_path / "bad", {UNGUARDED: bad})
+    assert rule in rules_hit(findings)
+    findings = lint_tree(tmp_path / "good", {UNGUARDED: good})
+    assert rule not in rules_hit(findings)
+
+
+# ---------------------------------------------------------------------------
+# Suppressions (SL000).
+
+
+def test_unjustified_suppression_silences_nothing(tmp_path):
+    findings = lint_tree(tmp_path, {GUARDED: "sl000_unjustified.py"})
+    hit = rules_hit(findings)
+    assert "SL000" in hit  # the suppression itself is a finding
+    assert "SL101" in hit  # ...and the violation still fires
+
+
+def test_justified_suppression_silences_its_rule(tmp_path):
+    findings = lint_tree(tmp_path, {GUARDED: "sl000_justified.py"})
+    assert rules_hit(findings) == []
+
+
+def test_suppression_with_unknown_rule_id(tmp_path):
+    root = tmp_path / "src" / "repro" / "gpusim"
+    root.mkdir(parents=True)
+    (root / "mod.py").write_text(
+        "x = 1  # simlint: disable=SL999 -- no such rule\n"
+    )
+    findings = run_lint(tmp_path)
+    assert [f.rule for f in findings] == ["SL000"]
+    assert "SL999" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# Framework behaviour.
+
+
+def test_findings_render_file_line_rule(tmp_path):
+    findings = lint_tree(tmp_path, {GUARDED: "sl502_bad.py"})
+    assert len(findings) == 1
+    rendered = findings[0].render()
+    assert rendered.startswith("src/repro/gpusim/mod_under_test.py:")
+    assert "SL502" in rendered
+
+
+def test_findings_are_sorted(tmp_path):
+    findings = lint_tree(tmp_path, {
+        GUARDED: "sl101_bad.py",
+        "src/repro/core/another.py": "sl502_bad.py",
+    })
+    assert findings == sorted(findings)
+
+
+def test_only_filter_limits_rules(tmp_path):
+    build_tree(tmp_path, {GUARDED: "sl101_bad.py", UNGUARDED: "sl502_bad.py"})
+    findings = run_lint(tmp_path, only=["SL502"])
+    assert rules_hit(findings) == ["SL502"]
+
+
+def test_syntax_error_is_a_lint_error(tmp_path):
+    from repro.lint import LintError
+
+    root = tmp_path / "src" / "repro"
+    root.mkdir(parents=True)
+    (root / "broken.py").write_text("def f(:\n")
+    with pytest.raises(LintError):
+        run_lint(tmp_path)

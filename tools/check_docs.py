@@ -6,6 +6,9 @@
 * Every ``snake-repro`` subcommand and its robustness-surface flags must
   be mentioned somewhere under docs/ — a new CLI entry point without an
   operating manual fails the gate.
+* Every simlint rule id (``repro.lint.registry.catalog()``) must be
+  documented in docs/STATIC_ANALYSIS.md with a bad/good example — a rule
+  that fails builds without an explanation is not enforceable.
 
 Run from the repository root::
 
@@ -28,6 +31,7 @@ CLI_SURFACE = {
     "profile": (),
     "sweep": ("--checkpoint", "--resume", "--retry-failed", "--sanitize"),
     "chaos": ("--sites", "--delay-cycles"),
+    "lint": ("--rule", "--baseline", "--json", "--update-baseline"),
 }
 
 
@@ -56,6 +60,25 @@ def missing_cli_docs(repo_root: Path) -> "list[str]":
     return missing
 
 
+def missing_rule_docs(repo_root: Path) -> "list[str]":
+    sys.path.insert(0, str(repo_root / "src"))
+    try:
+        from repro.lint.registry import catalog
+    finally:
+        sys.path.pop(0)
+    doc_path = repo_root / "docs" / "STATIC_ANALYSIS.md"
+    doc = doc_path.read_text() if doc_path.exists() else ""
+    missing = []
+    for rule_id, _title, _scope in catalog():
+        if "### %s" % rule_id not in doc:
+            missing.append("%s (no '### %s' section)" % (rule_id, rule_id))
+            continue
+        section = doc.split("### %s" % rule_id, 1)[1].split("\n### ", 1)[0]
+        if "Bad" not in section or "Good" not in section:
+            missing.append("%s (section lacks a Bad/Good example)" % rule_id)
+    return missing
+
+
 def main() -> int:
     repo_root = Path(__file__).resolve().parent.parent
     status = 0
@@ -75,6 +98,14 @@ def main() -> int:
         status = 1
     else:
         print("docs/ cover every snake-repro subcommand and tracked flag")
+    missing = missing_rule_docs(repo_root)
+    if missing:
+        print("simlint rules not documented in docs/STATIC_ANALYSIS.md:")
+        for name in missing:
+            print("  " + name)
+        status = 1
+    else:
+        print("docs/STATIC_ANALYSIS.md documents every simlint rule")
     return status
 
 
