@@ -1,0 +1,24 @@
+"""Wall-clock benchmarking of the simulator itself (``snake-repro bench``).
+
+Only the stdlib-only schema surface is re-exported here so that
+:mod:`repro.runner.jobs` can import the bench schema version into its
+engine fingerprint without dragging the workload stack in; the suite
+runner lives in :mod:`repro.bench.suite` and is imported lazily by the
+CLI.
+"""
+
+from .schema import (
+    BENCH_SCHEMA_VERSION,
+    DEFAULT_TOLERANCE,
+    bench_filename,
+    compare_payloads,
+    validate_payload,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_TOLERANCE",
+    "bench_filename",
+    "compare_payloads",
+    "validate_payload",
+]

@@ -10,9 +10,10 @@ no data movement, exactly as the paper describes.
 
 from __future__ import annotations
 
+import heapq
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .config import CacheConfig
 
@@ -41,19 +42,30 @@ class SetAssocCache:
 
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
+        # Geometry constants pulled out of the (property-computed) config:
+        # ``set_index`` runs on every tag access.
+        self._line_bytes = config.line_bytes
+        self._set_count = config.num_sets
         # Each set is an OrderedDict addr -> LineState in LRU order
         # (oldest first).
         self._sets: List["OrderedDict[int, LineState]"] = [
             OrderedDict() for _ in range(config.num_sets)
         ]
+        # Incrementally-maintained aggregates.  ``occupancy`` and the
+        # prefetched-but-unused backlog are read on every prefetch-throttle
+        # decision, so they must not require walking the sets.  They change
+        # in exactly three places: insert, evict and the first touch of a
+        # prefetched line (which sets ``used``).
+        self._occupancy = 0
+        self._prefetch_unused = 0
 
     def set_index(self, line_addr: int) -> int:
         """XOR-folded set index (as GPU L1/L2 tag stores hash the index) so
         the power-of-two strides ubiquitous in GPU kernels do not collapse
         onto a single set."""
-        line_no = line_addr // self.config.line_bytes
+        line_no = line_addr // self._line_bytes
         folded = line_no ^ (line_no >> 4) ^ (line_no >> 9) ^ (line_no >> 15)
-        return folded % self.config.num_sets
+        return folded % self._set_count
 
     def _set_of(self, line_addr: int) -> "OrderedDict[int, LineState]":
         return self._sets[self.set_index(line_addr)]
@@ -70,7 +82,10 @@ class SetAssocCache:
             return None
         cache_set.move_to_end(line_addr)
         state.last_use = now
-        state.used = True
+        if not state.used:
+            if state.is_prefetch:
+                self._prefetch_unused -= 1
+            state.used = True
         return state
 
     def lines_in_set(self, set_idx: int) -> List[LineState]:
@@ -94,7 +109,12 @@ class SetAssocCache:
         return next(iter(cache_set.values()))
 
     def evict(self, line_addr: int) -> Optional[LineState]:
-        return self._set_of(line_addr).pop(line_addr, None)
+        evicted = self._set_of(line_addr).pop(line_addr, None)
+        if evicted is not None:
+            self._occupancy -= 1
+            if evicted.is_prefetch and not evicted.used:
+                self._prefetch_unused -= 1
+        return evicted
 
     def insert(
         self,
@@ -119,9 +139,15 @@ class SetAssocCache:
                 victim = self.lru_victim(set_idx)
             assert victim is not None
             evicted = cache_set.pop(victim.addr)
+            self._occupancy -= 1
+            if evicted.is_prefetch and not evicted.used:
+                self._prefetch_unused -= 1
         cache_set[line_addr] = LineState(
             addr=line_addr, inserted_at=now, last_use=now, is_prefetch=is_prefetch
         )
+        self._occupancy += 1
+        if is_prefetch:
+            self._prefetch_unused += 1
         return evicted
 
     def structural_violations(self, label: str = "cache") -> List[str]:
@@ -146,15 +172,40 @@ class SetAssocCache:
                         "%s line %#x has malformed sector mask %d"
                         % (label, line.addr, line.sectors_valid)
                     )
+        # The O(1) aggregates must agree with a full walk — a drifted
+        # counter means some mutation path bypassed insert/evict/touch.
+        walked = sum(len(s) for s in self._sets)
+        if walked != self._occupancy:
+            violations.append(
+                "%s occupancy counter %d != walked %d"
+                % (label, self._occupancy, walked)
+            )
+        walked_unused = sum(
+            1
+            for s in self._sets
+            for line in s.values()
+            if line.is_prefetch and not line.used
+        )
+        if walked_unused != self._prefetch_unused:
+            violations.append(
+                "%s prefetch-unused counter %d != walked %d"
+                % (label, self._prefetch_unused, walked_unused)
+            )
         return violations
 
     @property
     def occupancy(self) -> int:
-        return sum(len(s) for s in self._sets)
+        return self._occupancy
+
+    @property
+    def prefetch_unused(self) -> int:
+        """Resident lines still flagged prefetch and never demanded — the
+        backlog the space throttle watches (O(1), counter-maintained)."""
+        return self._prefetch_unused
 
     @property
     def num_sets(self) -> int:
-        return self.config.num_sets
+        return self._set_count
 
     def all_lines(self) -> List[LineState]:
         return [line for s in self._sets for line in s.values()]
@@ -172,6 +223,7 @@ class MSHREntry:
     predicted: bool = False  # the prefetcher predicted this in-flight address
     sectors: int = -1  # sector mask the fill will deliver (-1 = whole line)
     dropped: bool = False  # chaos fault: the fill packet was lost in the NoC
+    seq: int = 0  # allocation order, so retirement order matches it
 
 
 class MSHR:
@@ -188,6 +240,14 @@ class MSHR:
         self.entries = entries
         self.merge_width = merge_width
         self._inflight: Dict[int, MSHREntry] = {}
+        # Fill horizon: a min-heap of (fill_time, line_addr) lower bounds.
+        # ``pop_filled`` is called on *every* L1 access, so it must answer
+        # "nothing has filled yet" without walking the in-flight file.
+        # Entries are pushed at allocate and again whenever a fill is
+        # rescheduled earlier (demand promotion); fill times never move
+        # later, so the heap head is an exact earliest-fill horizon and
+        # superseded entries are skipped lazily on pop.
+        self._fill_heap: List[Tuple[int, int]] = []
         # Lifetime conservation counters: every allocated entry must retire
         # exactly once, so ``allocated - released == occupancy`` at all
         # times.  The sanitizer audits the balance; a leaked or
@@ -214,11 +274,24 @@ class MSHR:
         if line_addr in self._inflight:
             raise RuntimeError("MSHR double allocate for line %#x" % line_addr)
         entry = MSHREntry(
-            line_addr=line_addr, fill_time=fill_time, is_prefetch=is_prefetch
+            line_addr=line_addr,
+            fill_time=fill_time,
+            is_prefetch=is_prefetch,
+            seq=self.allocated,
         )
         self._inflight[line_addr] = entry
+        heapq.heappush(self._fill_heap, (fill_time, line_addr))
         self.allocated += 1
         return entry
+
+    def reschedule(self, entry: MSHREntry, fill_time: int) -> None:
+        """Move an in-flight fill *earlier* (demand promotion of a
+        best-effort prefetch).  Later times are ignored — the fill horizon
+        heap relies on fill times never moving backward."""
+        if fill_time >= entry.fill_time:
+            return
+        entry.fill_time = fill_time
+        heapq.heappush(self._fill_heap, (fill_time, entry.line_addr))
 
     def try_merge(self, line_addr: int, is_demand: bool) -> Optional[MSHREntry]:
         """Merge a request into an in-flight miss; None if merge slots are
@@ -234,12 +307,33 @@ class MSHR:
         return entry
 
     def pop_filled(self, now: int) -> List[MSHREntry]:
-        """Remove and return entries whose fill time has arrived."""
-        filled = [e for e in self._inflight.values() if e.fill_time <= now]
-        for entry in filled:
-            del self._inflight[entry.line_addr]
+        """Remove and return entries whose fill time has arrived, in
+        allocation order (the order the old full-scan implementation
+        produced, which downstream install/eviction decisions depend on)."""
+        heap = self._fill_heap
+        if not heap or heap[0][0] > now:
+            return []
+        filled: List[MSHREntry] = []
+        while heap and heap[0][0] <= now:
+            _, line_addr = heapq.heappop(heap)
+            entry = self._inflight.get(line_addr)
+            # Skip superseded horizon entries: the line already retired via
+            # an earlier (promoted) horizon, or was re-allocated with a
+            # fill still in the future.
+            if entry is not None and entry.fill_time <= now:
+                del self._inflight[line_addr]
+                filled.append(entry)
         self.released += len(filled)
+        filled.sort(key=lambda e: e.seq)
         return filled
+
+    @property
+    def fill_horizon(self) -> Optional[int]:
+        """Lower bound on the earliest in-flight fill time (None when the
+        horizon heap is empty) — the MSHR's next-interesting-cycle report
+        under the event core's horizon contract (docs/PERFORMANCE.md)."""
+        heap = self._fill_heap
+        return heap[0][0] if heap else None
 
     def entries_inflight(self) -> List[MSHREntry]:
         """All in-flight entries (sanitizer / state-dump introspection)."""

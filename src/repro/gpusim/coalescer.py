@@ -4,11 +4,21 @@ GPUs merge the 32 per-thread addresses of a warp memory instruction into the
 minimal set of cache-line transactions.  Because traces encode a warp access
 as ``(base_addr, thread_stride, size)`` the coalescer is a small piece of
 arithmetic rather than a 32-way sort.
+
+Coalescing is translation-invariant: ``line_of(x + k*L) == line_of(x) + k*L``
+for any integer ``k``, so the *shape* of the transaction list depends only on
+``base_addr % line_bytes`` plus the stride/size, never on the absolute base.
+The expansion is therefore computed once per shape (a key space of at most
+``line_bytes`` offsets times the handful of stride/size pairs a trace uses)
+and replayed by adding the line-aligned base back — this is the hottest
+per-instruction path in the simulator.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from .trace import WarpInstr
 
@@ -16,6 +26,94 @@ from .trace import WarpInstr
 def line_of(addr: int, line_bytes: int) -> int:
     """The line-aligned address containing ``addr``."""
     return addr - (addr % line_bytes)
+
+
+# shape key (base % L, stride, size, warp_size, L) -> line offsets from the
+# aligned base.  Bounded by the trace's distinct access shapes, not its
+# address footprint.
+_PATTERN_MEMO: Dict[Tuple[int, int, int, int, int], List[int]] = {}
+
+# Same memoization for the sectored variant: shape key plus sector size maps
+# to (line offset -> sector bitmask).
+_SECTOR_MEMO: Dict[Tuple[int, int, int, int, int, int], Dict[int, int]] = {}
+
+
+def _expand_pattern(
+    rem: int, stride: int, size_bytes: int, warp_size: int, line_bytes: int
+) -> List[int]:
+    """Line offsets (relative to the aligned base) of one access shape."""
+    if stride > 0:
+        # Monotonic fast path.  Each thread touches the contiguous line
+        # range [line_of(start), line_of(start + size - 1)] and successive
+        # threads start no earlier, so the first-seen emission order of the
+        # generic scan below is simply ascending line order.
+        if size_bytes <= line_bytes:
+            # Each thread touches at most two lines: vectorize the
+            # per-thread first/last lines and dedupe in one sorted pass.
+            starts = rem + np.arange(warp_size) * stride
+            firsts = starts - starts % line_bytes
+            ends = starts + (size_bytes - 1)
+            ends -= ends % line_bytes
+            merged = np.unique(np.concatenate((firsts, ends)))
+            return merged.tolist()
+        # Wide accesses: merge the per-thread contiguous ranges in order.
+        lines: List[int] = []
+        last: Optional[int] = None
+        for t in range(warp_size):
+            start = rem + t * stride
+            first = line_of(start, line_bytes)
+            end = line_of(start + size_bytes - 1, line_bytes)
+            if last is not None and first <= last:
+                first = last + line_bytes
+            if first <= end:
+                lines.extend(range(first, end + line_bytes, line_bytes))
+                last = end
+        return lines
+
+    # Negative strides break the monotone-emission argument; keep the
+    # generic first-seen scan (order matters downstream).
+    fallback: List[int] = []
+    seen = set()
+    for t in range(warp_size):
+        start = rem + t * stride
+        for offset in range(0, size_bytes, line_bytes):
+            line = line_of(start + offset, line_bytes)
+            if line not in seen:
+                seen.add(line)
+                fallback.append(line)
+        # include the final byte's line for accesses spanning a boundary
+        end_line = line_of(start + size_bytes - 1, line_bytes)
+        if end_line not in seen:
+            seen.add(end_line)
+            fallback.append(end_line)
+    return fallback
+
+
+def coalesce_lines(
+    base: int, stride: int, size_bytes: int, warp_size: int, line_bytes: int
+) -> List[int]:
+    """Raw-argument form of :func:`coalesce` — the hot path for prefetch
+    footprints, which would otherwise construct a throwaway
+    :class:`WarpInstr` per predicted address."""
+    if line_bytes <= 0:
+        raise ValueError("line_bytes must be positive")
+    if base < 0:
+        raise ValueError("memory instruction needs a non-negative address")
+
+    if stride == 0:
+        # Broadcast: every thread reads the same [base, base+size) window.
+        first = line_of(base, line_bytes)
+        last = line_of(base + size_bytes - 1, line_bytes)
+        return list(range(first, last + 1, line_bytes))
+
+    rem = base % line_bytes
+    key = (rem, stride, size_bytes, warp_size, line_bytes)
+    pattern = _PATTERN_MEMO.get(key)
+    if pattern is None:
+        pattern = _expand_pattern(rem, stride, size_bytes, warp_size, line_bytes)
+        _PATTERN_MEMO[key] = pattern
+    shift = base - rem
+    return [shift + off for off in pattern]
 
 
 def coalesce(
@@ -30,35 +128,37 @@ def coalesce(
     """
     if not instr.is_mem:
         raise ValueError("cannot coalesce non-memory instruction %r" % (instr,))
-    if line_bytes <= 0:
-        raise ValueError("line_bytes must be positive")
-
-    if instr.thread_stride == 0:
-        # Broadcast: every thread reads the same [base, base+size) window.
-        first = line_of(instr.base_addr, line_bytes)
-        last = line_of(instr.base_addr + instr.size_bytes - 1, line_bytes)
-        return list(range(first, last + 1, line_bytes))
-
-    lines: List[int] = []
-    seen = set()
-    for t in range(warp_size):
-        start = instr.base_addr + t * instr.thread_stride
-        for offset in range(0, instr.size_bytes, line_bytes):
-            line = line_of(start + offset, line_bytes)
-            if line not in seen:
-                seen.add(line)
-                lines.append(line)
-        # include the final byte's line for accesses spanning a boundary
-        end_line = line_of(start + instr.size_bytes - 1, line_bytes)
-        if end_line not in seen:
-            seen.add(end_line)
-            lines.append(end_line)
-    return lines
+    return coalesce_lines(
+        instr.base_addr, instr.thread_stride, instr.size_bytes,
+        warp_size, line_bytes,
+    )
 
 
 def num_transactions(instr: WarpInstr, warp_size: int, line_bytes: int) -> int:
     """Number of line transactions the instruction generates."""
     return len(coalesce(instr, warp_size, line_bytes))
+
+
+def _expand_sectors(
+    rem: int, stride: int, size_bytes: int, warp_size: int,
+    line_bytes: int, sector_bytes: int,
+) -> Dict[int, int]:
+    masks: Dict[int, int] = {}
+
+    def touch(addr: int) -> None:
+        line = line_of(addr, line_bytes)
+        sector = (addr - line) // sector_bytes
+        masks[line] = masks.get(line, 0) | (1 << sector)
+
+    threads = 1 if stride == 0 else warp_size
+    for t in range(threads):
+        start = rem + t * stride
+        addr = start
+        while addr < start + size_bytes:
+            touch(addr)
+            addr += sector_bytes
+        touch(start + size_bytes - 1)
+    return masks
 
 
 def coalesce_sectors(
@@ -68,19 +168,18 @@ def coalesce_sectors(
     which ``sector_bytes``-sized chunks of each line the warp touches."""
     if sector_bytes <= 0 or line_bytes % sector_bytes != 0:
         raise ValueError("sector_bytes must divide line_bytes")
-    masks: "dict[int, int]" = {}
-
-    def touch(addr: int) -> None:
-        line = line_of(addr, line_bytes)
-        sector = (addr - line) // sector_bytes
-        masks[line] = masks.get(line, 0) | (1 << sector)
-
-    threads = 1 if instr.thread_stride == 0 else warp_size
-    for t in range(threads):
-        start = instr.base_addr + t * instr.thread_stride
-        addr = start
-        while addr < start + instr.size_bytes:
-            touch(addr)
-            addr += sector_bytes
-        touch(start + instr.size_bytes - 1)
-    return masks
+    base = instr.base_addr
+    rem = base % line_bytes
+    key = (
+        rem, instr.thread_stride, instr.size_bytes, warp_size,
+        line_bytes, sector_bytes,
+    )
+    pattern = _SECTOR_MEMO.get(key)
+    if pattern is None:
+        pattern = _expand_sectors(
+            rem, instr.thread_stride, instr.size_bytes, warp_size,
+            line_bytes, sector_bytes,
+        )
+        _SECTOR_MEMO[key] = pattern
+    shift = base - rem
+    return {shift + off: mask for off, mask in pattern.items()}

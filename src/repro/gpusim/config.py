@@ -147,6 +147,14 @@ class GPUConfig:
     max_chain_depth: int = 8
     decouple_grace: int = 4096  # cycles an unused prefetched line is protected
 
+    # Timing-core selection (docs/PERFORMANCE.md).  The default run loop is
+    # the event-driven skip-ahead core: SMs are kept in a min-heap keyed by
+    # their next-event horizon and per-SM scans touch only resident warps.
+    # ``legacy_loop=True`` selects the original step-everything reference
+    # loop, kept verbatim for differential testing — both cores must
+    # produce cycle-identical statistics on any workload.
+    legacy_loop: bool = False
+
     # Observability (repro.obs).  ``telemetry=True`` makes the GPU build an
     # event bus even when no explicit ``obs`` bus is passed; sinks attached
     # to ``GPU.obs`` then see every event.  ``telemetry_bucket_cycles`` is

@@ -8,7 +8,8 @@ structures.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Sequence, Union
+import heapq
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.obs.events import BusLike, EventBus, NULL_BUS
 from repro.prefetch.base import Prefetcher, create as create_prefetcher
@@ -105,6 +106,68 @@ class GPU:
         """Execute one kernel to completion; returns merged statistics."""
         return self.run_many([kernel])
 
+    def _run_loop_event(
+        self,
+        active: List[SM],
+        watchdog: Optional[Watchdog],
+        sanitizer: Optional[SimSanitizer],
+    ) -> None:
+        """Event-driven skip-ahead run loop (docs/PERFORMANCE.md).
+
+        SMs sit in a min-heap keyed by (horizon, sm index); popping the head
+        advances the global clock directly to the earliest next-interesting
+        cycle — no per-cycle polling of idle SMs.  ``SM.step_event`` returns
+        the SM's new horizon (or None once retired) and performs at most one
+        quantum per pop, so shared L2/DRAM/NoC resources see requests in
+        exactly the chronological order of the reference loop: the heap's
+        (horizon, index) order reproduces ``min(active, key=now)`` with its
+        first-in-list tie-break, and a stalled SM's deferred gap accounting
+        touches only SM-local state.
+        """
+        heap: List[Tuple[int, int, SM]] = [
+            (sm.now, idx, sm) for idx, sm in enumerate(active)
+        ]
+        heapq.heapify(heap)
+        iterations = 0
+        while heap:
+            _, idx, sm = heapq.heappop(heap)
+            horizon = sm.step_event()
+            if horizon is None:
+                sm.finalize()
+            else:
+                heapq.heappush(heap, (horizon, idx, sm))
+            iterations += 1
+            # The progress signature (and the sanitizer's full audit) sums
+            # state over all SMs, so sample sparsely rather than per step.
+            if iterations & 0xFF == 0:
+                if watchdog is not None:
+                    watchdog.check(sm.now)
+                if sanitizer is not None:
+                    sanitizer.maybe_check(sm.now)
+
+    def _run_loop_legacy(
+        self,
+        active: List[SM],
+        watchdog: Optional[Watchdog],
+        sanitizer: Optional[SimSanitizer],
+    ) -> None:
+        """Reference step-everything loop (``config.legacy_loop=True``),
+        kept verbatim for differential testing against the event core."""
+        iterations = 0
+        while active:
+            sm = min(active, key=lambda s: s.now)
+            if not sm.step():
+                sm.finalize()
+                active.remove(sm)
+            iterations += 1
+            # The progress signature (and the sanitizer's full audit) sums
+            # state over all SMs, so sample sparsely rather than per step.
+            if iterations & 0xFF == 0:
+                if watchdog is not None:
+                    watchdog.check(sm.now)
+                if sanitizer is not None:
+                    sanitizer.maybe_check(sm.now)
+
     def run_many(self, kernels: Sequence[KernelTrace]) -> SimStats:
         """Execute several kernels *concurrently* (multi-application mode,
         the paper's §1 extension).  Each kernel gets an app id; CTAs of all
@@ -147,20 +210,10 @@ class GPU:
             if (self.config.watchdog_cycles or self.config.max_cycles)
             else None
         )
-        iterations = 0
-        while active:
-            sm = min(active, key=lambda s: s.now)
-            if not sm.step():
-                sm.finalize()
-                active.remove(sm)
-            iterations += 1
-            # The progress signature (and the sanitizer's full audit) sums
-            # state over all SMs, so sample sparsely rather than per step.
-            if iterations & 0xFF == 0:
-                if watchdog is not None:
-                    watchdog.check(sm.now)
-                if sanitizer is not None:
-                    sanitizer.maybe_check(sm.now)
+        if self.config.legacy_loop:
+            self._run_loop_legacy(active, watchdog, sanitizer)
+        else:
+            self._run_loop_event(active, watchdog, sanitizer)
         if sanitizer is not None:
             # Final audit so every completed run ends on a clean check even
             # when it retires between cadence points.

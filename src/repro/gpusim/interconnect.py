@@ -31,6 +31,11 @@ class Interconnect:
         self.priority_next_free = 0
         self.bytes_transferred = 0
         self._recent: Deque[Tuple[int, int]] = deque()
+        # Running byte total of ``_recent`` so utilization is O(expired)
+        # instead of a full window sum per query — this is the hottest
+        # read in the throttle path.
+        self._recent_bytes = 0
+        self._window_peak = window * bytes_per_cycle
 
     def send(self, now: int, nbytes: int, priority: bool = False) -> int:
         """Schedule a transfer; returns its arrival time at the far side.
@@ -53,17 +58,18 @@ class Interconnect:
             self.priority_next_free = max(self.priority_next_free, now)
         self.bytes_transferred += nbytes
         self._recent.append((start, nbytes))
+        self._recent_bytes += nbytes
         return start + busy + self.latency
 
     def measured_utilization(self, now: int) -> float:
         """Fraction of peak bandwidth used over the trailing window — the
         throttle's trigger metric."""
         horizon = now - self.window
-        while self._recent and self._recent[0][0] < horizon:
-            self._recent.popleft()
-        recent_bytes = sum(b for _, b in self._recent)
-        peak = self.window * self.bytes_per_cycle
-        return min(1.0, recent_bytes / peak) if peak else 0.0
+        recent = self._recent
+        while recent and recent[0][0] < horizon:
+            self._recent_bytes -= recent.popleft()[1]
+        peak = self._window_peak
+        return min(1.0, self._recent_bytes / peak) if peak else 0.0
 
     def peak_bytes(self, cycles: int) -> int:
         """Theoretical capacity over a run of ``cycles``."""

@@ -8,7 +8,8 @@ one DRAM access.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import heapq
+from typing import Dict, List, Optional, Tuple
 
 from repro.obs.events import BusLike, L2AccessEvent, NULL_BUS
 
@@ -38,6 +39,10 @@ class L2Cache:
         self._bank_next_free = [0] * banks
         self._bank_priority_next_free = [0] * banks
         self._inflight: Dict[int, int] = {}  # line -> fill time
+        # Min-heap of (fill_time, line) mirroring ``_inflight`` so expired
+        # entries drop in O(log n) per expiry instead of a full scan per
+        # access; superseded heap entries are skipped lazily.
+        self._inflight_heap: List[Tuple[int, int]] = []
         self.hits = 0
         self.misses = 0
 
@@ -67,10 +72,15 @@ class L2Cache:
             self._bank_next_free[bank], start + _BANK_SERVICE_CYCLES
         )
 
-        # Drop completed in-flight entries lazily.
-        stale = [a for a, t in self._inflight.items() if t <= now]
-        for addr in stale:
-            del self._inflight[addr]
+        # Drop completed in-flight entries lazily via the fill heap; an
+        # address re-inserted with a later fill time leaves a superseded
+        # heap entry behind, which the dict check skips.
+        heap = self._inflight_heap
+        while heap and heap[0][0] <= now:
+            _, addr = heapq.heappop(heap)
+            t = self._inflight.get(addr)
+            if t is not None and t <= now:
+                del self._inflight[addr]
 
         if self._store.touch(line_addr, start) is not None:
             self.hits += 1
@@ -113,6 +123,7 @@ class L2Cache:
         )
         self._store.insert(line_addr, fill_time)
         self._inflight[line_addr] = fill_time
+        heapq.heappush(self._inflight_heap, (fill_time, line_addr))
         return fill_time + self.config.latency + spike
 
     @property

@@ -28,7 +28,7 @@ from repro.obs.events import (
 )
 from repro.prefetch.base import AccessEvent, Prefetcher, PrefetchRequest
 
-from .coalescer import coalesce, coalesce_sectors
+from .coalescer import coalesce, coalesce_lines, coalesce_sectors
 from .config import GPUConfig
 from .faults import FaultInjector
 from .interconnect import Interconnect
@@ -104,6 +104,9 @@ class SM:
             mode=storage_mode, obs=self.obs, sm_id=sm_id, faults=faults,
         )
         self.prefetcher = prefetcher
+        # Whether the prefetcher accepts a dynamic chain-depth cap; probed
+        # once here instead of per observed access.
+        self._pf_has_depth_limit = hasattr(prefetcher, "set_depth_limit")
         self.throttle = throttle
         self.scheduler = make_scheduler(config.scheduler)
         # Each scheduler issues at most one instruction per cycle, so the
@@ -115,6 +118,14 @@ class SM:
         self._warps: List[WarpState] = []
         self._barrier_waits: Dict[int, int] = {}
         self._cta_live_warps: Dict[int, int] = {}
+        # Event-core bookkeeping (docs/PERFORMANCE.md).  ``_resident`` is
+        # ``_warps`` minus retired warps, in the same order, so the event
+        # loop's scans cost O(warps on core) instead of O(warps ever run);
+        # ``_retired`` counts finished warps awaiting compaction and
+        # ``_live`` mirrors ``sum(1 for w in _warps if not w.finished)``.
+        self._resident: List[WarpState] = []
+        self._retired = 0
+        self._live = 0
         self.now = 0
 
     # ------------------------------------------------------------------
@@ -128,20 +139,20 @@ class SM:
         """Bring queued CTAs on-core while warp slots remain."""
         while self._cta_queue:
             cta = self._cta_queue[0]
-            live = sum(1 for w in self._warps if not w.finished)
-            if live + len(cta.warps) > self.config.max_warps_per_sm:
+            if self._live + len(cta.warps) > self.config.max_warps_per_sm:
                 break
             self._cta_queue.popleft()
             self._cta_live_warps[cta.cta_id] = len(cta.warps)
+            self._live += len(cta.warps)
             for trace in cta.warps:
-                self._warps.append(
-                    WarpState(
-                        warp_id=trace.warp_id,
-                        cta_id=cta.cta_id,
-                        trace=trace,
-                        ready_at=self.now,
-                    )
+                warp = WarpState(
+                    warp_id=trace.warp_id,
+                    cta_id=cta.cta_id,
+                    trace=trace,
+                    ready_at=self.now,
                 )
+                self._warps.append(warp)
+                self._resident.append(warp)
 
     # ------------------------------------------------------------------
     # Main loop
@@ -196,6 +207,62 @@ class SM:
             issued += 1
         self.now += 1
         return True
+
+    def step_event(self) -> Optional[int]:
+        """Event-core step: one quantum with the same semantics as
+        :meth:`step`, returning the SM's next-event horizon (the earliest
+        cycle it can make further progress) or None once all work retired.
+
+        Differences from the reference loop are purely structural — scans
+        run over the resident-warp list instead of every warp the SM has
+        ever hosted, and the issue loop maintains its ready set
+        incrementally (an issued warp always leaves the set: every issue
+        path moves ``ready_at`` forward, parks the warp at a barrier or
+        retires it; the only additions are warps of CTAs activated by a
+        retirement, which the reference rescan would also pick up at the
+        list tail).  Statistics must be cycle-identical to :meth:`step`;
+        ``tests/gpusim/test_skip_ahead.py`` enforces this differentially.
+        """
+        if self._retired:
+            self._resident = [w for w in self._resident if not w.finished]
+            self._retired = 0
+        runnable = [w for w in self._resident if not w.at_barrier]
+        if not runnable:
+            if self._cta_queue:
+                self._activate_ctas()
+                return self.now
+            return None
+
+        now = self.now
+        ready = [w for w in runnable if w.ready_at <= now]
+        if not ready:
+            next_time = min(w.ready_at for w in runnable)
+            gap = next_time - now
+            self.stats.stall_cycles_total += gap
+            if all(w.waiting_on_memory for w in runnable):
+                self.stats.stall_cycles_memory += gap
+            self.now = next_time
+            return next_time
+
+        issued = 0
+        while issued < self._issue_width and ready:
+            warp = self.scheduler.pick(ready)
+            appended_from = len(self._warps)
+            self._issue(warp)
+            self.scheduler.note_issued(warp)
+            issued += 1
+            for idx, w in enumerate(ready):  # remove by identity, not __eq__
+                if w is warp:
+                    del ready[idx]
+                    break
+            if len(self._warps) > appended_from:
+                ready.extend(
+                    w
+                    for w in self._warps[appended_from:]
+                    if w.ready_at <= now and not w.at_barrier and not w.finished
+                )
+        self.now = now + 1
+        return self.now
 
     def finalize(self) -> SimStats:
         """Close out the statistics after the last step."""
@@ -253,6 +320,8 @@ class SM:
         if warp.finished:
             return
         warp.finished = True
+        self._retired += 1
+        self._live -= 1
         self.stats.warps_finished += 1
         cta = warp.cta_id
         self._cta_live_warps[cta] -= 1
@@ -352,7 +421,7 @@ class SM:
             divergent=instr.divergent,
             app_id=self._cta_app.get(warp.cta_id, 0),
         )
-        if hasattr(self.prefetcher, "set_depth_limit"):
+        if self._pf_has_depth_limit:
             utilization = 0.5 * (
                 self.icnt_req.measured_utilization(self.now)
                 + self.icnt_resp.measured_utilization(self.now)
@@ -376,14 +445,10 @@ class SM:
 
     def _issue_prefetch(self, request: PrefetchRequest, instr: WarpInstr) -> None:
         if self.prefetcher.uses_magic:
-            footprint = WarpInstr(
-                pc=instr.pc,
-                op=Op.LOAD,
-                base_addr=request.base_addr,
-                thread_stride=instr.thread_stride,
-                size_bytes=instr.size_bytes,
-            )
-            for line in coalesce(footprint, self.config.warp_size, self.l1.line_bytes):
+            for line in coalesce_lines(
+                request.base_addr, instr.thread_stride, instr.size_bytes,
+                self.config.warp_size, self.l1.line_bytes,
+            ):
                 self.l1.magic_prefetch(line)
             return
         # The paper's trigger metric is total NoC utilization (the Fig 4
@@ -406,17 +471,13 @@ class SM:
                     )
                 )
             return
-        footprint = WarpInstr(
-            pc=instr.pc,
-            op=Op.LOAD,
-            base_addr=request.base_addr,
-            thread_stride=instr.thread_stride,
-            size_bytes=instr.size_bytes,
-        )
         # The table search pipeline adds a couple of cycles before the
         # request can leave the prefetcher (§5.5 reports 2 cycles).
         issue_at = self.now + self.config.prefetcher_latency
-        for line in coalesce(footprint, self.config.warp_size, self.l1.line_bytes):
+        for line in coalesce_lines(
+            request.base_addr, instr.thread_stride, instr.size_bytes,
+            self.config.warp_size, self.l1.line_bytes,
+        ):
             sent = self.l1.prefetch(line, issue_at)
             if sent and self.obs.enabled:
                 self.obs.emit(

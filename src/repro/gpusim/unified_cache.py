@@ -100,6 +100,14 @@ class UnifiedL1Cache:
         else:
             self._side_buffer = None
 
+        # The space the throttle triggers watch (side buffer when isolated,
+        # the unified store otherwise) and its size — resolved once; both
+        # fractions are polled on every prefetch decision.
+        self._pf_store = (
+            self._side_buffer if self._side_buffer is not None else self._store
+        )
+        self._pf_capacity = self._pf_store.config.num_lines
+
         # Ideal-prefetcher magic storage: infinite, zero-latency.
         self._magic_lines: Set[int] = set()
 
@@ -402,7 +410,7 @@ class UnifiedL1Cache:
                 # fresh unloaded demand round trip from now (its bandwidth
                 # was already reserved on the best-effort channel).
                 promoted = now + self._unloaded_round_trip()
-                merged.fill_time = min(merged.fill_time, promoted)
+                self._mshr.reschedule(merged, promoted)
             return L1Outcome.RESERVED, merged.fill_time + 1
 
         if (
@@ -583,22 +591,17 @@ class UnifiedL1Cache:
         """Free fraction of the space prefetched data competes for (the
         side buffer in isolated mode, the unified store otherwise)."""
         self._commit_fills(now)
-        store = self._side_buffer if self._side_buffer is not None else self._store
-        capacity = store.config.num_lines
-        return 1.0 - store.occupancy / capacity if capacity else 0.0
+        capacity = self._pf_capacity
+        return 1.0 - self._pf_store.occupancy / capacity if capacity else 0.0
 
     def unused_prefetch_fraction(self, now: int) -> float:
         """Fraction of prefetch-space capacity holding not-yet-used
         prefetched lines — the backlog the space throttle watches."""
         self._commit_fills(now)
-        store = self._side_buffer if self._side_buffer is not None else self._store
-        capacity = store.config.num_lines
+        capacity = self._pf_capacity
         if not capacity:
             return 0.0
-        backlog = sum(
-            1 for line in store.all_lines() if line.is_prefetch and not line.used
-        )
-        return backlog / capacity
+        return self._pf_store.prefetch_unused / capacity
 
     @property
     def mshr_occupancy(self) -> int:

@@ -17,7 +17,7 @@ from .rules_config import (
     ConfigValidateRule,
     UnknownConfigFieldRule,
 )
-from .rules_cycles import CycleAdvanceRule, StatsFieldRule
+from .rules_cycles import CycleAdvanceRule, CycleCrankRule, StatsFieldRule
 from .rules_determinism import SetIterationRule, UnseededRngRule, WallClockRule
 from .rules_events import AdHocEventRule, EventSchemaRule
 from .rules_hygiene import AssertControlFlowRule, BareExceptRule, MutableDefaultRule
@@ -30,6 +30,7 @@ RULE_CLASSES: Tuple[Type[Rule], ...] = (
     EventSchemaRule,
     AdHocEventRule,
     CycleAdvanceRule,
+    CycleCrankRule,
     StatsFieldRule,
     ConfigFieldReadRule,
     ConfigValidateRule,

@@ -1,10 +1,10 @@
 """Cycle-accounting rules (SL3xx).
 
 The cycle-accurate model has exactly one place where simulated time moves:
-the SM's event loop (``__init__`` initialises the clock, ``step`` advances
-it).  A stray ``self.now += n`` in a cache or prefetcher would silently
-skew every latency in the run, so SL301 pins clock writes to the
-designated advance methods.
+the SM's event loop (``__init__`` initialises the clock, ``step`` and
+``step_event`` advance it).  A stray ``self.now += n`` in a cache or
+prefetcher would silently skew every latency in the run, so SL301 pins
+clock writes to the designated advance methods.
 
 SL302 guards the statistics the figures are built from: ``SimStats`` /
 ``PrefetchStats`` are plain dataclasses, so a typo'd counter name
@@ -12,6 +12,14 @@ SL302 guards the statistics the figures are built from: ``SimStats`` /
 at runtime instead of failing — a counter the conservation auditor
 (``SimStats.verify``) never sees.  Every stats write must target a
 declared field.
+
+SL303 protects the skip-ahead performance model (docs/PERFORMANCE.md):
+memory-side components are functional — they take a timestamp and return
+one (next-free-time resources) — and only the event core in
+``repro/gpusim/sm.py`` / ``gpu.py`` may crank a clock cycle-by-cycle.  A
+``self.now += 1`` creeping into a cache or DRAM model would reintroduce
+per-cycle polling and silently destroy the event core's wall-clock wins,
+so the rule forbids additive clock advancement outside the core outright.
 """
 
 from __future__ import annotations
@@ -23,10 +31,13 @@ from .engine import RepoContext, Rule
 from .findings import Finding
 
 #: the only methods allowed to move a component clock
-ADVANCE_METHODS = ("__init__", "step", "reset")
+ADVANCE_METHODS = ("__init__", "step", "step_event", "reset")
 
 #: attribute names that *are* component clocks in this codebase
 _CLOCK_ATTRS = ("now", "cycle")
+
+#: the only modules allowed to crank a clock with ``+=`` — the event core
+EVENT_CORE_MODULES = ("gpusim/sm.py", "gpusim/gpu.py")
 
 
 class CycleAdvanceRule(Rule):
@@ -53,6 +64,38 @@ class CycleAdvanceRule(Rule):
                         "self.%s written in %s; the clock may only move in "
                         "%s" % (target.attr, where, "/".join(ADVANCE_METHODS)),
                     ))
+        return findings
+
+
+class CycleCrankRule(Rule):
+    """SL303: clocks may not be cranked with ``+=`` outside the event core
+    — components report horizons (next-free timestamps) instead of ticking
+    (docs/PERFORMANCE.md's horizon contract)."""
+
+    id = "SL303"
+    title = "clock cranked with += outside the event core"
+    packages = ("repro.gpusim", "repro.core", "repro.prefetch")
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        if path.endswith(EVENT_CORE_MODULES):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.AugAssign)
+                and isinstance(node.op, ast.Add)
+                and isinstance(node.target, ast.Attribute)
+                and node.target.attr in _CLOCK_ATTRS
+                and isinstance(node.target.value, ast.Name)
+                and node.target.value.id == "self"
+            ):
+                findings.append(self.finding(
+                    path, node.target,
+                    "self.%s += … outside the event core; model time as "
+                    "next-free horizons, never per-cycle ticks (the skip-"
+                    "ahead loop would silently degrade to polling)"
+                    % node.target.attr,
+                ))
         return findings
 
 

@@ -33,7 +33,7 @@ from .errors import (
     SimulationHangError,
     is_retryable,
 )
-from .jobs import JobSpec, execute_job, job_hash
+from .jobs import JobSpec, engine_fingerprint, execute_job, job_hash
 from .pool import SweepResult, default_jobs, grid_specs, run_grid, run_jobs
 
 __all__ = [
@@ -53,6 +53,7 @@ __all__ = [
     "SimulationHangError",
     "SweepResult",
     "default_jobs",
+    "engine_fingerprint",
     "execute_job",
     "grid_specs",
     "is_retryable",

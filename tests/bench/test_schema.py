@@ -1,0 +1,134 @@
+"""BENCH payload schema validation and the regression gate."""
+
+import copy
+
+from repro.bench.schema import (
+    BENCH_SCHEMA_VERSION,
+    bench_filename,
+    compare_payloads,
+    validate_payload,
+)
+
+
+def make_case(name="quickstart-none", speedup=1.1, **over):
+    wall = 0.5
+    case = {
+        "name": name,
+        "app": "lps",
+        "mechanism": "none",
+        "scale": 1.0,
+        "seed": 1,
+        "cycles": 20000,
+        "instructions": 9000,
+        "wall_s": wall,
+        "cycles_per_sec": 20000 / wall,
+        "legacy_wall_s": round(wall * speedup, 4),
+        "speedup_vs_legacy": speedup,
+        "stats_match": True,
+    }
+    case.update(over)
+    return case
+
+
+def make_payload(cases=None, **over):
+    payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "generated": "2026-08-08",
+        "quick": False,
+        "loop": "event",
+        "host": {"python": "3.11.7", "platform": "linux", "cpu_count": 4},
+        "peak_rss_mb": 40.0,
+        "quickstart_wall_s": 0.9,
+        "cases": cases if cases is not None else [make_case()],
+    }
+    payload.update(over)
+    return payload
+
+
+class TestValidate:
+    def test_valid_payload(self):
+        assert validate_payload(make_payload()) == []
+
+    def test_missing_top_field(self):
+        payload = make_payload()
+        del payload["peak_rss_mb"]
+        assert any("peak_rss_mb" in e for e in validate_payload(payload))
+
+    def test_wrong_type(self):
+        payload = make_payload(quickstart_wall_s="fast")
+        assert any("quickstart_wall_s" in e for e in validate_payload(payload))
+
+    def test_bool_is_not_an_int(self):
+        payload = make_payload(cases=[make_case(cycles=True)])
+        assert any("cycles" in e for e in validate_payload(payload))
+
+    def test_unknown_schema_version(self):
+        payload = make_payload(schema_version=BENCH_SCHEMA_VERSION + 1)
+        assert any("schema_version" in e for e in validate_payload(payload))
+
+    def test_unknown_loop(self):
+        payload = make_payload(loop="warp")
+        assert any("loop" in e for e in validate_payload(payload))
+
+    def test_empty_cases(self):
+        assert any("empty" in e for e in validate_payload(make_payload(cases=[])))
+
+    def test_missing_case_field(self):
+        case = make_case()
+        del case["speedup_vs_legacy"]
+        payload = make_payload(cases=[case])
+        assert any("speedup_vs_legacy" in e for e in validate_payload(payload))
+
+    def test_inconsistent_speedup(self):
+        case = make_case()
+        case["speedup_vs_legacy"] = 5.0  # legacy_wall_s says ~1.1
+        payload = make_payload(cases=[case])
+        assert any("inconsistent" in e for e in validate_payload(payload))
+
+    def test_filename(self):
+        assert bench_filename("2026-08-08") == "BENCH_2026-08-08.json"
+
+
+class TestGate:
+    def test_identical_payloads_pass(self):
+        payload = make_payload()
+        assert compare_payloads(payload, copy.deepcopy(payload)) == []
+
+    def test_small_drop_within_tolerance_passes(self):
+        current = make_payload(cases=[make_case(speedup=1.0)])
+        baseline = make_payload(cases=[make_case(speedup=1.1)])
+        assert compare_payloads(current, baseline, tolerance=0.15) == []
+
+    def test_large_drop_fails(self):
+        current = make_payload(cases=[make_case(speedup=0.8)])
+        baseline = make_payload(cases=[make_case(speedup=1.1)])
+        errors = compare_payloads(current, baseline, tolerance=0.15)
+        assert any("speedup_vs_legacy" in e for e in errors)
+
+    def test_stats_divergence_fails(self):
+        case = make_case(stats_match=False)
+        current = make_payload(cases=[case])
+        errors = compare_payloads(current, make_payload())
+        assert any("diverged" in e for e in errors)
+
+    def test_no_overlap_fails(self):
+        current = make_payload(cases=[make_case(name="new-case")])
+        baseline = make_payload(cases=[make_case(name="old-case")])
+        errors = compare_payloads(current, baseline)
+        assert any("no case is comparable" in e for e in errors)
+
+    def test_changed_pinned_parameters_fail(self):
+        current = make_payload(cases=[make_case(scale=0.5, speedup=2.0)])
+        errors = compare_payloads(current, make_payload())
+        assert any("pinned parameters changed" in e for e in errors)
+
+    def test_legacy_primary_payload_is_refused(self):
+        current = make_payload(loop="legacy")
+        errors = compare_payloads(current, make_payload())
+        assert any("event loop" in e for e in errors)
+
+    def test_invalid_baseline_reported(self):
+        baseline = make_payload()
+        del baseline["cases"]
+        errors = compare_payloads(make_payload(), baseline)
+        assert any("baseline payload invalid" in e for e in errors)

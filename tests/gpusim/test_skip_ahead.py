@@ -1,0 +1,129 @@
+"""Differential tests for the event-driven skip-ahead core.
+
+The refactor's contract (docs/PERFORMANCE.md): the event core and the
+``legacy_loop`` reference implementation are **cycle-identical** — not
+statistically close, byte-equal on every counter, for every mechanism,
+storage mode, topology, and even under chaos faults (the shared RNG
+stream must be consulted in the same order at the same cycles).
+"""
+
+import pytest
+
+from repro.gpusim import FaultInjector, FaultPlan, GPUConfig, simulate
+from repro.workloads import build_kernel
+
+SCALE = 0.15
+
+
+def both_loops(app, mechanism, scale=SCALE, seed=1, config=None, **kwargs):
+    """Run one cell on the event core and the legacy reference; returns
+    the two SimStats dicts."""
+    base = config or GPUConfig.scaled()
+    results = []
+    for legacy in (False, True):
+        kernel = build_kernel(app, scale=scale, seed=seed)
+        stats = simulate(
+            kernel,
+            prefetcher=mechanism,
+            config=base.with_(legacy_loop=legacy),
+            **kwargs,
+        )
+        results.append(stats.as_dict())
+    return results
+
+
+class TestCycleIdentical:
+    @pytest.mark.parametrize("app,mechanism", [
+        ("lps", "none"),
+        ("lps", "snake"),
+        ("hotspot", "snake"),
+        ("hotspot", "intra"),
+        ("backprop", "s-snake"),
+        ("mum", "snake-dt"),
+    ])
+    def test_stats_identical_across_mechanisms(self, app, mechanism):
+        event, legacy = both_loops(app, mechanism)
+        assert event == legacy
+
+    @pytest.mark.parametrize("seed", [1, 2, 7])
+    def test_stats_identical_across_seeds(self, seed):
+        event, legacy = both_loops("lps", "snake", seed=seed)
+        assert event == legacy
+
+    def test_stats_identical_on_wider_gpu(self):
+        config = GPUConfig.scaled(num_sms=4)
+        event, legacy = both_loops("hotspot", "snake", config=config)
+        assert event == legacy
+
+    def test_stats_identical_with_sectored_l1(self):
+        config = GPUConfig.scaled().with_(l1_sector_bytes=32)
+        event, legacy = both_loops("lps", "snake", config=config)
+        assert event == legacy
+
+    def test_stats_identical_with_sanitizer(self):
+        """The sanitizer audits invariants mid-run; it must see the same
+        state at the same audit points under both loops."""
+        config = GPUConfig.scaled().with_(sanitize=True)
+        event, legacy = both_loops("backprop", "snake", config=config)
+        assert event == legacy
+
+
+class TestFigureCSVs:
+    def test_sweep_csv_identical(self, tmp_path):
+        """The figure pipeline (in-process sweep -> coverage matrix ->
+        CSV) must produce byte-identical files from either loop."""
+        from repro.analysis import export
+        from repro.analysis.experiments import figure16_from
+        from repro.runner import grid_specs, run_jobs
+
+        paths = []
+        for legacy in (False, True):
+            config = GPUConfig.scaled().with_(legacy_loop=legacy)
+            specs = grid_specs(
+                ["lps", "hotspot"], ["none", "snake"],
+                config=config, scale=SCALE, seed=1,
+            )
+            result = run_jobs(specs, jobs=0)
+            assert result.ok
+            out = tmp_path / ("fig16_%s.csv" % ("legacy" if legacy else "event"))
+            export.to_csv(figure16_from(result.cells()), str(out))
+            paths.append(out)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+
+class _FaultRecorder:
+    """Minimal BusLike that records every FaultEvent's firing site/cycle."""
+
+    enabled = True
+
+    def __init__(self):
+        self.events = []
+
+    def emit(self, event):
+        self.events.append(
+            (event.cycle, event.sm_id, event.site, event.detail)
+        )
+
+
+class TestChaosParity:
+    def test_faults_fire_at_the_same_cycles(self):
+        """Chaos injection consults one seeded RNG stream in simulation
+        order; if the event core visited components in any different
+        order the firing sequence (site, cycle) would diverge."""
+        traces = []
+        stats = []
+        for legacy in (False, True):
+            recorder = _FaultRecorder()
+            injector = FaultInjector(
+                FaultPlan.storm(seed=3, delay_cycles=200), obs=recorder
+            )
+            kernel = build_kernel("hotspot", scale=SCALE, seed=1)
+            config = GPUConfig.scaled().with_(legacy_loop=legacy)
+            result = simulate(
+                kernel, prefetcher="snake", config=config, faults=injector
+            )
+            assert injector.total_fired > 0
+            traces.append(recorder.events)
+            stats.append(result.as_dict())
+        assert traces[0] == traces[1]
+        assert stats[0] == stats[1]

@@ -1,0 +1,9 @@
+"""SL303 positive: a memory-side component cranks its clock per cycle."""
+
+
+class DRAMModel:
+    def __init__(self) -> None:
+        self.now = 0
+
+    def step(self) -> None:
+        self.now += 1

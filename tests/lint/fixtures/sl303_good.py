@@ -1,0 +1,12 @@
+"""SL303 negative: the component is functional — it takes a timestamp
+and returns a next-free horizon instead of ticking."""
+
+
+class DRAMModel:
+    def __init__(self) -> None:
+        self.next_free = 0
+
+    def request(self, now: int, latency: int) -> int:
+        start = max(now, self.next_free)
+        self.next_free = start + latency
+        return self.next_free

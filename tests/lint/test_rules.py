@@ -74,6 +74,22 @@ def test_sl301_clock_write_outside_advance_methods(tmp_path):
     assert "SL301" not in rules_hit(findings)
 
 
+def test_sl303_cycle_crank_outside_event_core(tmp_path):
+    findings = lint_tree(tmp_path / "bad", {GUARDED: "sl303_bad.py"})
+    hits = [f for f in findings if f.rule == "SL303"]
+    assert len(hits) == 1 and "horizon" in hits[0].message
+    findings = lint_tree(tmp_path / "good", {GUARDED: "sl303_good.py"})
+    assert "SL303" not in rules_hit(findings)
+
+
+def test_sl303_event_core_modules_are_exempt(tmp_path):
+    """sm.py / gpu.py *are* the event core: the skip-ahead loop may add
+    to the clock (the +1 issue-cycle advance), so the same fixture that
+    fires elsewhere is clean there."""
+    findings = lint_tree(tmp_path, {"src/repro/gpusim/sm.py": "sl303_bad.py"})
+    assert "SL303" not in rules_hit(findings)
+
+
 def test_sl302_undeclared_stats_counter(tmp_path):
     findings = lint_tree(
         tmp_path, {STATS: "stats_schema.py", GUARDED: "sl302_bad.py"}

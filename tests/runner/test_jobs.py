@@ -2,8 +2,15 @@
 
 import pytest
 
+from repro.bench.schema import BENCH_SCHEMA_VERSION
 from repro.gpusim import GPUConfig
-from repro.runner import InvalidConfig, JobSpec, execute_job, job_hash
+from repro.runner import (
+    InvalidConfig,
+    JobSpec,
+    engine_fingerprint,
+    execute_job,
+    job_hash,
+)
 
 SCALE = 0.05
 
@@ -58,6 +65,28 @@ class TestJobHash:
         assert "lps" in spec.label()
         assert "snake" in spec.label()
         assert "eviction=pop" in spec.label()
+
+
+class TestEngineFingerprint:
+    """Results depend on the simulating *implementation* too: a
+    checkpoint produced by the legacy loop must never be reused for a
+    skip-ahead job (and vice versa), and a bench-schema bump invalidates
+    recorded performance identities."""
+
+    def test_default_is_skip_ahead(self):
+        spec = JobSpec.make("lps", "snake")
+        assert engine_fingerprint(spec)["loop"] == "skip-ahead"
+        assert engine_fingerprint(spec)["bench_schema"] == BENCH_SCHEMA_VERSION
+
+    def test_legacy_loop_changes_the_hash(self):
+        event = JobSpec.make(
+            "lps", "snake", config=GPUConfig.scaled().with_(legacy_loop=False)
+        )
+        legacy = JobSpec.make(
+            "lps", "snake", config=GPUConfig.scaled().with_(legacy_loop=True)
+        )
+        assert engine_fingerprint(legacy)["loop"] == "legacy"
+        assert job_hash(event) != job_hash(legacy)
 
 
 class TestExecuteJob:
