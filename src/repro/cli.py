@@ -15,8 +15,14 @@ Usage::
         --checkpoint sweep.jsonl     # fault-tolerant parallel grid
     snake-repro sweep --resume --checkpoint sweep.jsonl
     snake-repro sweep --sanitize     # audit conservation invariants too
+    snake-repro sweep --lease 10 --drain-timeout 60   # lease tuning; ^C
+                                     # drains in-flight jobs gracefully
 
     snake-repro chaos --seed 0       # seeded fault injection + sanitizer
+    snake-repro chaos --runner       # chaos the sweep scheduler itself:
+                                     # worker kills, heartbeat stalls,
+                                     # transport faults, SIGKILL+--resume;
+                                     # results must be byte-identical
 
     snake-repro bench                # simulator-performance suite
     snake-repro bench --quick --check   # CI regression gate vs BENCH_*.json
@@ -293,6 +299,16 @@ def _sweep_parser() -> argparse.ArgumentParser:
         help="max attempts for a crashed job (default: 2)",
     )
     parser.add_argument(
+        "--lease", type=float, default=None, metavar="S",
+        help="worker liveness lease in seconds: a worker silent longer "
+        "than this loses its job to another worker (default: 15)",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="S",
+        help="on SIGINT/SIGTERM, how long to let in-flight jobs finish "
+        "and checkpoint before killing them (default: 30)",
+    )
+    parser.add_argument(
         "--checkpoint", metavar="PATH", default=None,
         help="JSONL checkpoint file (enables --resume)",
     )
@@ -317,8 +333,10 @@ def _sweep_parser() -> argparse.ArgumentParser:
 
 
 def _run_sweep_command(argv) -> int:
+    import signal as signal_module
+
     from repro.prefetch import COMPARISON_POINTS
-    from repro.runner import Checkpoint, default_jobs, grid_specs, run_jobs
+    from repro.runner import Checkpoint, Scheduler, default_jobs, grid_specs
     from repro.workloads import BENCHMARKS
 
     args = _sweep_parser().parse_args(argv)
@@ -360,19 +378,62 @@ def _run_sweep_command(argv) -> int:
 
     try:
         ckpt = Checkpoint.load(args.checkpoint) if args.checkpoint else None
-        result = run_jobs(
+        scheduler = Scheduler(
             specs,
             jobs=jobs,
             timeout=args.timeout,
             retries=args.retries,
+            lease_s=args.lease,
+            drain_timeout_s=args.drain_timeout,
             checkpoint=ckpt,
             resume=args.resume,
             retry_failed=args.retry_failed,
             on_result=progress,
         )
+
+        def _drain_handler(signum, frame):
+            # First signal: graceful drain (finish in-flight cells, flush
+            # the checkpoint).  Restore the previous handler so a second
+            # signal aborts hard, the traditional way.
+            print(
+                "\nsignal: draining in-flight jobs "
+                "(repeat to abort immediately)...",
+                file=sys.stderr,
+            )
+            scheduler.request_drain()
+            signal_module.signal(signum, previous.get(signum, signal_module.SIG_DFL))
+
+        previous = {}
+        hooked = []
+        for sig in (signal_module.SIGINT, signal_module.SIGTERM):
+            try:
+                previous[sig] = signal_module.signal(sig, _drain_handler)
+                hooked.append(sig)
+            except (OSError, ValueError):
+                pass  # non-main thread / exotic platform: drain via API only
+        try:
+            result = scheduler.run()
+        finally:
+            for sig in hooked:
+                signal_module.signal(sig, previous[sig])
     except (OSError, ValueError) as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
+
+    if result.drained:
+        print()
+        print(
+            "sweep drained after signal: %d cells finished this run, "
+            "%d still pending" % (result.executed, result.remaining)
+        )
+        if args.checkpoint:
+            print(
+                "resume with: snake-repro sweep --resume --checkpoint %s"
+                % args.checkpoint
+            )
+        else:
+            print("(no --checkpoint given, so the pending cells start over)")
+        return 4
 
     sweep = result.cells()
     print()
@@ -409,11 +470,31 @@ def _run_sweep_command(argv) -> int:
 def _chaos_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="snake-repro chaos",
-        description="Correctness-under-faults harness: run each app under "
-        "seeded fault plans (repro.gpusim.faults) with the conservation "
-        "sanitizer armed, and assert the demand-visible outcome (committed "
-        "instructions, finished warps) matches a fault-free run.  Faults "
-        "may only cost cycles, never correctness.  See docs/ROBUSTNESS.md.",
+        description="Correctness-under-faults harness.  Default mode: run "
+        "each app under seeded fault plans (repro.gpusim.faults) with the "
+        "conservation sanitizer armed, and assert the demand-visible "
+        "outcome (committed instructions, finished warps) matches a "
+        "fault-free run.  With --runner the faults target the sweep "
+        "scheduler instead (worker kills, heartbeat stalls, transport "
+        "drop/delay/duplicate, torn checkpoint writes, a real scheduler "
+        "SIGKILL + --resume) and the assertion is byte-identical sweep "
+        "results.  Faults may only cost time, never results.  See "
+        "docs/ROBUSTNESS.md.",
+    )
+    parser.add_argument(
+        "--runner", action="store_true",
+        help="inject faults into the sweep scheduler/worker plane instead "
+        "of the simulator, asserting byte-identical sweep outputs",
+    )
+    parser.add_argument(
+        "--runner-jobs", type=int, default=2, metavar="N",
+        help="worker processes for the --runner kill/resume scenario "
+        "(default: 2)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="with --runner: skip the subprocess scheduler-SIGKILL + "
+        "--resume scenario (virtual-clock plans only)",
     )
     parser.add_argument(
         "--apps", default="lps,hotspot,backprop",
@@ -441,6 +522,214 @@ def _chaos_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _runner_chaos_plans(args):
+    """Resolve --sites into RunnerFaultPlans (or an error string)."""
+    from repro.gpusim.faults import RUNNER_DEFAULT_RATES, RUNNER_SITES, RunnerFaultPlan
+
+    if args.sites == "all":
+        plans = [
+            RunnerFaultPlan.single(site, seed=args.seed) for site in RUNNER_SITES
+        ]
+        plans.append(RunnerFaultPlan.storm(seed=args.seed))
+        return plans, None
+    if args.sites == "storm":
+        return [RunnerFaultPlan.storm(seed=args.seed)], None
+    sites = [s for s in args.sites.split(",") if s]
+    unknown = [s for s in sites if s not in RUNNER_SITES]
+    if unknown:
+        return None, "unknown runner fault site(s) %s (known: %s)" % (
+            ",".join(unknown), ",".join(RUNNER_SITES),
+        )
+    return [
+        RunnerFaultPlan.make(
+            {s: RUNNER_DEFAULT_RATES[s] for s in sites}, seed=args.seed
+        )
+    ], None
+
+
+def _run_runner_chaos(args) -> int:
+    """``snake-repro chaos --runner``: prove that any seeded schedule of
+    scheduler/worker/transport faults — and a real scheduler SIGKILL with
+    ``--resume`` — yields byte-identical sweep results to a fault-free run."""
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.analysis import export
+    from repro.gpusim.faults import RunnerFaultInjector
+    from repro.runner import Checkpoint, grid_specs
+    from repro.runner.scheduler import DEFAULT_RETRIES, Scheduler
+    from repro.runner.transport import InlineTransport, VirtualClock
+
+    apps = [a for a in args.apps.split(",") if a]
+    plans, problem = _runner_chaos_plans(args)
+    if problem:
+        print("error: %s" % problem, file=sys.stderr)
+        return 2
+    specs = grid_specs(
+        apps, [args.mechanism], scale=args.scale, seed=args.workload_seed
+    )
+    workdir = Path(tempfile.mkdtemp(prefix="snake-chaos-runner-"))
+
+    def run_sweep(checkpoint_path, injector=None):
+        plan = injector.plan if injector is not None else None
+        transport = InlineTransport(workers=2, faults=injector)
+        return Scheduler(
+            specs,
+            transport=transport,
+            retries=max(DEFAULT_RETRIES, plan.max_per_job if plan else 0),
+            backoff_s=0.01,
+            # The lease must be shorter than the shortest heartbeat stall
+            # (2 * delay_s) or stalls would just look like slow jobs.
+            lease_s=plan.delay_s if plan else 0.0,
+            max_losses=(plan.max_per_job + 1) if plan else 3,
+            checkpoint=Checkpoint(checkpoint_path),
+            clock=VirtualClock(),
+            faults=injector,
+        ).run()
+
+    def canonical(checkpoint_path):
+        return Checkpoint.load(checkpoint_path).canonical_bytes()
+
+    def figure_csv(result, path):
+        export.to_csv(experiments.figure16_from(result.cells()), str(path))
+        return Path(path).read_bytes()
+
+    try:
+        reference_ck = workdir / "reference.jsonl"
+        reference = run_sweep(reference_ck)
+        if not reference.ok:
+            print(
+                "error: the fault-free reference sweep itself failed "
+                "(%d cells); fix that first" % reference.failed,
+                file=sys.stderr,
+            )
+            return 2
+        reference_bytes = canonical(reference_ck)
+        reference_csv = figure_csv(reference, workdir / "reference.csv")
+        print(
+            "runner chaos: %d cells (%s x %s), reference canonicalized "
+            "(%d records)"
+            % (len(specs), ",".join(apps), args.mechanism, len(reference.results))
+        )
+
+        mismatches = 0
+        for plan in plans:
+            injector = RunnerFaultInjector(plan)
+            ck = workdir / ("faulted-%s.jsonl" % plan.label().replace("+", "_"))
+            result = run_sweep(ck, injector=injector)
+            identical = (
+                canonical(ck) == reference_bytes
+                and figure_csv(result, ck.with_suffix(".csv")) == reference_csv
+            )
+            fired = ", ".join(
+                "%s x%d" % (site, count)
+                for site, count in injector.summary().items() if count
+            ) or "no faults fired"
+            ledger = "losses=%d dup=%d steals=%d" % (
+                result.losses, result.duplicates, result.steals,
+            )
+            if identical and result.ok:
+                print("  . %-28s %s; %s; byte-identical"
+                      % (plan.label(), fired, ledger))
+            else:
+                mismatches += 1
+                print("  ! %-28s %s; %s; DIVERGED (ok=%s)"
+                      % (plan.label(), fired, ledger, result.ok))
+
+        if not args.quick:
+            mismatches += _runner_kill_resume(
+                args, specs, reference_bytes, reference_csv, workdir,
+                canonical, figure_csv,
+            )
+
+        print()
+        verdict = "byte-identical under every plan" if not mismatches else (
+            "%d scenario(s) DIVERGED" % mismatches
+        )
+        print("runner chaos: %d plan(s)%s, %s" % (
+            len(plans), "" if args.quick else " + scheduler-kill/resume", verdict,
+        ))
+        return 0 if not mismatches else 3
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _runner_kill_resume(args, specs, reference_bytes, reference_csv,
+                        workdir, canonical, figure_csv) -> int:
+    """SIGKILL a real sweep subprocess mid-run, tear its checkpoint's
+    trailing record, then ``--resume``; returns 0 if byte-identical."""
+    import os
+    import signal as signal_module
+    import subprocess
+    import time as time_module
+    from pathlib import Path
+
+    import repro
+    from repro.runner import Checkpoint
+    from repro.runner.scheduler import Scheduler
+
+    ck = workdir / "killed.jsonl"
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    cmd = [
+        sys.executable, "-m", "repro.cli", "sweep",
+        "--apps", args.apps, "--mechanisms", args.mechanism,
+        "--jobs", str(max(1, args.runner_jobs)),
+        "--scale", str(args.scale), "--seed", str(args.workload_seed),
+        "--checkpoint", str(ck),
+    ]
+    proc = subprocess.Popen(
+        cmd, env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+    )
+    # Kill the scheduler the instant the first record lands — maximally
+    # mid-sweep: some cells durable, some in flight, some unstarted.
+    deadline = time_module.time() + 300
+    while time_module.time() < deadline:
+        if ck.exists() and ck.read_bytes().count(b"\n") >= 1:
+            break
+        if proc.poll() is not None:
+            break
+        time_module.sleep(0.02)
+    killed_midway = proc.poll() is None
+    if killed_midway:
+        proc.send_signal(signal_module.SIGKILL)
+    proc.wait()
+
+    torn = ck.exists()
+    if torn:
+        Checkpoint(ck).tear()  # a writer died mid-append, says the disk
+
+    checkpoint = Checkpoint.load(ck)
+    resumed = Scheduler(
+        specs, jobs=0, checkpoint=checkpoint, resume=True,
+    ).run()
+    identical = (
+        canonical(ck) == reference_bytes
+        and figure_csv(resumed, workdir / "resumed.csv") == reference_csv
+    )
+    quarantine_ok = (not torn) or (
+        checkpoint.quarantined == 1 and checkpoint.corrupt_path.exists()
+    )
+    status = []
+    status.append(
+        "SIGKILL mid-sweep" if killed_midway else "sweep finished before kill"
+    )
+    status.append("torn record quarantined" if (torn and quarantine_ok)
+                  else ("no checkpoint to tear" if not torn else
+                        "TORN RECORD NOT QUARANTINED"))
+    status.append("%d reused, %d re-run" % (resumed.reused, resumed.executed))
+    if identical and quarantine_ok:
+        print("  . %-28s %s; byte-identical"
+              % ("scheduler-kill+resume", "; ".join(status)))
+        return 0
+    print("  ! %-28s %s; DIVERGED" % ("scheduler-kill+resume", "; ".join(status)))
+    return 1
+
+
 def _run_chaos_command(argv) -> int:
     from repro.gpusim import (
         FaultInjector,
@@ -453,6 +742,8 @@ def _run_chaos_command(argv) -> int:
     from repro.workloads import build_kernel
 
     args = _chaos_parser().parse_args(argv)
+    if args.runner:
+        return _run_runner_chaos(args)
     apps = [a for a in args.apps.split(",") if a]
     if args.sites == "all":
         plans = [

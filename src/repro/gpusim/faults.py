@@ -45,6 +45,7 @@ a plan pays one attribute test per memory operation and nothing more.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
@@ -256,10 +257,250 @@ class FaultInjector:
                 if self._rates.get(site, 0.0) > 0}
 
 
+# ---------------------------------------------------------------------------
+# Runner-level fault injection (the orchestration layer's chaos plan).
+#
+# The simulator sites above perturb *timing inside one simulation*.  The
+# runner sites perturb the *fleet machinery around* simulations: workers
+# dying mid-lease, heartbeats going silent, the scheduler<->worker message
+# plane dropping / delaying / duplicating deliveries, and checkpoint
+# records torn by a killed writer.  The correctness contract is the same
+# shape as the simulator one — a seeded fault schedule may cost wall
+# clock and retries but must yield byte-identical sweep results — and
+# ``snake-repro chaos --runner`` proves it.
+
+
+#: Every recognised runner injection site.
+RUNNER_SITES: Tuple[str, ...] = (
+    "worker.kill",
+    "worker.heartbeat_stall",
+    "transport.drop",
+    "transport.delay",
+    "transport.dup",
+    "checkpoint.torn",
+)
+
+#: Default per-opportunity rates for the runner "storm" plan.  worker.*
+#: sites are per (job, attempt); transport.* sites are per message;
+#: checkpoint.torn is per checkpoint flush.
+RUNNER_DEFAULT_RATES: Dict[str, float] = {
+    "worker.kill": 0.5,
+    "worker.heartbeat_stall": 0.5,
+    "transport.drop": 0.1,
+    "transport.delay": 0.1,
+    "transport.dup": 0.2,
+    "checkpoint.torn": 0.25,
+}
+
+
+def runner_catalog() -> Dict[str, str]:
+    """Runner site -> one-line description (docs and ``chaos --runner``)."""
+    return {
+        "worker.kill": "SIGKILL a worker at a lease phase (claim or report)",
+        "worker.heartbeat_stall": "a worker goes silent: heartbeats stop, "
+        "the result is withheld past the lease",
+        "transport.drop": "a worker->scheduler message is lost in delivery",
+        "transport.delay": "a worker->scheduler message is delivered late",
+        "transport.dup": "a worker->scheduler message is delivered twice",
+        "checkpoint.torn": "a checkpoint flush leaves a torn trailing record",
+    }
+
+
+def _hash01(seed: int, site: str, key: str, attempt: int) -> float:
+    """Deterministic uniform [0, 1) draw from the fault identity alone.
+
+    Job-scoped decisions must not depend on scheduling order (which
+    worker claimed the job, how many messages flowed first), or the
+    fault schedule would differ between otherwise-identical runs — so
+    they hash (seed, site, key, attempt) instead of consuming a shared
+    RNG stream.
+    """
+    digest = hashlib.sha256(
+        ("%d|%s|%s|%d" % (seed, site, key, attempt)).encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class RunnerFaultPlan:
+    """What to inject into the sweep scheduler: (site, probability) pairs.
+
+    ``max_per_job`` bounds the abuse: a job-scoped site can only fire on
+    attempts ``1..max_per_job`` of a given job, so recovery always
+    converges as long as the scheduler's retry/loss budgets exceed the
+    cap — which ``Scheduler`` enforces when a plan is attached.  That
+    bound is what makes the chaos contract provable for *any* seed:
+    unbounded kills could legitimately exhaust any retry budget.
+
+    ``delay_s`` is the nominal transport-delay / heartbeat-stall
+    magnitude (each firing jitters deterministically around it).
+    """
+
+    seed: int = 0
+    rates: Tuple[Tuple[str, float], ...] = ()
+    max_per_job: int = 2
+    delay_s: float = 0.2
+
+    def __post_init__(self) -> None:
+        for site, rate in self.rates:
+            if site not in RUNNER_SITES:
+                raise ValueError(
+                    "unknown runner fault site %r (known: %s)"
+                    % (site, ", ".join(RUNNER_SITES))
+                )
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("rate for %s must be in [0, 1]" % site)
+        if self.max_per_job < 1:
+            raise ValueError("max_per_job must be >= 1")
+        if self.delay_s <= 0:
+            raise ValueError("delay_s must be > 0")
+
+    @classmethod
+    def make(
+        cls, rates: Mapping[str, float], seed: int = 0,
+        max_per_job: int = 2, delay_s: float = 0.2,
+    ) -> "RunnerFaultPlan":
+        return cls(
+            seed=int(seed),
+            rates=tuple(sorted(rates.items())),
+            max_per_job=int(max_per_job),
+            delay_s=float(delay_s),
+        )
+
+    @classmethod
+    def single(cls, site: str, rate: Optional[float] = None, seed: int = 0,
+               max_per_job: int = 2, delay_s: float = 0.2) -> "RunnerFaultPlan":
+        """One site only (the ``chaos --runner`` per-site plans)."""
+        return cls.make(
+            {site: RUNNER_DEFAULT_RATES[site] if rate is None else rate},
+            seed=seed, max_per_job=max_per_job, delay_s=delay_s,
+        )
+
+    @classmethod
+    def storm(cls, seed: int = 0, max_per_job: int = 2,
+              delay_s: float = 0.2) -> "RunnerFaultPlan":
+        """All runner sites at their default rates simultaneously."""
+        return cls.make(
+            RUNNER_DEFAULT_RATES, seed=seed, max_per_job=max_per_job,
+            delay_s=delay_s,
+        )
+
+    def label(self) -> str:
+        sites = [s for s, r in self.rates if r > 0]
+        if set(sites) == set(RUNNER_SITES):
+            return "runner-storm"
+        return "+".join(sites) if sites else "none"
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "rates": {site: rate for site, rate in self.rates},
+            "max_per_job": self.max_per_job,
+            "delay_s": self.delay_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunnerFaultPlan":
+        return cls.make(
+            data.get("rates") or {},
+            seed=data.get("seed", 0),
+            max_per_job=data.get("max_per_job", 2),
+            delay_s=data.get("delay_s", 0.2),
+        )
+
+
+class RunnerFaultInjector:
+    """Per-run decision engine for a :class:`RunnerFaultPlan`.
+
+    Job-scoped sites (``worker.*``) decide from a pure hash of
+    (seed, site, key, attempt) — stateless, so the worker process that
+    actually honours the decision can be respawned between attempts
+    without losing the cap, and the schedule is independent of claim
+    order.  Message-scoped sites (``transport.*``) and per-flush
+    ``checkpoint.torn`` live in the scheduler process and use one seeded
+    RNG stream with a per-(site, key) firing cap, so a dropped result
+    cannot be dropped again on every retry forever.
+    """
+
+    def __init__(self, plan: RunnerFaultPlan,
+                 obs: Optional[BusLike] = None) -> None:
+        self.plan = plan
+        self._rates = {site: rate for site, rate in plan.rates}
+        self._rng = random.Random(0xF1EE7 ^ (plan.seed * 2654435761 % (1 << 32)))
+        self._obs = obs if obs is not None else NULL_BUS
+        self.counts: Dict[str, int] = {}
+        self._per_key: Dict[Tuple[str, str], int] = {}
+
+    @property
+    def total_fired(self) -> int:
+        return sum(self.counts.values())
+
+    def record(self, site: str, detail: str = "") -> None:
+        self.counts[site] = self.counts.get(site, 0) + 1
+        if self._obs.enabled:
+            self._obs.emit(FaultEvent(cycle=0, sm_id=-1, site=site, detail=detail))
+
+    def job_fires(self, site: str, key: str, attempt: int,
+                  detail: str = "") -> bool:
+        """Job-scoped decision: fires iff ``attempt <= max_per_job`` and
+        the deterministic hash clears the site's rate."""
+        rate = self._rates.get(site, 0.0)
+        if rate <= 0.0 or attempt > self.plan.max_per_job:
+            return False
+        if _hash01(self.plan.seed, site, key, attempt) >= rate:
+            return False
+        self.record(site, detail or "%s attempt %d" % (key, attempt))
+        return True
+
+    def kill_phase(self, key: str, attempt: int) -> str:
+        """Which lease phase ``worker.kill`` strikes at: ``claim`` (the
+        assignment was received but nothing ran) or ``report`` (the job
+        executed fully but the result never left the worker)."""
+        draw = _hash01(self.plan.seed, "worker.kill.phase", key, attempt)
+        return "claim" if draw < 0.5 else "report"
+
+    def message_fires(self, site: str, key: str, detail: str = "") -> bool:
+        """Message-scoped decision, capped at ``max_per_job`` firings per
+        (site, key) so delivery faults cannot starve a job forever."""
+        rate = self._rates.get(site, 0.0)
+        if rate <= 0.0:
+            return False
+        cap_key = (site, key)
+        if self._per_key.get(cap_key, 0) >= self.plan.max_per_job:
+            return False
+        if self._rng.random() >= rate:
+            return False
+        self._per_key[cap_key] = self._per_key.get(cap_key, 0) + 1
+        self.record(site, detail or key)
+        return True
+
+    def stall_s(self, key: str, attempt: int) -> float:
+        """How long a heartbeat-stalled worker withholds its result.
+        Always comfortably past the lease the scheduler is using (the
+        scheduler scales its lease down when a plan is attached)."""
+        jitter = 1.0 + _hash01(self.plan.seed, "stall.jitter", key, attempt)
+        return self.plan.delay_s * 2.0 * jitter
+
+    def delay_s(self, key: str) -> float:
+        """Transport delivery delay for one message (seeded jitter in
+        [delay/2, 2*delay], mirroring the simulator spike sites)."""
+        return self.plan.delay_s * self._rng.uniform(0.5, 2.0)
+
+    def summary(self) -> Dict[str, int]:
+        """Site -> fire count (stable order, for reports and tests)."""
+        return {site: self.counts.get(site, 0) for site in RUNNER_SITES
+                if self._rates.get(site, 0.0) > 0}
+
+
 __all__ = [
     "DEFAULT_RATES",
     "FaultInjector",
     "FaultPlan",
+    "RUNNER_DEFAULT_RATES",
+    "RUNNER_SITES",
+    "RunnerFaultInjector",
+    "RunnerFaultPlan",
     "SITES",
     "catalog",
+    "runner_catalog",
 ]

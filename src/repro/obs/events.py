@@ -43,6 +43,7 @@ class EventKind(enum.IntEnum):
     L2_ACCESS = 9  # one request serviced by the shared L2
     RUNNER_JOB = 10  # sweep-runner job lifecycle transition (repro.runner)
     FAULT = 11  # a chaos fault fired at an injection site (repro.gpusim.faults)
+    RUNNER_LEASE = 12  # scheduler lease/heartbeat/steal transition (repro.runner)
 
 
 @dataclass
@@ -190,6 +191,31 @@ class RunnerJobEvent(Event):
     elapsed_s: float = 0.0
 
     kind = EventKind.RUNNER_JOB
+
+
+@dataclass
+class RunnerLeaseEvent(Event):
+    """One scheduler lease transition (see :mod:`repro.runner.scheduler`).
+
+    Wall-clock domain like :class:`RunnerJobEvent` (``cycle`` 0, ``sm_id``
+    -1).  ``action`` is ``grant`` / ``renew`` (a heartbeat landed) /
+    ``release`` (result accepted) / ``expire`` (liveness window lapsed,
+    job requeued as ``worker-lost``) / ``steal`` (an idle worker claimed
+    a job from another worker's shard) / ``duplicate`` (a second result
+    for an already-settled job was suppressed — the exactly-once dedup
+    path) / ``quarantine`` (a job was poisoned, or a torn checkpoint
+    record was diverted to ``<checkpoint>.corrupt``) / ``drain`` (the
+    scheduler began a graceful shutdown).  ``worker`` is the worker slot
+    (-1 = none), ``detail`` a human-readable specifics string.
+    """
+
+    key: str = ""
+    worker: int = -1
+    action: str = "grant"
+    attempt: int = 1
+    detail: str = ""
+
+    kind = EventKind.RUNNER_LEASE
 
 
 @dataclass

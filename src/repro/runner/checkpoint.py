@@ -16,8 +16,11 @@ reader (or a resumed run) sees either the previous complete checkpoint or
 the new complete checkpoint — never a torn line.  Sweep cells run for
 seconds while records are a few hundred bytes, so the rewrite cost is
 noise; if a checkpoint produced by some other writer *does* end in a torn
-line, :meth:`Checkpoint.load` drops that trailing fragment rather than
-refusing to resume.
+line, :meth:`Checkpoint.load` quarantines the trailing fragment to
+``<checkpoint>.corrupt`` (taxonomy kind ``checkpoint:torn``) and resumes
+from the intact records — the affected job simply re-runs.  The
+``checkpoint.torn`` chaos site (:meth:`Checkpoint.tear`) fabricates
+exactly that condition so the recovery path is exercised end to end.
 
 Resume semantics (``docs/ROBUSTNESS.md``): a job whose hash has an ``ok``
 record is never re-run; a ``failed`` record is re-run only when
@@ -50,17 +53,27 @@ class Checkpoint:
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         self.records: Dict[str, dict] = {}
+        #: torn trailing fragments diverted to ``<path>.corrupt`` by
+        #: :meth:`load` (0 on a clean load)
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     # Persistence
+
+    @property
+    def corrupt_path(self) -> Path:
+        """Where torn fragments are quarantined on load."""
+        return self.path.with_name(self.path.name + ".corrupt")
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "Checkpoint":
         """Read an existing checkpoint (missing file -> empty checkpoint).
 
         A torn trailing line (killed writer from a non-atomic producer) is
-        dropped; corruption anywhere earlier raises :class:`CheckpointError`
-        — silently skipping completed work would duplicate jobs on resume.
+        quarantined to ``<path>.corrupt`` — preserved for forensics, never
+        resumed from — and the affected job simply re-runs.  Corruption
+        anywhere earlier raises :class:`CheckpointError`: silently
+        skipping completed work would duplicate jobs on resume.
         """
         checkpoint = cls(path)
         path = checkpoint.path
@@ -75,6 +88,7 @@ class Checkpoint:
             except (UnicodeDecodeError, json.JSONDecodeError) as exc:
                 tail = all(not later.strip() for later in lines[index + 1:])
                 if tail:
+                    checkpoint._quarantine(line)
                     break  # torn final line: the job simply re-runs
                 raise CheckpointError(
                     "corrupt checkpoint %s: undecodable record %d (%s)"
@@ -86,6 +100,21 @@ class Checkpoint:
                 )
             checkpoint.records[record["key"]] = record
         return checkpoint
+
+    def _quarantine(self, fragment: bytes) -> None:
+        """Divert a torn trailing fragment to ``<path>.corrupt``."""
+        with self.corrupt_path.open("ab") as handle:
+            handle.write(fragment.rstrip(b"\n") + b"\n")
+        self.quarantined += 1
+
+    def tear(self) -> None:
+        """Chaos hook (``checkpoint.torn``): append a torn half-record to
+        the on-disk file, as a writer killed mid-append would leave it.
+        The in-memory map is untouched, so the *next* :meth:`append`
+        heals the file; only a tear landing after the final append
+        survives to be quarantined by the next :meth:`load`."""
+        with self.path.open("ab") as handle:
+            handle.write(b'{"key": "torn-by-chaos", "spec": {"app": "inco')
 
     def append(self, record: dict) -> None:
         """Add (or supersede) one record and atomically persist the file."""
@@ -127,6 +156,30 @@ class Checkpoint:
 
     def __contains__(self, key: str) -> bool:
         return key in self.records
+
+    def canonical_bytes(self) -> bytes:
+        """The checkpoint's *result content* in canonical form: records
+        sorted by key, volatile per-run fields (``attempts``,
+        ``elapsed_s``) projected out.  Two sweeps computed the same cells
+        iff their canonical bytes match — this is the equality the chaos
+        harness asserts between faulted and fault-free runs, where retry
+        counts legitimately differ but results must not."""
+        lines = []
+        for key in sorted(self.records):
+            record = self.records[key]
+            slim: Dict[str, object] = {
+                "key": record.get("key"),
+                "spec": record.get("spec"),
+                "status": record.get("status"),
+            }
+            if "stats" in record:
+                slim["stats"] = record["stats"]
+            if "error" in record:
+                error = dict(record.get("error") or {})
+                error.pop("attempts", None)
+                slim["error"] = error
+            lines.append(json.dumps(slim, sort_keys=True))
+        return ("\n".join(lines) + "\n").encode("utf-8")
 
 
 def make_record(key: str, spec_dict: dict, result: Union[SimStats, FailedResult],

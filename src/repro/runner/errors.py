@@ -12,6 +12,13 @@ kind                    meaning                                        retried?
 ``InvalidConfig``       the job spec can never run (bad config/app)    no
 ``invariant:<name>``    the simulation sanitizer caught a broken       no
                         conservation law (:class:`InvariantViolation`)
+``worker-lost``         a worker's lease expired (heartbeats stopped   yes
+                        while the job was still leased to it)
+``poison``              the same job lost too many leases in a row;    no
+                        quarantined so it cannot wedge the sweep
+``checkpoint:torn``     a checkpoint record was torn by a killed       no
+                        writer; the fragment is quarantined to
+                        ``<checkpoint>.corrupt`` and the job re-runs
 ======================  =============================================  =========
 
 Timeouts and hangs are deterministic for a given (spec, machine-load
@@ -81,6 +88,38 @@ class InvalidConfig(JobError):
     kind = "InvalidConfig"
 
 
+class WorkerLost(JobError):
+    """A worker's lease expired: its heartbeats stopped while the job was
+    still leased to it (process wedged, machine partitioned, heartbeat
+    path stalled).  Retryable — the scheduler requeues the job with
+    backoff — but every loss is counted, and a job that keeps losing
+    workers is quarantined as :class:`PoisonedJob` instead of retrying
+    forever."""
+
+    kind = "worker-lost"
+    retryable = True
+
+
+class PoisonedJob(JobError):
+    """The same job lost its worker too many consecutive times
+    (``Scheduler`` ``max_losses``).  The overwhelmingly likely cause is
+    the job itself (it OOMs or wedges every host it touches), so it is
+    quarantined as ``FAILED(poison)`` — the sweep degrades gracefully
+    instead of grinding on a cell that will never finish."""
+
+    kind = "poison"
+
+
+class CheckpointTorn(JobError):
+    """A checkpoint record was torn mid-write by a killed writer.  The
+    fragment is quarantined to ``<checkpoint>.corrupt`` on load and the
+    affected job simply re-runs; the kind exists so the taxonomy (and
+    :func:`is_retryable`) can name the condition — it is never retried
+    *as a job error* because it never reaches a worker."""
+
+    kind = "checkpoint:torn"
+
+
 class InvariantViolation(JobError):
     """The simulation sanitizer (:mod:`repro.gpusim.sanitizer`) caught a
     broken conservation law mid-run.  The instance ``kind`` is
@@ -101,7 +140,8 @@ class InvariantViolation(JobError):
 ERROR_KINDS: Dict[str, Type[JobError]] = {
     cls.kind: cls
     for cls in (
-        JobTimeout, JobCrash, SimulationHang, InvalidConfig, InvariantViolation
+        JobTimeout, JobCrash, SimulationHang, InvalidConfig,
+        InvariantViolation, WorkerLost, PoisonedJob, CheckpointTorn,
     )
 }
 
@@ -168,6 +208,7 @@ class FailedResult:
 
 __all__ = [
     "ERROR_KINDS",
+    "CheckpointTorn",
     "FailedResult",
     "InvalidConfig",
     "InvalidConfigError",
@@ -176,8 +217,10 @@ __all__ = [
     "JobCrash",
     "JobError",
     "JobTimeout",
+    "PoisonedJob",
     "SimulationHang",
     "SimulationHangError",
+    "WorkerLost",
     "error_from_kind",
     "is_retryable",
 ]

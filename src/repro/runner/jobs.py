@@ -138,6 +138,16 @@ def job_hash(spec: JobSpec) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
+def shard_of(key: str, shards: int) -> int:
+    """Deterministic shard for a job hash: the scheduler's work-stealing
+    queues are keyed by the leading 32 bits of the (already uniform)
+    digest, so the same grid shards identically on every run and on
+    every resume regardless of submission order."""
+    if shards <= 1:
+        return 0
+    return int(key[:8], 16) % shards
+
+
 # ---------------------------------------------------------------------------
 # Chaos faults (resilience tests only).
 
@@ -240,4 +250,4 @@ def execute_job(spec: JobSpec) -> SimStats:
             ) from exc
 
 
-__all__ = ["JobSpec", "engine_fingerprint", "execute_job", "job_hash"]
+__all__ = ["JobSpec", "engine_fingerprint", "execute_job", "job_hash", "shard_of"]

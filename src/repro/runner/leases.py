@@ -1,0 +1,176 @@
+"""Expiring job leases: the liveness contract between scheduler and workers.
+
+A worker never *owns* a job — it holds a :class:`Lease` on it.  The lease
+is granted when the scheduler assigns the job, renewed by every heartbeat
+the worker sends, and revoked the moment the scheduler decides the worker
+is gone: either the process died (fast path, detected from the exit
+code) or the heartbeats stopped for longer than the lease duration (slow
+path — the process may be wedged, paused, or on the far side of a dead
+transport; the scheduler cannot tell and does not need to).  Either way
+the job goes back on the queue and another worker steals it.
+
+Two separate clocks-of-death ride on one lease:
+
+* ``lease_s`` — the *liveness* window.  ``expired()`` is true when no
+  heartbeat has arrived for longer than this; the job is requeued with a
+  ``worker-lost`` taxonomy kind and the loss is counted toward the
+  poison-quarantine threshold.
+* ``deadline`` — the absolute per-job wall-clock *budget* (the sweep's
+  ``--timeout``).  ``timed_out()`` is deliberately independent of
+  heartbeats: a worker that heartbeats forever while the simulation
+  never finishes is alive but still over budget, and becomes
+  ``FAILED(JobTimeout)`` exactly as in the pre-lease runner.
+
+All timestamps are plain floats from the scheduler's injected clock, so
+the whole table is testable (and chaos-soakable) on a virtual clock with
+no real waiting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+#: Default liveness window in seconds.  Heartbeats arrive every
+#: ``lease_s / HEARTBEATS_PER_LEASE``, so several must be lost in a row
+#: before a lease expires — one dropped message never kills a worker.
+DEFAULT_LEASE_S = 15.0
+HEARTBEATS_PER_LEASE = 5
+
+
+def heartbeat_interval(lease_s: float) -> float:
+    """How often a worker must prove liveness for the given lease."""
+    return max(lease_s / HEARTBEATS_PER_LEASE, 0.01)
+
+
+@dataclass
+class Lease:
+    """One job leased to one worker, with its liveness bookkeeping."""
+
+    key: str
+    worker: int
+    attempt: int
+    granted_at: float
+    lease_s: float
+    deadline: Optional[float] = None
+    last_heartbeat: float = 0.0
+    heartbeats: int = 0
+    #: shard the job was stolen from (-1 = the worker's own shard)
+    stolen_from: int = -1
+
+    def __post_init__(self) -> None:
+        if self.last_heartbeat == 0.0:
+            self.last_heartbeat = self.granted_at
+
+    def renew(self, now: float) -> None:
+        """Book one heartbeat: the worker proved liveness at ``now``."""
+        self.last_heartbeat = now
+        self.heartbeats += 1
+
+    def expired(self, now: float) -> bool:
+        """True when the liveness window has lapsed (``lease_s <= 0``
+        means the lease never expires — the inline transport's mode)."""
+        return self.lease_s > 0 and (now - self.last_heartbeat) > self.lease_s
+
+    def timed_out(self, now: float) -> bool:
+        """True when the job is over its absolute wall-clock budget."""
+        return self.deadline is not None and now >= self.deadline
+
+    def age(self, now: float) -> float:
+        return now - self.granted_at
+
+
+class LeaseTable:
+    """All active leases, indexed both ways (worker -> lease, key -> lease).
+
+    Invariants the table enforces: a worker holds at most one lease, and
+    a job is leased to at most one worker at a time.  (A *revoked* job
+    can be re-leased while a stale result from the old worker is still
+    in flight — that is the scheduler's dedup-by-job-hash department,
+    not the table's.)
+    """
+
+    def __init__(self) -> None:
+        self._by_worker: Dict[int, Lease] = {}
+        self._by_key: Dict[str, Lease] = {}
+
+    def grant(
+        self,
+        key: str,
+        worker: int,
+        attempt: int,
+        now: float,
+        lease_s: float,
+        deadline: Optional[float] = None,
+        stolen_from: int = -1,
+    ) -> Lease:
+        if worker in self._by_worker:
+            raise ValueError(
+                "worker %d already holds a lease on %s"
+                % (worker, self._by_worker[worker].key)
+            )
+        if key in self._by_key:
+            raise ValueError(
+                "job %s is already leased to worker %d"
+                % (key, self._by_key[key].worker)
+            )
+        lease = Lease(
+            key=key, worker=worker, attempt=attempt, granted_at=now,
+            lease_s=lease_s, deadline=deadline, stolen_from=stolen_from,
+        )
+        self._by_worker[worker] = lease
+        self._by_key[key] = lease
+        return lease
+
+    def renew(self, worker: int, now: float) -> Optional[Lease]:
+        """Heartbeat from ``worker``; returns the renewed lease (or
+        ``None`` for a heartbeat that outlived its lease — stale, benign)."""
+        lease = self._by_worker.get(worker)
+        if lease is not None:
+            lease.renew(now)
+        return lease
+
+    def release(self, worker: int) -> Optional[Lease]:
+        """Drop the lease a worker holds (job finished or revoked)."""
+        lease = self._by_worker.pop(worker, None)
+        if lease is not None:
+            self._by_key.pop(lease.key, None)
+        return lease
+
+    def for_worker(self, worker: int) -> Optional[Lease]:
+        return self._by_worker.get(worker)
+
+    def for_key(self, key: str) -> Optional[Lease]:
+        return self._by_key.get(key)
+
+    def expired(self, now: float) -> List[Lease]:
+        """Leases whose liveness window lapsed, in grant order."""
+        return sorted(
+            (l for l in self._by_worker.values() if l.expired(now)),
+            key=lambda l: l.granted_at,
+        )
+
+    def timed_out(self, now: float) -> List[Lease]:
+        """Leases over their absolute job budget, in grant order."""
+        return sorted(
+            (l for l in self._by_worker.values() if l.timed_out(now)),
+            key=lambda l: l.granted_at,
+        )
+
+    def active(self) -> List[Lease]:
+        return sorted(self._by_worker.values(), key=lambda l: l.granted_at)
+
+    def __len__(self) -> int:
+        return len(self._by_worker)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._by_key
+
+
+__all__ = [
+    "DEFAULT_LEASE_S",
+    "HEARTBEATS_PER_LEASE",
+    "Lease",
+    "LeaseTable",
+    "heartbeat_interval",
+]

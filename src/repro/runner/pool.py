@@ -1,164 +1,55 @@
-"""Crash-isolated parallel job execution with checkpointing.
+"""Compatibility facade over the scheduler/worker architecture.
 
-:func:`run_jobs` drives a set of :class:`~repro.runner.jobs.JobSpec` cells
-to completion.  With ``jobs >= 1`` each cell runs in its own subprocess
-(one process per job, results over a pipe), which buys three properties a
-shared pool cannot:
+Historically this module *was* the runner: an ad-hoc process pool with
+one subprocess per job.  The execution engine now lives in
+:mod:`repro.runner.scheduler` (lease-based scheduling, heartbeats,
+work-stealing shard queues, exactly-once settlement) with the worker
+planes in :mod:`repro.runner.transport` / :mod:`repro.runner.worker`;
+this module keeps the stable public surface — :func:`run_jobs`,
+:func:`run_grid`, :func:`grid_specs`, :func:`default_jobs`,
+:class:`SweepResult` — as a thin shim so existing callers (the CLI, the
+figure pipeline in :mod:`repro.analysis.experiments`, external scripts)
+need not change.
 
-* **Crash isolation** — a SIGKILL'd / OOM'd / crashed worker loses one
-  cell, not the sweep; the parent classifies the silent exit as
-  :class:`~repro.runner.errors.JobCrash` and retries with exponential
-  backoff.
-* **Enforceable timeouts** — the parent holds a per-job wall-clock
-  deadline and ``kill()``-s the worker past it (``JobTimeout``); no
-  cooperation from the (possibly hung) child is needed.
-* **Hang containment** — the in-simulator watchdog converts livelocks to
-  ``SimulationHang`` *inside* the worker, complete with a state dump that
-  travels back over the pipe.
+The legacy semantics are preserved exactly:
 
-With ``jobs = 0`` cells execute inline in the calling process — no
-isolation and no timeout enforcement, but zero process overhead and full
-monkeypatchability; the memoized figure paths in
-:mod:`repro.analysis.experiments` use this mode.
+* ``jobs = 0`` — inline execution in the calling process over an
+  :class:`~repro.runner.transport.InlineTransport`: no isolation, no
+  timeout enforcement, no retries, full monkeypatchability.
+* ``jobs >= 1`` — crash-isolated persistent worker subprocesses: silent
+  worker death classifies as ``JobCrash`` and retries with exponential
+  backoff, per-job wall-clock timeouts are enforced by SIGKILL, and the
+  in-simulator watchdog converts livelocks to ``SimulationHang`` with a
+  state dump.  (The pre-scheduler runner spawned one process per job;
+  workers are now persistent and leased, which changes no outcome, only
+  process counts.)
 
-Finished cells stream into an atomic JSONL checkpoint as they land (see
-:mod:`repro.runner.checkpoint`), so killing the orchestrator at any point
-loses at most the in-flight cells; ``resume=True`` reuses every completed
-record and runs only the remainder.  Job lifecycle transitions are emitted
-as :class:`~repro.obs.events.RunnerJobEvent` on a caller-supplied
+Finished cells stream into an atomic JSONL checkpoint as they land, so
+killing the orchestrator at any point loses at most in-flight cells;
+``resume=True`` reuses every completed record and runs only the
+remainder.  Lifecycle transitions are emitted as
+:class:`~repro.obs.events.RunnerJobEvent` (plus the scheduler's
+:class:`~repro.obs.events.RunnerLeaseEvent`) on a caller-supplied
 ``repro.obs`` bus.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import multiprocessing.context
 import os
-import time
-from multiprocessing.connection import Connection
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.gpusim.config import GPUConfig
-from repro.gpusim.stats import SimStats
-from repro.obs.events import BusLike, NULL_BUS, RunnerJobEvent
+from repro.gpusim.faults import RunnerFaultInjector, RunnerFaultPlan
+from repro.obs.events import BusLike
 
-from .checkpoint import Checkpoint, make_record
-from .errors import FailedResult, JobError, is_retryable
-from .jobs import JobSpec, execute_job, job_hash
-
-#: Default per-crash retry budget (attempts = retries + 1).
-DEFAULT_RETRIES = 2
-#: First backoff delay; doubles per attempt.
-DEFAULT_BACKOFF_S = 0.25
-
-
-def _pool_context() -> multiprocessing.context.BaseContext:
-    """Prefer fork (fast, inherits the loaded modules); fall back to spawn."""
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-
-
-def _worker_entry(spec_dict: dict, conn: Connection) -> None:
-    """Subprocess entry: run one job, ship the outcome over the pipe.
-
-    Typed failures travel as data; anything else becomes a ``JobCrash``
-    wire record.  A worker that dies without sending (SIGKILL, interpreter
-    abort) is classified by the parent from its exit code.
-    """
-    try:
-        spec = JobSpec.from_dict(spec_dict)
-        stats = execute_job(spec)
-        conn.send({"status": "ok", "stats": stats.to_json_dict()})
-    except JobError as exc:
-        conn.send(
-            {
-                "status": "failed",
-                "error": {
-                    "kind": exc.kind,
-                    "message": str(exc),
-                    "state_dump": exc.state_dump,
-                },
-            }
-        )
-    except BaseException as exc:  # noqa: BLE001 - the pipe is the only channel out
-        import traceback
-
-        try:
-            conn.send(
-                {
-                    "status": "failed",
-                    "error": {
-                        "kind": "JobCrash",
-                        "message": "worker raised %s: %s\n%s"
-                        % (type(exc).__name__, exc, traceback.format_exc(limit=10)),
-                        "state_dump": {},
-                    },
-                }
-            )
-        except Exception:
-            pass
-    finally:
-        try:
-            conn.close()
-        except Exception:
-            pass
-
-
-@dataclass
-class _Running:
-    spec: JobSpec
-    key: str
-    attempt: int
-    proc: "multiprocessing.Process"
-    conn: object
-    started: float
-    deadline: Optional[float]
-
-
-@dataclass
-class SweepResult:
-    """Outcome of one :func:`run_jobs` invocation.
-
-    ``results`` maps job hash -> ``SimStats`` | :class:`FailedResult`;
-    ``specs`` maps the same hashes back to their specs.  ``executed`` /
-    ``reused`` / ``failed`` count cells run this invocation, cells
-    satisfied from the checkpoint, and cells that ended failed (either
-    way), respectively.
-    """
-
-    results: Dict[str, object] = field(default_factory=dict)
-    specs: Dict[str, JobSpec] = field(default_factory=dict)
-    executed: int = 0
-    reused: int = 0
-    failed: int = 0
-
-    @property
-    def ok(self) -> bool:
-        return self.failed == 0
-
-    def cells(self) -> Dict[str, Dict[str, object]]:
-        """Nested ``{app: {mechanism: result}}`` view of a grid sweep."""
-        out: Dict[str, Dict[str, object]] = {}
-        for key, spec in self.specs.items():
-            out.setdefault(spec.app, {})[spec.mechanism] = self.results[key]
-        return out
-
-
-def _classify_exception(exc: Exception) -> FailedResult:
-    if isinstance(exc, JobError):
-        return FailedResult(kind=exc.kind, message=str(exc), state_dump=exc.state_dump)
-    return FailedResult(kind="JobCrash", message="%s: %s" % (type(exc).__name__, exc))
-
-
-def _wire_to_failure(error: dict, attempts: int) -> FailedResult:
-    return FailedResult(
-        kind=error.get("kind", "JobCrash"),
-        message=error.get("message", ""),
-        attempts=attempts,
-        state_dump=error.get("state_dump") or {},
-    )
-
+from .checkpoint import Checkpoint
+from .jobs import JobSpec
+from .scheduler import (
+    DEFAULT_BACKOFF_S,
+    DEFAULT_RETRIES,
+    Scheduler,
+    SweepResult,
+)
 
 def run_jobs(
     specs: Sequence[JobSpec],
@@ -172,6 +63,8 @@ def run_jobs(
     retry_failed: bool = False,
     on_result: Optional[Callable[[str, JobSpec, object], None]] = None,
     obs: Optional[BusLike] = None,
+    lease_s: Optional[float] = None,
+    fault_plan: Optional[RunnerFaultPlan] = None,
 ) -> SweepResult:
     """Run every spec; never raises for a failing *cell*.
 
@@ -183,237 +76,29 @@ def run_jobs(
     ``on_result(key, spec, result)`` fires for each cell finished *this*
     invocation, after its checkpoint record is durable — an exception it
     raises aborts the sweep without losing completed work.
-    ``obs`` — a ``repro.obs`` bus for ``RunnerJobEvent`` lifecycle events.
+    ``obs`` — a ``repro.obs`` bus for lifecycle / lease events.
+    ``lease_s`` — worker liveness window (default: 15 s for subprocess
+    workers, lease-less inline).  ``fault_plan`` — a seeded
+    :class:`~repro.gpusim.faults.RunnerFaultPlan` for chaos testing.
     """
-    bus = obs if obs is not None else NULL_BUS
-    result = SweepResult()
-
-    # Dedup while preserving order: a grid with repeated cells runs each once.
-    ordered: List[JobSpec] = []
-    for spec in specs:
-        key = job_hash(spec)
-        if key in result.specs:
-            continue
-        result.specs[key] = spec
-        ordered.append(spec)
-
-    if checkpoint is not None and not resume:
-        checkpoint.discard()
-
-    todo: List[JobSpec] = []
-    for spec in ordered:
-        key = job_hash(spec)
-        prior = checkpoint.result_for(key) if checkpoint is not None else None
-        if prior is not None and not (
-            retry_failed and getattr(prior, "failed", False)
-        ):
-            result.results[key] = prior
-            result.reused += 1
-            if getattr(prior, "failed", False):
-                result.failed += 1
-            if bus.enabled:
-                bus.emit(
-                    RunnerJobEvent(
-                        cycle=0, sm_id=-1, key=key, app=spec.app,
-                        mechanism=spec.mechanism, phase="reused",
-                    )
-                )
-            continue
-        todo.append(spec)
-
-    def finish(spec: JobSpec, key: str, outcome: Union[SimStats, FailedResult],
-               attempts: int, started: float) -> None:
-        elapsed = time.monotonic() - started
-        result.results[key] = outcome
-        result.executed += 1
-        failed = getattr(outcome, "failed", False)
-        if failed:
-            result.failed += 1
-        if checkpoint is not None:
-            checkpoint.append(
-                make_record(key, spec.to_dict(), outcome, attempts, elapsed)
-            )
-        if bus.enabled:
-            bus.emit(
-                RunnerJobEvent(
-                    cycle=0, sm_id=-1, key=key, app=spec.app,
-                    mechanism=spec.mechanism,
-                    phase="failed" if failed else "done",
-                    attempt=attempts,
-                    error_kind=outcome.kind if failed else "",
-                    elapsed_s=elapsed,
-                )
-            )
-        if on_result is not None:
-            on_result(key, spec, outcome)
-
-    if jobs <= 0:
-        _run_inline(todo, result, finish, bus)
-    else:
-        _run_pooled(
-            todo, result, finish, bus,
-            jobs=jobs, timeout=timeout, retries=retries, backoff_s=backoff_s,
-        )
-    return result
-
-
-def _run_inline(todo: Sequence[JobSpec], result: SweepResult,
-                finish: Callable[..., None], bus: BusLike) -> None:
-    for spec in todo:
-        key = job_hash(spec)
-        started = time.monotonic()
-        if bus.enabled:
-            bus.emit(
-                RunnerJobEvent(
-                    cycle=0, sm_id=-1, key=key, app=spec.app,
-                    mechanism=spec.mechanism, phase="start",
-                )
-            )
-        try:
-            outcome = execute_job(spec)
-        except Exception as exc:  # one poisoned cell must not kill the sweep
-            outcome = _classify_exception(exc)
-        finish(spec, key, outcome, attempts=1, started=started)
-
-
-def _run_pooled(todo: Sequence[JobSpec], result: SweepResult,
-                finish: Callable[..., None], bus: BusLike, *, jobs: int,
-                timeout: Optional[float], retries: int,
-                backoff_s: float) -> None:
-    ctx = _pool_context()
-    # (spec, key, attempt, not_before, first_started)
-    pending: List[tuple] = [
-        (spec, job_hash(spec), 1, 0.0, None) for spec in todo
-    ]
-    running: List[_Running] = []
-
-    def launch(spec: JobSpec, key: str, attempt: int) -> None:
-        recv, send = ctx.Pipe(duplex=False)
-        proc = ctx.Process(
-            target=_worker_entry, args=(spec.to_dict(), send), daemon=True
-        )
-        proc.start()
-        send.close()  # parent keeps only the receiving end
-        now = time.monotonic()
-        running.append(
-            _Running(
-                spec=spec, key=key, attempt=attempt, proc=proc, conn=recv,
-                started=now, deadline=(now + timeout) if timeout else None,
-            )
-        )
-        if bus.enabled:
-            bus.emit(
-                RunnerJobEvent(
-                    cycle=0, sm_id=-1, key=key, app=spec.app,
-                    mechanism=spec.mechanism,
-                    phase="start" if attempt == 1 else "retry", attempt=attempt,
-                )
-            )
-
-    def settle(entry: _Running, outcome: Union[SimStats, FailedResult],
-               first_started: Optional[float]) -> None:
-        finish(
-            entry.spec, entry.key, outcome, attempts=entry.attempt,
-            started=first_started if first_started is not None else entry.started,
-        )
-
-    first_start: Dict[str, float] = {}
-    try:
-        while pending or running:
-            now = time.monotonic()
-            while pending and len(running) < jobs:
-                spec, key, attempt, not_before, first = pending[0]
-                if not_before > now:
-                    break
-                pending.pop(0)
-                first_start.setdefault(key, now)
-                launch(spec, key, attempt)
-            progressed = False
-            for entry in list(running):
-                message = None
-                if entry.conn.poll(0):
-                    try:
-                        message = entry.conn.recv()
-                    except EOFError:
-                        message = None
-                outcome = None
-                retry_after = None
-                if message is not None:
-                    entry.proc.join()
-                    if message.get("status") == "ok":
-                        from repro.gpusim.stats import SimStats
-
-                        outcome = SimStats.from_json_dict(message["stats"])
-                    else:
-                        error = message.get("error") or {}
-                        failure = _wire_to_failure(error, entry.attempt)
-                        if (
-                            is_retryable(error.get("kind", ""))
-                            and entry.attempt <= retries
-                        ):
-                            retry_after = backoff_s * (2 ** (entry.attempt - 1))
-                        else:
-                            outcome = failure
-                elif not entry.proc.is_alive():
-                    entry.proc.join()
-                    code = entry.proc.exitcode
-                    detail = (
-                        "killed by signal %d" % -code
-                        if code is not None and code < 0
-                        else "exit code %s" % code
-                    )
-                    if entry.attempt <= retries:
-                        retry_after = backoff_s * (2 ** (entry.attempt - 1))
-                    else:
-                        outcome = FailedResult(
-                            kind="JobCrash",
-                            message="worker died (%s) without reporting" % detail,
-                            attempts=entry.attempt,
-                        )
-                elif entry.deadline is not None and now >= entry.deadline:
-                    entry.proc.kill()
-                    entry.proc.join()
-                    outcome = FailedResult(
-                        kind="JobTimeout",
-                        message="job %s exceeded the %.1fs wall-clock timeout"
-                        % (entry.spec.label(), timeout),
-                        attempts=entry.attempt,
-                    )
-                else:
-                    continue
-                running.remove(entry)
-                progressed = True
-                try:
-                    entry.conn.close()
-                except Exception:
-                    pass
-                if retry_after is not None:
-                    if bus.enabled:
-                        bus.emit(
-                            RunnerJobEvent(
-                                cycle=0, sm_id=-1, key=entry.key,
-                                app=entry.spec.app, mechanism=entry.spec.mechanism,
-                                phase="retry", attempt=entry.attempt + 1,
-                                error_kind="JobCrash",
-                            )
-                        )
-                    pending.append(
-                        (
-                            entry.spec, entry.key, entry.attempt + 1,
-                            now + retry_after, first_start.get(entry.key),
-                        )
-                    )
-                else:
-                    settle(entry, outcome, first_start.get(entry.key))
-            if not progressed:
-                time.sleep(0.005)
-    finally:
-        for entry in running:
-            try:
-                entry.proc.kill()
-                entry.proc.join()
-            except Exception:
-                pass
+    faults = (
+        RunnerFaultInjector(fault_plan, obs=obs) if fault_plan is not None
+        else None
+    )
+    return Scheduler(
+        specs,
+        jobs=jobs,
+        timeout=timeout,
+        retries=retries,
+        backoff_s=backoff_s,
+        lease_s=lease_s,
+        checkpoint=checkpoint,
+        resume=resume,
+        retry_failed=retry_failed,
+        on_result=on_result,
+        obs=obs,
+        faults=faults,
+    ).run()
 
 
 # ---------------------------------------------------------------------------
@@ -470,6 +155,8 @@ def default_jobs() -> int:
 
 
 __all__ = [
+    "DEFAULT_BACKOFF_S",
+    "DEFAULT_RETRIES",
     "SweepResult",
     "default_jobs",
     "grid_specs",

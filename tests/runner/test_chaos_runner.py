@@ -1,0 +1,140 @@
+"""Seeded chaos soak matrix for the sweep scheduler (tier-2, ``slow``).
+
+Every cell of the matrix runs the same small sweep twice — once
+fault-free, once under a seeded :class:`RunnerFaultPlan` — and asserts
+the two are *byte-identical* at the checkpoint level and *exactly-once*
+at the effect level.  Faults may change how many attempts, losses and
+duplicate deliveries it takes, but never what the sweep computes.
+
+The matrix covers worker SIGKILL at each lease phase, heartbeat stalls,
+and every transport fault, across several seeds, plus multi-site storm
+plans.  Run with ``pytest -m slow tests/runner/test_chaos_runner.py``.
+"""
+
+import pytest
+
+from repro.gpusim.faults import RunnerFaultInjector, RunnerFaultPlan
+from repro.runner import Checkpoint, grid_specs
+from repro.runner.scheduler import Scheduler
+from repro.runner.transport import InlineTransport, VirtualClock
+
+pytestmark = pytest.mark.slow
+
+SCALE = 0.05
+SEEDS = (1, 2, 7)
+SINGLE_SITES = (
+    "worker.kill",
+    "worker.heartbeat_stall",
+    "transport.drop",
+    "transport.delay",
+    "transport.dup",
+    "checkpoint.torn",
+)
+
+
+def specs():
+    return grid_specs(["lps", "hotspot"], ["none", "snake"], scale=SCALE)
+
+
+def run_sweep(checkpoint_path, injector=None, on_result=None):
+    plan = injector.plan if injector is not None else None
+    transport = InlineTransport(workers=2, faults=injector)
+    return Scheduler(
+        specs(),
+        transport=transport,
+        clock=VirtualClock(),
+        # Convergence guarantees: enough retries to outlast the per-job
+        # fault cap, a lease shorter than the minimum stall (2*delay_s),
+        # and a loss budget one above the cap so recovery wins.
+        retries=max(2, plan.max_per_job if plan else 0),
+        max_losses=(plan.max_per_job + 1) if plan else 3,
+        lease_s=plan.delay_s if plan else 0.2,
+        backoff_s=0.01,
+        checkpoint=Checkpoint(checkpoint_path),
+        on_result=on_result,
+        faults=injector,
+    ).run()
+
+
+def canonical(checkpoint_path):
+    return Checkpoint.load(checkpoint_path).canonical_bytes()
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    path = tmp_path_factory.mktemp("reference") / "sweep.jsonl"
+    result = run_sweep(path)
+    assert result.ok
+    return canonical(path)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("site", SINGLE_SITES)
+def test_single_site_chaos_is_byte_identical(site, seed, tmp_path, reference):
+    plan = RunnerFaultPlan.single(
+        site, rate=1.0, seed=seed, max_per_job=2, delay_s=0.4
+    )
+    path = tmp_path / "sweep.jsonl"
+    settled = []
+    result = run_sweep(
+        path,
+        injector=RunnerFaultInjector(plan),
+        on_result=lambda key, spec, outcome: settled.append(key),
+    )
+    assert result.ok, {k: getattr(v, "message", "") for k, v in result.results.items()}
+    assert canonical(path) == reference
+    # Exactly-once job effects: one settlement per deduped job hash,
+    # even when the transport duplicated or workers re-ran the job.
+    assert sorted(settled) == sorted(result.results)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_storm_chaos_is_byte_identical(seed, tmp_path, reference):
+    plan = RunnerFaultPlan.storm(seed=seed, max_per_job=2, delay_s=0.4)
+    path = tmp_path / "sweep.jsonl"
+    settled = []
+    result = run_sweep(
+        path,
+        injector=RunnerFaultInjector(plan),
+        on_result=lambda key, spec, outcome: settled.append(key),
+    )
+    assert result.ok
+    assert canonical(path) == reference
+    assert sorted(settled) == sorted(result.results)
+
+
+@pytest.mark.parametrize("phase", ("claim", "report"))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_worker_kill_at_each_lease_phase(phase, seed, tmp_path, reference,
+                                         monkeypatch):
+    monkeypatch.setattr(
+        RunnerFaultInjector, "kill_phase", lambda self, key, attempt: phase
+    )
+    plan = RunnerFaultPlan.single(
+        "worker.kill", rate=1.0, seed=seed, max_per_job=2
+    )
+    path = tmp_path / "sweep.jsonl"
+    result = run_sweep(path, injector=RunnerFaultInjector(plan))
+    assert result.ok
+    assert canonical(path) == reference
+
+
+def test_heartbeat_stall_with_duplicate_delivery(tmp_path, reference):
+    # The compound failure the dedup set exists for: a stalled worker's
+    # late result arrives after the job was stolen and re-run, then the
+    # transport duplicates messages on top.
+    plan = RunnerFaultPlan.make(
+        {"worker.heartbeat_stall": 1.0, "transport.dup": 1.0},
+        seed=5, max_per_job=1, delay_s=0.4,
+    )
+    path = tmp_path / "sweep.jsonl"
+    settled = []
+    result = run_sweep(
+        path,
+        injector=RunnerFaultInjector(plan),
+        on_result=lambda key, spec, outcome: settled.append(key),
+    )
+    assert result.ok
+    assert result.losses >= 1
+    assert canonical(path) == reference
+    assert sorted(settled) == sorted(result.results)

@@ -105,6 +105,62 @@ class TestCorruption:
             Checkpoint(tmp_path / "c.jsonl").append({"status": "ok"})
 
 
+class TestQuarantine:
+    def test_torn_tail_goes_to_the_corrupt_sidecar(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        ckpt = Checkpoint(path)
+        ckpt.append(_ok_record(key="done"))
+        ckpt.tear()
+        loaded = Checkpoint.load(path)
+        assert loaded.quarantined == 1
+        assert loaded.corrupt_path.exists()
+        fragment = loaded.corrupt_path.read_bytes()
+        assert fragment.startswith(b'{"key": "torn-by-chaos"')
+        assert fragment.endswith(b"\n")
+        assert "done" in loaded  # intact records survive
+
+    def test_appending_after_a_tear_heals_the_file(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        ckpt = Checkpoint(path)
+        ckpt.append(_ok_record(key="one"))
+        ckpt.tear()
+        ckpt.append(_ok_record(key="two"))  # atomic rewrite drops the tear
+        loaded = Checkpoint.load(path)
+        assert loaded.quarantined == 0
+        assert "one" in loaded and "two" in loaded
+
+    def test_clean_load_quarantines_nothing(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        Checkpoint(path).append(_ok_record())
+        loaded = Checkpoint.load(path)
+        assert loaded.quarantined == 0
+        assert not loaded.corrupt_path.exists()
+
+
+class TestCanonicalBytes:
+    def test_ignores_attempts_elapsed_and_write_order(self, tmp_path):
+        a = Checkpoint(tmp_path / "a.jsonl")
+        a.append(make_record("k1", {"app": "lps"},
+                             SimStats(cycles=10, instructions=20,
+                                      warps_finished=1),
+                             attempts=1, elapsed_s=0.5))
+        a.append(_failed_record(key="k2"))
+        b = Checkpoint(tmp_path / "b.jsonl")
+        b.append(_failed_record(key="k2"))  # different order...
+        b.append(make_record("k1", {"app": "lps"},
+                             SimStats(cycles=10, instructions=20,
+                                      warps_finished=1),
+                             attempts=3, elapsed_s=99.0))  # ...and retry cost
+        assert a.canonical_bytes() == b.canonical_bytes()
+
+    def test_distinguishes_different_outcomes(self, tmp_path):
+        a = Checkpoint(tmp_path / "a.jsonl")
+        a.append(_ok_record(cycles=10))
+        b = Checkpoint(tmp_path / "b.jsonl")
+        b.append(_ok_record(cycles=11))
+        assert a.canonical_bytes() != b.canonical_bytes()
+
+
 class TestDiscard:
     def test_discard_removes_file_and_records(self, tmp_path):
         path = tmp_path / "ckpt.jsonl"

@@ -1,0 +1,114 @@
+"""Lease semantics: the liveness contract between scheduler and workers."""
+
+import pytest
+
+from repro.runner.leases import (
+    DEFAULT_LEASE_S,
+    HEARTBEATS_PER_LEASE,
+    Lease,
+    LeaseTable,
+    heartbeat_interval,
+)
+
+
+class TestHeartbeatInterval:
+    def test_several_heartbeats_fit_in_one_lease(self):
+        assert heartbeat_interval(DEFAULT_LEASE_S) == pytest.approx(
+            DEFAULT_LEASE_S / HEARTBEATS_PER_LEASE
+        )
+
+    def test_floor_for_tiny_leases(self):
+        assert heartbeat_interval(0.0001) == pytest.approx(0.01)
+
+
+class TestLease:
+    def make(self, **kwargs):
+        defaults = dict(
+            key="abc", worker=0, attempt=1, granted_at=100.0, lease_s=10.0
+        )
+        defaults.update(kwargs)
+        return Lease(**defaults)
+
+    def test_fresh_lease_counts_grant_as_liveness(self):
+        lease = self.make()
+        assert lease.last_heartbeat == 100.0
+        assert not lease.expired(105.0)
+
+    def test_expires_only_after_silence_beyond_the_window(self):
+        lease = self.make()
+        assert not lease.expired(110.0)  # exactly the window: still alive
+        assert lease.expired(110.1)
+
+    def test_renew_resets_the_window(self):
+        lease = self.make()
+        lease.renew(109.0)
+        assert not lease.expired(115.0)
+        assert lease.expired(119.5)
+        assert lease.heartbeats == 1
+
+    def test_zero_lease_never_expires(self):
+        lease = self.make(lease_s=0.0)
+        assert not lease.expired(1e9)
+
+    def test_deadline_is_independent_of_heartbeats(self):
+        lease = self.make(deadline=120.0)
+        lease.renew(119.0)  # alive and chatty...
+        assert lease.timed_out(120.0)  # ...but still over budget
+        assert not lease.timed_out(119.9)
+
+    def test_no_deadline_never_times_out(self):
+        assert not self.make().timed_out(1e9)
+
+    def test_age(self):
+        assert self.make().age(107.5) == pytest.approx(7.5)
+
+
+class TestLeaseTable:
+    def test_grant_indexes_both_ways(self):
+        table = LeaseTable()
+        lease = table.grant("k1", 0, 1, now=0.0, lease_s=5.0)
+        assert table.for_worker(0) is lease
+        assert table.for_key("k1") is lease
+        assert "k1" in table
+        assert len(table) == 1
+
+    def test_busy_worker_cannot_double_lease(self):
+        table = LeaseTable()
+        table.grant("k1", 0, 1, now=0.0, lease_s=5.0)
+        with pytest.raises(ValueError, match="already holds"):
+            table.grant("k2", 0, 1, now=0.0, lease_s=5.0)
+
+    def test_leased_job_cannot_be_granted_twice(self):
+        table = LeaseTable()
+        table.grant("k1", 0, 1, now=0.0, lease_s=5.0)
+        with pytest.raises(ValueError, match="already leased"):
+            table.grant("k1", 1, 1, now=0.0, lease_s=5.0)
+
+    def test_release_frees_both_indexes(self):
+        table = LeaseTable()
+        table.grant("k1", 0, 1, now=0.0, lease_s=5.0)
+        released = table.release(0)
+        assert released is not None and released.key == "k1"
+        assert table.for_worker(0) is None
+        assert "k1" not in table
+        # A revoked job can be re-leased to another worker.
+        table.grant("k1", 1, 2, now=1.0, lease_s=5.0)
+
+    def test_stale_heartbeat_is_benign(self):
+        table = LeaseTable()
+        assert table.renew(7, now=1.0) is None
+
+    def test_expired_and_timed_out_in_grant_order(self):
+        table = LeaseTable()
+        table.grant("late", 1, 1, now=2.0, lease_s=1.0, deadline=4.0)
+        table.grant("early", 0, 1, now=1.0, lease_s=1.0, deadline=4.0)
+        expired = table.expired(10.0)
+        assert [l.key for l in expired] == ["early", "late"]
+        timed_out = table.timed_out(10.0)
+        assert [l.key for l in timed_out] == ["early", "late"]
+
+    def test_active_lists_all_leases(self):
+        table = LeaseTable()
+        table.grant("a", 0, 1, now=0.0, lease_s=5.0)
+        table.grant("b", 1, 1, now=1.0, lease_s=5.0)
+        assert [l.key for l in table.active()] == ["a", "b"]

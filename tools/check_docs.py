@@ -33,8 +33,9 @@ from pathlib import Path
 CLI_SURFACE = {
     "trace": (),
     "profile": (),
-    "sweep": ("--checkpoint", "--resume", "--retry-failed", "--sanitize"),
-    "chaos": ("--sites", "--delay-cycles"),
+    "sweep": ("--checkpoint", "--resume", "--retry-failed", "--sanitize",
+              "--lease", "--drain-timeout"),
+    "chaos": ("--sites", "--delay-cycles", "--runner", "--runner-jobs"),
     "lint": ("--rule", "--baseline", "--json", "--update-baseline"),
     "bench": ("--quick", "--check", "--tolerance", "--legacy-loop"),
 }
