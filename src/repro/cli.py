@@ -30,6 +30,14 @@ Usage::
     snake-repro lint --baseline      # simulator-aware static analysis
     snake-repro lint --rule SL101    # one rule; --json for CI tooling
 
+    snake-repro serve --data-dir d   # online prediction service (WAL +
+                                     # snapshots; SIGTERM drains cleanly)
+    snake-repro serve --loadgen --clients 1000   # replay the suite as
+                                     # concurrent clients; certifies the
+                                     # zero-silent-drop contract
+    snake-repro serve --chaos        # misbehaving clients + SIGKILL +
+                                     # torn journal; recovery certificate
+
 (The ``repro`` entry point is an alias of ``snake-repro``.)  ``trace``
 and ``profile`` run one workload with the :mod:`repro.obs` telemetry bus
 attached — see ``docs/OBSERVABILITY.md`` for the full walkthrough.
@@ -938,6 +946,173 @@ def _run_bench_command(argv) -> int:
     return 0
 
 
+def _serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="snake-repro serve",
+        description="Run the online prefetch-prediction service (default), "
+        "drive a running server with the workload-replay load generator "
+        "(--loadgen), or run the seeded serve chaos certificate (--chaos).  "
+        "See docs/SERVING.md.",
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--loadgen", action="store_true",
+        help="replay the workload suite as concurrent clients against a "
+        "running server instead of serving",
+    )
+    mode.add_argument(
+        "--chaos", action="store_true",
+        help="run the seeded chaos harness: misbehaving clients, SIGKILL "
+        "mid-stream, torn journal, recovery certificate",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind/connect host")
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="port (0 = ephemeral; the bound port lands in "
+        "<data-dir>/serve.port).  --loadgen reads that file when no "
+        "explicit port is given",
+    )
+    parser.add_argument(
+        "--data-dir", default="serve-data", metavar="DIR",
+        help="durable state directory (snapshot + write-ahead journal)",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=256, metavar="N",
+        help="bounded ingress queue; a full queue sheds with overload NACKs",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=2.0, metavar="S",
+        help="per-request processing budget before a deadline NACK",
+    )
+    parser.add_argument(
+        "--frame-timeout", type=float, default=5.0, metavar="S",
+        help="a frame's payload must land this fast (slow-loris eviction)",
+    )
+    parser.add_argument(
+        "--idle-timeout", type=float, default=60.0, metavar="S",
+        help="silent connections are closed after this",
+    )
+    parser.add_argument(
+        "--snapshot-every", type=int, default=None, metavar="N",
+        help="journal records between full state snapshots "
+        "(default 1000 serving, 50 under --chaos so the certificate "
+        "exercises the snapshot+journal composition)",
+    )
+    parser.add_argument(
+        "--fsync", action="store_true",
+        help="fsync every journal append (machine-crash durability)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4, metavar="N",
+        help="PC-sharded learners per session",
+    )
+    parser.add_argument(
+        "--max-sessions", type=int, default=64, metavar="N",
+        help="session table capacity (admission control)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=100, metavar="N",
+        help="loadgen/chaos: concurrent clients",
+    )
+    parser.add_argument(
+        "--events", type=int, default=30, metavar="N",
+        help="loadgen/chaos: accesses streamed per client",
+    )
+    parser.add_argument(
+        "--apps", default="lps,hotspot,backprop",
+        help="loadgen/chaos: comma-separated workloads to replay",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.1, help="workload trace-size multiplier"
+    )
+    parser.add_argument("--seed", type=int, default=1, help="workload seed")
+    parser.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="N",
+        help="chaos: fault-plan seed (which clients misbehave)",
+    )
+    parser.add_argument(
+        "--no-kill", action="store_true",
+        help="chaos: skip the SIGKILL phase (graceful-drain certificate; "
+        "the fast CI smoke mode)",
+    )
+    return parser
+
+
+def _run_serve_command(argv) -> int:
+    from pathlib import Path
+
+    from repro.serve import (
+        ServeConfig,
+        ServeFaultPlan,
+        ServeSettings,
+        run_loadgen,
+        run_serve_chaos,
+        run_server,
+    )
+    from repro.serve.service import PORT_FILE
+
+    args = _serve_parser().parse_args(argv)
+    apps = [a for a in args.apps.split(",") if a]
+
+    if args.chaos:
+        report = run_serve_chaos(
+            ServeFaultPlan.storm(seed=args.chaos_seed),
+            clients=args.clients, events_per_client=args.events,
+            apps=apps, scale=args.scale, workload_seed=args.seed,
+            kill=not args.no_kill,
+            frame_timeout_s=args.frame_timeout,
+            snapshot_every=args.snapshot_every or 50,
+        )
+        print(report.render())
+        return 0 if report.ok else 3
+
+    if args.loadgen:
+        port = args.port
+        if port == 0:
+            port_file = Path(args.data_dir) / PORT_FILE
+            if not port_file.exists():
+                print(
+                    "error: no --port given and %s does not exist (is the "
+                    "server running with this --data-dir?)" % port_file,
+                    file=sys.stderr,
+                )
+                return 2
+            port = int(port_file.read_text().strip())
+        try:
+            report = run_loadgen(
+                args.host, port, clients=args.clients,
+                events_per_client=args.events, apps=apps,
+                scale=args.scale, seed=args.seed,
+            )
+        except (KeyError, ValueError) as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+        print(report.summary())
+        if report.silent:
+            print(
+                "error: %d silent drop(s) — the zero-silent-drop contract "
+                "is broken" % report.silent,
+                file=sys.stderr,
+            )
+            return 3
+        return 0
+
+    try:
+        config = ServeConfig(shards=args.shards, max_sessions=args.max_sessions)
+        settings = ServeSettings(
+            host=args.host, port=args.port, data_dir=args.data_dir,
+            queue_depth=args.queue_depth, deadline_s=args.deadline,
+            frame_timeout_s=args.frame_timeout,
+            idle_timeout_s=args.idle_timeout,
+            snapshot_every=args.snapshot_every or 1000, fsync=args.fsync,
+            config=config,
+        )
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    return run_server(settings)
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] in ("trace", "profile"):
@@ -948,6 +1123,8 @@ def main(argv=None) -> int:
         return _run_chaos_command(argv[1:])
     if argv and argv[0] == "bench":
         return _run_bench_command(argv[1:])
+    if argv and argv[0] == "serve":
+        return _run_serve_command(argv[1:])
     if argv and argv[0] == "lint":
         from repro.lint.cli import main as lint_main
 
@@ -972,7 +1149,8 @@ def main(argv=None) -> int:
         print(
             "\n".join(
                 sorted(EXPERIMENTS)
-                + ["bench", "chaos", "claims", "lint", "profile", "sweep", "trace"]
+                + ["bench", "chaos", "claims", "lint", "profile", "serve",
+                   "sweep", "trace"]
             )
         )
         return 0

@@ -15,7 +15,10 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+#: Schema version carried by every table snapshot (bumped on layout change).
+SNAPSHOT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -58,3 +61,44 @@ class HeadTable:
 
     def __len__(self) -> int:
         return len(self._rows)
+
+    # ------------------------------------------------------------------
+    # Durability (snapshot/restore — repro.serve journal, warm-start sweeps)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe, deterministic image of the full table state.
+
+        Rows are listed in LRU order (the ``OrderedDict``'s insertion
+        order), so two tables that absorbed the same update sequence
+        produce byte-identical serialized snapshots.
+        """
+        return {
+            "v": SNAPSHOT_VERSION,
+            "capacity": self.capacity,
+            "accesses": self.accesses,
+            "rows": [
+                [warp_id, pc, addr]
+                for warp_id, (pc, addr) in self._rows.items()
+            ],
+        }
+
+    @classmethod
+    def restore(cls, data: Mapping[str, Any]) -> "HeadTable":
+        """Rebuild a table from :meth:`snapshot` output (exact state,
+        including LRU order and the access counter)."""
+        if data.get("v") != SNAPSHOT_VERSION:
+            raise ValueError(
+                "unsupported HeadTable snapshot version %r" % (data.get("v"),)
+            )
+        table = cls(capacity=int(data["capacity"]))
+        table.accesses = int(data["accesses"])
+        rows = data["rows"]
+        if len(rows) > table.capacity:
+            raise ValueError(
+                "HeadTable snapshot holds %d rows > capacity %d"
+                % (len(rows), table.capacity)
+            )
+        for row in rows:
+            warp_id, pc, addr = row
+            table._rows[int(warp_id)] = (int(pc), int(addr))
+        return table

@@ -18,13 +18,13 @@ only the chains; decoupling/throttling are composed at the GPU level (see
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.obs.events import ChainWalkEvent
 from repro.prefetch.base import AccessEvent, Prefetcher, PrefetchRequest
 from repro.prefetch.stride import ConsensusTracker
 
-from .head_table import HeadTable
+from .head_table import HeadTable, SNAPSHOT_VERSION
 from .tail_table import TailEntry, TailTable, TrainState
 
 
@@ -73,14 +73,14 @@ class SnakePrefetcher(Prefetcher):
         self.use_inter_warp = use_inter_warp
         self.train_threshold = train_threshold
 
-        # Intra-warp detection: last address per (warp, pc).
-        self._intra_last: Dict[Tuple[int, int], int] = {}
+        # Intra-warp detection: last address per (app, warp, pc).
+        self._intra_last: Dict[Tuple[int, int, int], int] = {}
         # Inter-warp detection: the last TWO (warp, addr) observations per
-        # pc — the Head table's doubled columns (§3.1), which keep stride
-        # detection alive under a greedy scheduler that runs one warp far
-        # ahead of the others — plus consensus votes.
-        self._iw_last: Dict[int, List[Tuple[int, int]]] = {}
-        self._iw_consensus: Dict[int, ConsensusTracker] = {}
+        # (app, pc) — the Head table's doubled columns (§3.1), which keep
+        # stride detection alive under a greedy scheduler that runs one warp
+        # far ahead of the others — plus consensus votes.
+        self._iw_last: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        self._iw_consensus: Dict[Tuple[int, int], ConsensusTracker] = {}
 
     # ------------------------------------------------------------------
     # Multi-app table selection and throttle hooks
@@ -283,3 +283,100 @@ class SnakePrefetcher(Prefetcher):
         if self.per_app:
             return sum(2 * h.accesses for h, _ in self._app_tables.values())
         return 2 * self.head.accesses
+
+    # ------------------------------------------------------------------
+    # Durability (snapshot/restore — repro.serve journal, warm-start sweeps)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe, deterministic image of the full learner state.
+
+        Everything the online model accumulates is captured: per-app
+        Head/Tail tables, intra-warp last addresses, the inter-warp
+        observation slots and consensus votes, and the throttle's current
+        depth limit.  Two learners that absorbed the same event sequence
+        produce byte-identical serialized snapshots, which is the property
+        the :mod:`repro.serve` write-ahead journal's recovery certificate
+        rests on.
+        """
+        return {
+            "v": SNAPSHOT_VERSION,
+            "config": {
+                "head_entries": self._head_entries,
+                "tail_entries": self._tail_entries,
+                "train_threshold": self.train_threshold,
+                "max_chain_depth": self.max_chain_depth,
+                "inter_warp_degree": self.inter_warp_degree,
+                "intra_degree": self.intra_degree,
+                "use_chains": self.use_chains,
+                "use_intra": self.use_intra,
+                "use_inter_warp": self.use_inter_warp,
+                "eviction": self._eviction,
+                "per_app": self.per_app,
+            },
+            "depth_limit": self._depth_limit,
+            "app_tables": [
+                [app_id, head.snapshot(), tail.snapshot()]
+                for app_id, (head, tail) in sorted(self._app_tables.items())
+            ],
+            "intra_last": [
+                [app_id, warp_id, pc, addr]
+                for (app_id, warp_id, pc), addr in self._intra_last.items()
+            ],
+            "iw_last": [
+                [app_id, pc, [[w, a] for w, a in slots]]
+                for (app_id, pc), slots in self._iw_last.items()
+            ],
+            "iw_consensus": [
+                [app_id, pc, tracker.snapshot()]
+                for (app_id, pc), tracker in self._iw_consensus.items()
+            ],
+        }
+
+    @classmethod
+    def restore(cls, data: Mapping[str, Any]) -> "SnakePrefetcher":
+        """Rebuild a learner from :meth:`snapshot` output.
+
+        The restored instance is behaviourally identical to the one that
+        produced the snapshot: feeding both the same subsequent events
+        yields the same predictions and the same next snapshot.
+        """
+        if data.get("v") != SNAPSHOT_VERSION:
+            raise ValueError(
+                "unsupported SnakePrefetcher snapshot version %r"
+                % (data.get("v"),)
+            )
+        config = dict(data["config"])
+        prefetcher = cls(
+            head_entries=int(config["head_entries"]),
+            tail_entries=int(config["tail_entries"]),
+            train_threshold=int(config["train_threshold"]),
+            max_chain_depth=int(config["max_chain_depth"]),
+            inter_warp_degree=int(config["inter_warp_degree"]),
+            intra_degree=int(config["intra_degree"]),
+            use_chains=bool(config["use_chains"]),
+            use_intra=bool(config["use_intra"]),
+            use_inter_warp=bool(config["use_inter_warp"]),
+            eviction=str(config["eviction"]),
+            per_app=bool(config["per_app"]),
+        )
+        prefetcher._depth_limit = int(data["depth_limit"])
+        prefetcher._app_tables = {
+            int(app_id): (HeadTable.restore(head), TailTable.restore(tail))
+            for app_id, head, tail in data["app_tables"]
+        }
+        if 0 not in prefetcher._app_tables:
+            raise ValueError("SnakePrefetcher snapshot lacks app 0 tables")
+        prefetcher.head, prefetcher.tail = prefetcher._app_tables[0]
+        prefetcher._intra_last = {
+            (int(a), int(w), int(p)): int(addr)
+            for a, w, p, addr in data["intra_last"]
+        }
+        prefetcher._iw_last = {
+            (int(a), int(p)): [(int(w), int(addr)) for w, addr in slots]
+            for a, p, slots in data["iw_last"]
+        }
+        prefetcher._iw_consensus = {
+            (int(a), int(p)): ConsensusTracker.restore(tracker)
+            for a, p, tracker in data["iw_consensus"]
+        }
+        return prefetcher

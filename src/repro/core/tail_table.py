@@ -17,7 +17,9 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Mapping, Optional
+
+from .head_table import SNAPSHOT_VERSION
 
 
 class TrainState(enum.Enum):
@@ -213,6 +215,90 @@ class TailTable:
     @property
     def trained(self) -> bool:
         return any(e.t1.prefetchable for e in self._entries)
+
+    # ------------------------------------------------------------------
+    # Durability (snapshot/restore — repro.serve journal, warm-start sweeps)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe, deterministic image of the full table state.
+
+        Entries keep their store order and each entry's intra-stride vote
+        map is emitted as ``[stride, sorted(voters)]`` pairs in vote
+        insertion order, so identical update sequences serialize to
+        byte-identical snapshots.
+        """
+        return {
+            "v": SNAPSHOT_VERSION,
+            "capacity": self.capacity,
+            "train_threshold": self.train_threshold,
+            "eviction": self.eviction,
+            "tick": self._tick,
+            "lookups": self.lookups,
+            "evictions": self.evictions,
+            "entries": [
+                {
+                    "pc1": e.pc1,
+                    "pc2": e.pc2,
+                    "inter_thread_stride": e.inter_thread_stride,
+                    "t1": e.t1.value,
+                    "warp_vector": e.warp_vector,
+                    "intra_stride": e.intra_stride,
+                    "t2": e.t2.value,
+                    "inter_warp_stride": e.inter_warp_stride,
+                    "last_use": e.last_use,
+                    "intra_votes": [
+                        [stride, sorted(voters)]
+                        for stride, voters in e._intra_votes.items()
+                    ],
+                }
+                for e in self._entries
+            ],
+        }
+
+    @classmethod
+    def restore(cls, data: Mapping[str, Any]) -> "TailTable":
+        """Rebuild a table from :meth:`snapshot` output (exact state:
+        entry order, train states, vote sets, LRU ticks and counters)."""
+        if data.get("v") != SNAPSHOT_VERSION:
+            raise ValueError(
+                "unsupported TailTable snapshot version %r" % (data.get("v"),)
+            )
+        table = cls(
+            capacity=int(data["capacity"]),
+            train_threshold=int(data["train_threshold"]),
+            eviction=str(data["eviction"]),
+        )
+        table._tick = int(data["tick"])
+        table.lookups = int(data["lookups"])
+        table.evictions = int(data["evictions"])
+        entries = data["entries"]
+        if len(entries) > table.capacity:
+            raise ValueError(
+                "TailTable snapshot holds %d entries > capacity %d"
+                % (len(entries), table.capacity)
+            )
+        for raw in entries:
+            entry = TailEntry(
+                pc1=int(raw["pc1"]),
+                pc2=int(raw["pc2"]),
+                inter_thread_stride=int(raw["inter_thread_stride"]),
+                t1=TrainState(raw["t1"]),
+                warp_vector=int(raw["warp_vector"]),
+                intra_stride=(
+                    None if raw["intra_stride"] is None
+                    else int(raw["intra_stride"])
+                ),
+                t2=TrainState(raw["t2"]),
+                inter_warp_stride=(
+                    None if raw["inter_warp_stride"] is None
+                    else int(raw["inter_warp_stride"])
+                ),
+                last_use=int(raw["last_use"]),
+            )
+            for stride, voters in raw["intra_votes"]:
+                entry._intra_votes[int(stride)] = {int(v) for v in voters}
+            table._entries.append(entry)
+        return table
 
     def structural_violations(self, label: str = "tail") -> "List[str]":
         """Hardware-structure invariants (sanitizer hook).

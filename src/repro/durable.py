@@ -1,0 +1,116 @@
+"""Torn-tail JSONL recovery, shared by every durable log in the repo.
+
+Two subsystems persist append-only JSON-lines files that a ``kill -9``
+can leave with a half-written final record: the sweep runner's
+checkpoint (:mod:`repro.runner.checkpoint`) and the serving layer's
+write-ahead journal (:mod:`repro.serve.journal`).  Both need the same
+audited recovery semantics, implemented once here:
+
+* a **torn trailing line** (undecodable bytes followed only by
+  whitespace) is the signature of a writer killed mid-append.  It is
+  recoverable by construction — the record it would have described was
+  never acknowledged — so it is *quarantined* to a ``.corrupt`` sidecar
+  (preserved for forensics, never replayed) and scanning succeeds with
+  the intact prefix;
+* **corruption anywhere earlier** is not a crash signature (appends are
+  sequential); silently skipping an interior record would resurrect or
+  drop acknowledged state, so scanning raises
+  :class:`JsonlCorruptionError` and the operator decides.
+
+Both callers feed :func:`scan_jsonl` raw bytes and get the decoded
+records plus the torn fragment (if any); :func:`quarantine_fragment`
+diverts the fragment to the sidecar.  Keeping one implementation means
+one set of tests proves the recovery path for every log format built on
+it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, List, Optional, Union
+
+
+class JsonlCorruptionError(ValueError):
+    """A JSONL file is damaged beyond the recoverable trailing line.
+
+    Carries the zero-based ``line_index`` of the first undecodable
+    interior record so the damage can be inspected directly.
+    """
+
+    def __init__(self, message: str, *, path: Union[str, Path, None] = None,
+                 line_index: int = 0) -> None:
+        self.path = str(path) if path is not None else None
+        self.line_index = line_index
+        where = "line %d" % line_index
+        if self.path:
+            where = "%s, %s" % (self.path, where)
+        super().__init__("%s (%s)" % (message, where))
+
+
+@dataclass
+class JsonlScan:
+    """What :func:`scan_jsonl` recovered from a raw JSONL byte stream."""
+
+    #: decoded records, in file order (every one a JSON value)
+    records: List[Any] = field(default_factory=list)
+    #: the torn trailing fragment, or ``None`` on a clean scan
+    torn: Optional[bytes] = None
+
+    @property
+    def clean(self) -> bool:
+        return self.torn is None
+
+
+def scan_jsonl(raw: bytes, *, path: Union[str, Path, None] = None) -> JsonlScan:
+    """Decode an append-only JSONL byte stream with torn-tail recovery.
+
+    Returns every decodable record in order.  An undecodable *final*
+    non-blank line is returned as ``scan.torn`` (the caller quarantines
+    it); an undecodable *interior* line raises
+    :class:`JsonlCorruptionError`.
+    """
+    scan = JsonlScan()
+    lines = raw.split(b"\n")
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            is_tail = all(not later.strip() for later in lines[index + 1:])
+            if is_tail:
+                scan.torn = line
+                break
+            raise JsonlCorruptionError(
+                "undecodable interior record: %s" % exc,
+                path=path, line_index=index,
+            ) from exc
+        scan.records.append(record)
+    return scan
+
+
+def corrupt_sidecar(path: Union[str, Path]) -> Path:
+    """Where torn fragments of ``path`` are quarantined."""
+    path = Path(path)
+    return path.with_name(path.name + ".corrupt")
+
+
+def quarantine_fragment(path: Union[str, Path], fragment: bytes) -> Path:
+    """Append a torn fragment to ``path``'s ``.corrupt`` sidecar and
+    return the sidecar path.  Fragments accumulate (forensics may want
+    the history of tears), each terminated with a newline."""
+    sidecar = corrupt_sidecar(path)
+    with sidecar.open("ab") as handle:
+        handle.write(fragment.rstrip(b"\n") + b"\n")
+    return sidecar
+
+
+__all__ = [
+    "JsonlCorruptionError",
+    "JsonlScan",
+    "corrupt_sidecar",
+    "quarantine_fragment",
+    "scan_jsonl",
+]

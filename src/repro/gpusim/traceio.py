@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import List, Union
+from typing import List, Optional, Union
 
 from .trace import CTA, KernelTrace, Op, WarpInstr, WarpTrace
 
@@ -61,23 +61,53 @@ def _encode_instr(instr: WarpInstr) -> list:
     return [instr.pc, instr.op.value]
 
 
+def _require_int(value: object, what: str, minimum: Optional[int] = None,
+                 maximum: Optional[int] = None) -> int:
+    """Validate one numeric trace field.
+
+    External converters feed this loader, so every arithmetic-bearing
+    field must be a plain JSON integer: booleans (a Python ``int``
+    subclass), floats — including the ``NaN``/``Infinity`` literals
+    Python's ``json`` accepts by default — and strings are all rejected
+    here rather than poisoning address arithmetic deep in the simulator.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError("%s must be an integer, got %r" % (what, value))
+    if minimum is not None and value < minimum:
+        raise ValueError("%s must be >= %d, got %d" % (what, minimum, value))
+    if maximum is not None and value > maximum:
+        raise ValueError("%s must be <= %d, got %d" % (what, maximum, value))
+    return value
+
+
+#: Address-space bound for external traces: beyond 2^64 a record is
+#: corrupt, not a big kernel.
+_MAX_ADDR = (1 << 64) - 1
+
+
 def _decode_instr(record: list) -> WarpInstr:
     if not isinstance(record, list) or len(record) not in (2, 6):
         raise ValueError(
             "instruction record must have 2 or 6 fields, got %r" % (record,)
         )
     opcode = record[1]
-    if opcode not in _CODE_OP:
+    if isinstance(opcode, bool) or opcode not in _CODE_OP:
         raise ValueError("unknown opcode %r" % (opcode,))
     if len(record) == 2:
-        return WarpInstr(pc=record[0], op=_CODE_OP[opcode])
+        return WarpInstr(
+            pc=_require_int(record[0], "pc", minimum=0),
+            op=_CODE_OP[opcode],
+        )
     pc, op, base, stride, size, divergent = record
+    if not isinstance(divergent, (bool, int)):
+        raise ValueError("divergent flag must be 0/1, got %r" % (divergent,))
     return WarpInstr(
-        pc=pc,
+        pc=_require_int(pc, "pc", minimum=0),
         op=_CODE_OP[op],
-        base_addr=base,
-        thread_stride=stride,
-        size_bytes=size,
+        base_addr=_require_int(base, "base_addr", minimum=0, maximum=_MAX_ADDR),
+        thread_stride=_require_int(stride, "thread_stride",
+                                   minimum=-_MAX_ADDR, maximum=_MAX_ADDR),
+        size_bytes=_require_int(size, "size_bytes", minimum=1),
         divergent=bool(divergent),
     )
 
@@ -139,9 +169,17 @@ def load_trace(path: Union[str, Path]) -> KernelTrace:
                     % (record.get("version"), FORMAT_VERSION),
                     offset, index,
                 )
+            if not isinstance(record["kernel"], str):
+                raise fail(
+                    "kernel name must be a string, got %r" % (record["kernel"],),
+                    offset, index,
+                )
             kernel = KernelTrace(name=record["kernel"])
         elif "cta" in record:
-            cta = CTA(cta_id=record["cta"])
+            try:
+                cta = CTA(cta_id=_require_int(record["cta"], "cta id", minimum=0))
+            except ValueError as exc:
+                raise fail("corrupt CTA record: %s" % exc, offset, index) from exc
             kernel.ctas.append(cta)
             current = cta.warps
         elif "warp" in record:
@@ -151,10 +189,11 @@ def load_trace(path: Union[str, Path]) -> KernelTrace:
             if not isinstance(instrs, list):
                 raise fail("warp record carries no instruction list", offset, index)
             try:
+                warp_id = _require_int(record["warp"], "warp id", minimum=0)
                 decoded = [_decode_instr(r) for r in instrs]
             except (ValueError, TypeError, KeyError, IndexError) as exc:
                 raise fail("corrupt instruction record: %s" % exc, offset, index) from exc
-            current.append(WarpTrace(warp_id=record["warp"], instrs=decoded))
+            current.append(WarpTrace(warp_id=warp_id, instrs=decoded))
         else:
             raise fail("unrecognized trace record: %r" % record, offset, index)
         offset += len(line) + 1

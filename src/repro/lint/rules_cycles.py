@@ -115,6 +115,11 @@ class StatsFieldRule(Rule):
             # No schema harvested (fixture tree), or the defining module
             # itself — its internals are covered by tests + verify().
             return []
+        # repro.serve's ``stats`` attribute is a ServerStats (the serving
+        # shell's tallies), not a SimStats; the stats-name heuristic
+        # cannot tell them apart.
+        if "/serve/" in path.replace("\\", "/"):
+            return []
         findings: List[Finding] = []
         for func, targets in _attribute_writes(tree):
             stats_locals = _stats_locals(func) if func is not None else {}

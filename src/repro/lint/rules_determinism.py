@@ -11,8 +11,11 @@ lean on it).  Three things silently break that contract in Python:
   under hash randomisation (PYTHONHASHSEED).
 
 These rules guard the timing-model packages (``repro.gpusim``,
-``repro.core``, ``repro.prefetch``); the wall-clock-domain runner is
-exempt by construction.
+``repro.core``, ``repro.prefetch``) and the serving layer
+(``repro.serve``, whose journal-replay recovery certificate rests on the
+same bit-identity contract — wall-clock deadlines there go through the
+injected ``WallClock``); the wall-clock-domain runner is exempt by
+construction.
 """
 
 from __future__ import annotations
@@ -23,7 +26,9 @@ from typing import List, Tuple
 from .engine import Rule
 from .findings import Finding
 
-GUARDED: Tuple[str, ...] = ("repro.gpusim", "repro.core", "repro.prefetch")
+GUARDED: Tuple[str, ...] = (
+    "repro.gpusim", "repro.core", "repro.prefetch", "repro.serve",
+)
 
 #: time-module functions that read the host clock
 _WALL_CLOCK_FNS = {

@@ -44,6 +44,7 @@ class EventKind(enum.IntEnum):
     RUNNER_JOB = 10  # sweep-runner job lifecycle transition (repro.runner)
     FAULT = 11  # a chaos fault fired at an injection site (repro.gpusim.faults)
     RUNNER_LEASE = 12  # scheduler lease/heartbeat/steal transition (repro.runner)
+    SERVE = 13  # prefetch-prediction service lifecycle transition (repro.serve)
 
 
 @dataclass
@@ -216,6 +217,31 @@ class RunnerLeaseEvent(Event):
     detail: str = ""
 
     kind = EventKind.RUNNER_LEASE
+
+
+@dataclass
+class ServeEvent(Event):
+    """One :mod:`repro.serve` service lifecycle transition.
+
+    Wall-clock domain like :class:`RunnerJobEvent` (``cycle`` 0, ``sm_id``
+    -1).  ``action`` is ``accept`` / ``deny`` (admission control NACK) /
+    ``shed`` (a request was load-shed with an explicit overload or
+    deadline NACK) / ``evict_slow`` (a slow-loris client was
+    disconnected) / ``evict_session`` (a learner session was evicted
+    under memory pressure) / ``breaker_open`` / ``breaker_close`` (a
+    learner shard's circuit breaker tripped or recovered) /
+    ``malformed`` (a frame failed protocol validation) / ``snapshot``
+    (durable state was checkpointed) / ``recover`` (state was rebuilt
+    from snapshot + journal on startup) / ``drain`` (graceful shutdown
+    began).  ``client`` is the session id ("" = service-wide), ``detail``
+    a human-readable specifics string.
+    """
+
+    client: str = ""
+    action: str = "accept"
+    detail: str = ""
+
+    kind = EventKind.SERVE
 
 
 @dataclass

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Dict, Mapping, Optional
 
 
 @dataclass
@@ -52,3 +52,27 @@ class ConsensusTracker:
         if len(voters) >= self.threshold:
             self.trained_stride = stride
         return self.trained_stride
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe, deterministic image of the vote state (vote map in
+        insertion order, voter sets sorted)."""
+        return {
+            "threshold": self.threshold,
+            "trained_stride": self.trained_stride,
+            "votes": [
+                [stride, sorted(voters)]
+                for stride, voters in self._votes.items()
+            ],
+        }
+
+    @classmethod
+    def restore(cls, data: Mapping[str, Any]) -> "ConsensusTracker":
+        """Rebuild a tracker from :meth:`snapshot` output."""
+        tracker = cls(threshold=int(data["threshold"]))
+        tracker.trained_stride = (
+            None if data["trained_stride"] is None
+            else int(data["trained_stride"])
+        )
+        for stride, voters in data["votes"]:
+            tracker._votes[int(stride)] = {int(v) for v in voters}
+        return tracker

@@ -36,6 +36,12 @@ import os
 from pathlib import Path
 from typing import Dict, Union
 
+from repro.durable import (
+    JsonlCorruptionError,
+    corrupt_sidecar,
+    quarantine_fragment,
+    scan_jsonl,
+)
 from repro.gpusim.stats import SimStats
 
 from .errors import FailedResult
@@ -63,7 +69,7 @@ class Checkpoint:
     @property
     def corrupt_path(self) -> Path:
         """Where torn fragments are quarantined on load."""
-        return self.path.with_name(self.path.name + ".corrupt")
+        return corrupt_sidecar(self.path)
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "Checkpoint":
@@ -73,39 +79,32 @@ class Checkpoint:
         quarantined to ``<path>.corrupt`` — preserved for forensics, never
         resumed from — and the affected job simply re-runs.  Corruption
         anywhere earlier raises :class:`CheckpointError`: silently
-        skipping completed work would duplicate jobs on resume.
+        skipping completed work would duplicate jobs on resume.  Both
+        behaviours come from the shared, separately-audited
+        :func:`repro.durable.scan_jsonl` recovery helper (the serve
+        journal recovers through the same code).
         """
         checkpoint = cls(path)
         path = checkpoint.path
         if not path.exists():
             return checkpoint
-        lines = path.read_bytes().split(b"\n")
-        for index, line in enumerate(lines):
-            if not line.strip():
-                continue
-            try:
-                record = json.loads(line.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-                tail = all(not later.strip() for later in lines[index + 1:])
-                if tail:
-                    checkpoint._quarantine(line)
-                    break  # torn final line: the job simply re-runs
-                raise CheckpointError(
-                    "corrupt checkpoint %s: undecodable record %d (%s)"
-                    % (path, index, exc)
-                ) from exc
+        try:
+            scan = scan_jsonl(path.read_bytes(), path=path)
+        except JsonlCorruptionError as exc:
+            raise CheckpointError(
+                "corrupt checkpoint %s: undecodable record %d (%s)"
+                % (path, exc.line_index, exc)
+            ) from exc
+        if scan.torn is not None:
+            quarantine_fragment(path, scan.torn)
+            checkpoint.quarantined += 1  # torn final line: the job re-runs
+        for index, record in enumerate(scan.records):
             if not isinstance(record, dict) or "key" not in record:
                 raise CheckpointError(
                     "corrupt checkpoint %s: record %d has no job key" % (path, index)
                 )
             checkpoint.records[record["key"]] = record
         return checkpoint
-
-    def _quarantine(self, fragment: bytes) -> None:
-        """Divert a torn trailing fragment to ``<path>.corrupt``."""
-        with self.corrupt_path.open("ab") as handle:
-            handle.write(fragment.rstrip(b"\n") + b"\n")
-        self.quarantined += 1
 
     def tear(self) -> None:
         """Chaos hook (``checkpoint.torn``): append a torn half-record to

@@ -1,0 +1,584 @@
+"""Seeded chaos for the serving layer, ending in a recovery certificate.
+
+The harness mixes *behaved* clients (loadgen lockstep streams) with
+*misbehaving* ones chosen deterministically from the fault plan — the
+same hash-the-identity idiom as :mod:`repro.gpusim.faults`, so a seed
+fully determines which client does what:
+
+* ``client.disconnect_mid_frame`` — dies after writing half a frame
+* ``client.slow_loris``           — starts a frame and stalls; must be
+  told ``slow-client`` (or cut off) within the frame deadline
+* ``client.malformed_frame``      — sends garbage JSON; must receive an
+  explicit ``malformed`` NACK and the connection must stay usable
+* ``client.truncated_frame``      — declares N payload bytes, sends
+  fewer, disconnects
+* ``journal.torn_tail``           — the on-disk journal gains a torn
+  trailing record before recovery (the kill -9 disk signature)
+
+In kill mode the server runs as a subprocess; mid-stream it gets a real
+``SIGKILL``, the journal is torn, and the harness then proves the crash
+recovery contract: a restarted server and an independent in-process
+:meth:`Journal.recover` of a byte-copy of the data directory reach the
+**same state digest** (byte-identical canonical snapshots), the torn
+fragment is quarantined, the structural audit is green, and a client can
+resume its session and keep streaming.  Violations of any expectation —
+including a behaved client experiencing a silent drop on a surviving
+connection — are collected, never asserted mid-flight, so one run
+reports everything it found.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.gpusim.faults import _hash01
+from repro.runner.transport import WallClock
+
+from .journal import JOURNAL_NAME, Journal
+from .loadgen import (
+    CLIENT_ADDR_STRIDE,
+    LoadReport,
+    ServeClient,
+    _Gauge,
+    _one_client,
+    suite_events,
+)
+from .protocol import HEADER, encode_frame
+from .service import PORT_FILE
+
+SERVE_SITES: Tuple[str, ...] = (
+    "client.disconnect_mid_frame",
+    "client.slow_loris",
+    "client.malformed_frame",
+    "client.truncated_frame",
+    "journal.torn_tail",
+)
+
+SERVE_DEFAULT_RATES: Dict[str, float] = {
+    "client.disconnect_mid_frame": 0.15,
+    "client.slow_loris": 0.1,
+    "client.malformed_frame": 0.15,
+    "client.truncated_frame": 0.1,
+    "journal.torn_tail": 1.0,
+}
+
+
+def serve_catalog() -> Dict[str, str]:
+    """Serve site -> one-line description (docs and the CLI)."""
+    return {
+        "client.disconnect_mid_frame": "a client dies after half a frame",
+        "client.slow_loris": "a client starts a frame and stalls forever",
+        "client.malformed_frame": "a client sends undecodable frame payload",
+        "client.truncated_frame": "a client under-delivers a declared length",
+        "journal.torn_tail": "the journal gains a torn trailing record",
+    }
+
+
+@dataclass(frozen=True)
+class ServeFaultPlan:
+    """Seeded (site, probability) plan; which clients misbehave is a pure
+    hash of (seed, site, client index), independent of scheduling."""
+
+    seed: int = 0
+    rates: Tuple[Tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        for site, rate in self.rates:
+            if site not in SERVE_SITES:
+                raise ValueError(
+                    "unknown serve fault site %r (known: %s)"
+                    % (site, ", ".join(SERVE_SITES))
+                )
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("rate for %s must be in [0, 1]" % site)
+
+    @classmethod
+    def make(cls, rates: Mapping[str, float],
+             seed: int = 0) -> "ServeFaultPlan":
+        return cls(seed=int(seed), rates=tuple(sorted(rates.items())))
+
+    @classmethod
+    def single(cls, site: str, rate: Optional[float] = None,
+               seed: int = 0) -> "ServeFaultPlan":
+        return cls.make(
+            {site: SERVE_DEFAULT_RATES[site] if rate is None else rate},
+            seed=seed,
+        )
+
+    @classmethod
+    def storm(cls, seed: int = 0) -> "ServeFaultPlan":
+        return cls.make(SERVE_DEFAULT_RATES, seed=seed)
+
+    def label(self) -> str:
+        sites = [s for s, r in self.rates if r > 0]
+        if set(sites) == set(SERVE_SITES):
+            return "serve-storm"
+        return "+".join(s.split(".", 1)[1] for s in sites) if sites else "none"
+
+    def rate(self, site: str) -> float:
+        for name, value in self.rates:
+            if name == site:
+                return value
+        return 0.0
+
+    def client_site(self, index: int) -> Optional[str]:
+        """Which client-plane attack (if any) client ``index`` performs.
+        First matching site in sorted order wins, so the assignment is
+        order-independent and reproducible."""
+        for site, rate in self.rates:
+            if site.startswith("client.") and rate > 0.0:
+                if _hash01(self.seed, site, "client-%d" % index, 1) < rate:
+                    return site
+        return None
+
+    def journal_torn(self) -> bool:
+        return _hash01(self.seed, "journal.torn_tail", "journal", 1) < (
+            self.rate("journal.torn_tail")
+        )
+
+
+@dataclass
+class ServeChaosReport:
+    """Everything one chaos run observed; ``ok`` iff no violations."""
+
+    plan_label: str = ""
+    behaved: int = 0
+    misbehaved: Dict[str, int] = field(default_factory=dict)
+    load: Optional[LoadReport] = None
+    killed: bool = False
+    torn: bool = False
+    quarantined: int = 0
+    digest_served: str = ""
+    digest_recovered: str = ""
+    replayed: int = 0
+    snapshot_seq: int = 0
+    resumed_after_restart: bool = False
+    scenarios: List[str] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def note(self, line: str) -> None:
+        self.scenarios.append(line)
+
+    def violate(self, line: str) -> None:
+        self.violations.append(line)
+        self.scenarios.append("VIOLATION: " + line)
+
+    def render(self) -> str:
+        lines = ["serve chaos [%s]" % self.plan_label]
+        lines.extend("  . %s" % line for line in self.scenarios)
+        verdict = (
+            "certificate GREEN" if self.ok
+            else "%d violation(s)" % len(self.violations)
+        )
+        lines.append("serve chaos: %d behaved + %d misbehaving clients, %s"
+                     % (self.behaved,
+                        sum(self.misbehaved.values()), verdict))
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Misbehaving clients
+
+
+async def _attack(site: str, index: int, host: str, port: int,
+                  frame_timeout_s: float, report: ServeChaosReport) -> None:
+    """Run one misbehaving client; records expectation failures."""
+    try:
+        client = await ServeClient.connect(host, port)
+    except OSError:
+        return  # server already down (kill phase): nothing to certify
+    name = "chaos-%s-%d" % (site.split(".", 1)[1], index)
+    try:
+        if site == "client.disconnect_mid_frame":
+            await client.request({"op": "hello", "client": name})
+            whole = encode_frame({"op": "access", "warp": 0, "pc": 16,
+                                  "addr": 4096, "app": 0})
+            client.writer.write(whole[: len(whole) // 2])
+            await client.writer.drain()
+            # die abruptly, mid-frame
+        elif site == "client.truncated_frame":
+            await client.request({"op": "hello", "client": name})
+            client.writer.write(HEADER.pack(64) + b'{"op": "acc')
+            await client.writer.drain()
+        elif site == "client.slow_loris":
+            await client.request({"op": "hello", "client": name})
+            client.writer.write(HEADER.pack(64))  # a frame that never comes
+            await client.writer.drain()
+            try:
+                response = await asyncio.wait_for(
+                    client.read_response(), frame_timeout_s * 8 + 2.0
+                )
+                if response.get("error") != "slow-client":
+                    report.violate(
+                        "%s: expected slow-client NACK, got %r"
+                        % (name, response))
+            except (asyncio.IncompleteReadError, EOFError, OSError,
+                    ConnectionResetError):
+                pass  # cut off without a NACK reaching us: acceptable
+            except asyncio.TimeoutError:
+                report.violate(
+                    "%s: neither NACKed nor disconnected within %.1fs"
+                    % (name, frame_timeout_s * 8 + 2.0))
+        elif site == "client.malformed_frame":
+            await client.request({"op": "hello", "client": name})
+            client.writer.write(HEADER.pack(12) + b"\xffgarbage!!!!")
+            await client.writer.drain()
+            response = await asyncio.wait_for(client.read_response(), 30.0)
+            if response.get("error") != "malformed":
+                report.violate(
+                    "%s: expected malformed NACK, got %r" % (name, response))
+            # the framing stayed intact, so the connection must still work
+            response = await client.request(
+                {"op": "access", "warp": 1, "pc": 24, "addr": 8192, "app": 0})
+            if "ok" not in response:
+                report.violate(
+                    "%s: connection unusable after malformed NACK" % name)
+    except (OSError, EOFError, asyncio.IncompleteReadError,
+            ConnectionResetError, asyncio.TimeoutError):
+        pass  # attacks tolerate a dying server (kill phase)
+    finally:
+        await client.close()
+
+
+# ---------------------------------------------------------------------------
+# Server subprocess management (kill mode)
+
+
+class _ServerProcess:
+    """A real ``snake-repro serve`` subprocess on an ephemeral port."""
+
+    def __init__(self, data_dir: Path, *, frame_timeout_s: float,
+                 snapshot_every: int, queue_depth: int = 512) -> None:
+        self.data_dir = data_dir
+        self.frame_timeout_s = frame_timeout_s
+        self.snapshot_every = snapshot_every
+        self.queue_depth = queue_depth
+        self.proc: Optional[subprocess.Popen] = None
+        self.port: Optional[int] = None
+        self._clock = WallClock()
+
+    def start(self) -> None:
+        import repro
+
+        port_file = self.data_dir / PORT_FILE
+        if port_file.exists():
+            port_file.unlink()
+        src_dir = str(Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--host", "127.0.0.1", "--port", "0",
+                "--data-dir", str(self.data_dir),
+                "--queue-depth", str(self.queue_depth),
+                "--frame-timeout", str(self.frame_timeout_s),
+                "--snapshot-every", str(self.snapshot_every),
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+
+    def wait_ready(self, timeout_s: float = 60.0) -> bool:
+        deadline = self._clock.now() + timeout_s
+        port_file = self.data_dir / PORT_FILE
+        while self._clock.now() < deadline:
+            if self.proc is not None and self.proc.poll() is not None:
+                return False
+            if port_file.exists():
+                text = port_file.read_text().strip()
+                if text:
+                    self.port = int(text)
+                    return True
+            self._clock.sleep(0.02)
+        return False
+
+    def kill9(self) -> None:
+        assert self.proc is not None
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait()
+
+    def terminate(self, timeout_s: float = 30.0) -> None:
+        if self.proc is None or self.proc.poll() is not None:
+            return
+        self.proc.terminate()
+        try:
+            self.proc.wait(timeout=timeout_s)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait()
+
+
+async def _server_digest(host: str, port: int) -> Tuple[str, Dict]:
+    client = await ServeClient.connect(host, port)
+    try:
+        response = await client.request({"op": "stats", "digest": True})
+        return str(response.get("digest", "")), response
+    finally:
+        await client.close()
+
+
+def _durable_progress(data_dir: Path) -> int:
+    """Total mutations made durable so far: the snapshot's seq plus the
+    journal records on top (the journal truncates at each snapshot, so
+    its raw length alone is not monotonic)."""
+    progress = 0
+    snapshot = data_dir / "snapshot.json"
+    if snapshot.exists():
+        try:
+            progress = int(json.loads(snapshot.read_text()).get("seq", 0))
+        except (ValueError, OSError):
+            pass  # mid-replace read: the journal count still moves us
+    journal = data_dir / JOURNAL_NAME
+    if journal.exists():
+        progress += journal.read_bytes().count(b"\n")
+    return progress
+
+
+async def _kill_when_journal_grows(proc: _ServerProcess, data_dir: Path,
+                                   records: int,
+                                   report: ServeChaosReport) -> bool:
+    """SIGKILL the server once durable progress shows the stream is truly
+    mid-flight: sessions trained, frames in flight, queue non-empty."""
+    for _ in range(30000):
+        if proc.proc is not None and proc.proc.poll() is not None:
+            return False
+        if _durable_progress(data_dir) >= records:
+            proc.kill9()
+            report.killed = True
+            report.note("SIGKILL delivered mid-stream (>= %d durable records)"
+                        % records)
+            return True
+        await asyncio.sleep(0.01)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# The harness
+
+
+def run_serve_chaos(plan: Optional[ServeFaultPlan] = None, *,
+                    clients: int = 24, events_per_client: int = 60,
+                    apps: Sequence[str] = ("lps", "hotspot"),
+                    scale: float = 0.05, workload_seed: int = 1,
+                    kill: bool = True,
+                    data_dir: Optional[Path] = None,
+                    frame_timeout_s: float = 0.5,
+                    snapshot_every: int = 50) -> ServeChaosReport:
+    """One full chaos scenario; see the module docstring for the story."""
+    plan = plan or ServeFaultPlan.storm()
+    report = ServeChaosReport(plan_label=plan.label())
+    workdir = Path(data_dir) if data_dir else Path(
+        tempfile.mkdtemp(prefix="snake-serve-chaos-")
+    )
+    cleanup = data_dir is None
+    try:
+        return asyncio.run(_run_chaos(
+            plan, report, workdir, clients, events_per_client, apps,
+            scale, workload_seed, kill, frame_timeout_s, snapshot_every,
+        ))
+    finally:
+        if cleanup:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+async def _run_chaos(plan: ServeFaultPlan, report: ServeChaosReport,
+                     workdir: Path, clients: int, events_per_client: int,
+                     apps: Sequence[str], scale: float, workload_seed: int,
+                     kill: bool, frame_timeout_s: float,
+                     snapshot_every: int) -> ServeChaosReport:
+    data_dir = workdir / "data"
+    data_dir.mkdir(parents=True, exist_ok=True)
+    per_app = suite_events(apps, scale=scale, seed=workload_seed)
+
+    server = _ServerProcess(
+        data_dir, frame_timeout_s=frame_timeout_s,
+        snapshot_every=snapshot_every,
+    )
+    server.start()
+    try:
+        if not server.wait_ready():
+            report.violate("server subprocess never became ready")
+            return report
+        assert server.port is not None
+        host, port = "127.0.0.1", server.port
+        report.note("server up on port %d (data dir %s)" % (port, data_dir))
+
+        # Split the client population by the seeded plan.
+        attacks: List = []
+        behaved: List = []
+        load = LoadReport()
+        gauge = _Gauge()
+        first_behaved: Optional[int] = None
+        for index in range(clients):
+            site = plan.client_site(index)
+            if site is not None:
+                report.misbehaved[site] = report.misbehaved.get(site, 0) + 1
+                attacks.append(_attack(
+                    site, index, host, port, frame_timeout_s, report))
+            else:
+                if first_behaved is None:
+                    first_behaved = index
+                report.behaved += 1
+                events = per_app[index % len(per_app)][:events_per_client]
+                behaved.append(_one_client(
+                    index, host, port, events, load, gauge))
+        load.clients = report.behaved
+
+        tasks = [asyncio.ensure_future(c) for c in attacks + behaved]
+        killer = None
+        if kill:
+            # Enough journal growth that sessions exist and frames are in
+            # flight, small enough that plenty of stream remains unsent.
+            threshold = max(10, report.behaved * events_per_client // 4)
+            killer = asyncio.ensure_future(_kill_when_journal_grows(
+                server, data_dir, threshold, report))
+        await asyncio.gather(*tasks)
+        if killer is not None:
+            await killer
+        report.load = load
+        load.peak_concurrent = gauge.peak
+        report.note(load.summary())
+        if load.silent:
+            report.violate(
+                "%d request(s) silently dropped on surviving connections"
+                % load.silent)
+        if kill and not report.killed:
+            report.note("stream finished before the kill trigger "
+                        "(server never SIGKILLed)")
+        if kill and report.killed and not load.aborted:
+            report.note("no behaved client was mid-stream at the kill "
+                        "(all finished first)")
+
+        if not kill:
+            # Graceful path: drain the server so the final snapshot lands,
+            # then certify recovery against the flushed state.
+            served_digest, _ = await _server_digest(host, port)
+            report.digest_served = served_digest
+            server.terminate()
+
+        # The kill -9 disk signature: tear the journal's trailing record.
+        if plan.journal_torn():
+            Journal(data_dir).tear()
+            report.torn = True
+            report.note("journal torn (half-written trailing record)")
+
+        # Byte-copy the data directory BEFORE anyone recovers from it, so
+        # the in-process recovery and the restarted server read the same
+        # bytes independently.
+        copy_dir = workdir / "data-copy"
+        if copy_dir.exists():
+            shutil.rmtree(copy_dir)
+        shutil.copytree(data_dir, copy_dir)
+
+        recovery = Journal.recover(copy_dir)
+        report.digest_recovered = recovery.state.state_digest()
+        report.replayed = recovery.replayed
+        report.snapshot_seq = recovery.snapshot_seq
+        report.quarantined = recovery.quarantined
+        report.note(
+            "independent recovery: snapshot seq=%d + %d journal records "
+            "-> seq=%d (%d stale skipped, %d torn quarantined)"
+            % (recovery.snapshot_seq, recovery.replayed,
+               recovery.state.seq, recovery.skipped, recovery.quarantined))
+        if report.torn and recovery.quarantined != 1:
+            report.violate("torn journal record was not quarantined")
+        audit = recovery.state.audit()
+        if audit:
+            report.violate("structural audit after recovery: %s"
+                           % "; ".join(audit[:3]))
+        else:
+            report.note("structural audit green (%d sessions)"
+                        % len(recovery.state.sessions))
+
+        # Restart the server on the original directory and compare digests.
+        if kill:
+            server.start()
+            if not server.wait_ready():
+                report.violate("server did not come back after SIGKILL")
+                return report
+            host, port = "127.0.0.1", server.port
+            served_digest, stats = await _server_digest(host, port)
+            report.digest_served = served_digest
+            report.note("restarted server on port %d: seq=%s, %d sessions"
+                        % (port, stats.get("seq"), stats.get("sessions", 0)))
+
+            # Post-recovery liveness: the first behaved client reconnects
+            # — resuming its recovered session — and keeps streaming.
+            index = 0 if first_behaved is None else first_behaved
+            name = "lg-%05d" % index
+            offset = index * CLIENT_ADDR_STRIDE
+            events = per_app[index % len(per_app)]
+            try:
+                client = await ServeClient.connect(host, port)
+                response = await client.request(
+                    {"op": "hello", "client": name})
+                resumed = response.get("session") == "resumed"
+                streamed = bool(response.get("ok"))
+                for k, (warp, pc, addr) in enumerate(events[:10]):
+                    response = await client.request({
+                        "op": "access", "warp": warp, "pc": pc,
+                        "addr": addr + offset, "app": 0, "seq": k})
+                    streamed = streamed and "ok" in response
+                await client.request({"op": "bye"})
+                await client.close()
+                report.resumed_after_restart = resumed
+                if not streamed:
+                    report.violate(
+                        "post-restart liveness failed: %s could not stream"
+                        % name)
+                elif resumed:
+                    report.note("client %s resumed its recovered session "
+                                "and streamed 10 more events" % name)
+                else:
+                    # Legitimate only if the kill landed before this
+                    # client's hello reached the journal.
+                    report.note("client %s streamed after restart (session "
+                                "was new: hello not yet durable at kill)"
+                                % name)
+            except (OSError, EOFError, asyncio.IncompleteReadError,
+                    asyncio.TimeoutError) as exc:
+                report.violate("post-restart liveness failed: %s" % exc)
+
+        if report.digest_served and report.digest_recovered:
+            if report.digest_served == report.digest_recovered:
+                report.note("state digests MATCH (%s...): snapshot + WAL "
+                            "replay is byte-identical"
+                            % report.digest_served[:16])
+            else:
+                report.violate(
+                    "state digest mismatch: served %s != recovered %s"
+                    % (report.digest_served[:16],
+                       report.digest_recovered[:16]))
+        elif kill:
+            report.violate("could not obtain both state digests")
+        return report
+    finally:
+        server.terminate()
+
+
+__all__ = [
+    "SERVE_DEFAULT_RATES",
+    "SERVE_SITES",
+    "ServeChaosReport",
+    "ServeFaultPlan",
+    "run_serve_chaos",
+    "serve_catalog",
+]

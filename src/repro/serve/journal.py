@@ -1,0 +1,255 @@
+"""Durable serve state: periodic snapshots plus a write-ahead journal.
+
+Layout inside the service's data directory::
+
+    snapshot.json    full ServiceState image (atomic tmp + os.replace)
+    journal.jsonl    one record per state mutation since process start
+    journal.jsonl.corrupt   quarantined torn fragments (forensics)
+
+Every mutating operation — an admit that created a session, an applied
+access — is appended to the journal (flushed, optionally fsynced) *after*
+the state transition and *before* the response is sent, so an
+acknowledged mutation is always recoverable.  Every ``snapshot_every``
+mutations the full state is snapshotted atomically.
+
+Recovery composes the two: restore the newest snapshot, then replay
+every journal record whose sequence number exceeds the snapshot's.  The
+records carry their sequence numbers precisely so the crash window
+*between* writing a snapshot and truncating the journal is idempotent —
+stale records replay as no-ops by the ``seq`` guard rather than
+double-applying.  A torn trailing journal line (the ``kill -9``
+signature) is quarantined via the shared :mod:`repro.durable` helper;
+interior corruption refuses recovery loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, TextIO, Union
+
+from repro.durable import (
+    JsonlCorruptionError,
+    quarantine_fragment,
+    scan_jsonl,
+)
+
+from .state import ServeConfig, ServiceState
+
+SNAPSHOT_NAME = "snapshot.json"
+JOURNAL_NAME = "journal.jsonl"
+
+
+class JournalError(ValueError):
+    """The durable state is damaged beyond the recoverable trailing line."""
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`Journal.recover` rebuilt, for telemetry and the chaos
+    certificate."""
+
+    state: ServiceState
+    snapshot_seq: int = 0      # seq recorded in the snapshot (0 = none)
+    replayed: int = 0          # journal records applied on top
+    skipped: int = 0           # stale records idempotently ignored
+    quarantined: int = 0       # torn fragments diverted to the sidecar
+    errors: List[str] = field(default_factory=list)
+
+
+class Journal:
+    """The service's durability engine.
+
+    ``fsync=False`` (the default) flushes every append to the OS — which
+    survives ``kill -9`` of the *process*, the fault the chaos harness
+    certifies — while ``fsync=True`` additionally forces the page cache
+    down for machine-crash durability at a large latency cost.
+    """
+
+    def __init__(self, data_dir: Union[str, Path], *,
+                 snapshot_every: int = 1000, fsync: bool = False) -> None:
+        if snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+        self.data_dir = Path(data_dir)
+        self.snapshot_path = self.data_dir / SNAPSHOT_NAME
+        self.journal_path = self.data_dir / JOURNAL_NAME
+        self.snapshot_every = snapshot_every
+        self.fsync = fsync
+        self._handle: Optional[TextIO] = None
+        self._since_snapshot = 0
+        self.appended = 0
+        self.snapshots = 0
+
+    # ------------------------------------------------------------------
+    # Writing
+
+    def open(self) -> None:
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self._handle = self.journal_path.open("a", encoding="utf-8")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def record_admit(self, seq: int, client: str) -> None:
+        self._append({"q": seq, "op": "admit", "c": client})
+
+    def record_access(self, seq: int, client: str, warp: int, pc: int,
+                      addr: int, app: int) -> None:
+        self._append({
+            "q": seq, "op": "access", "c": client,
+            "w": warp, "p": pc, "a": addr, "app": app,
+        })
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        if self._handle is None:
+            raise JournalError("journal is not open for append")
+        self._handle.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self.appended += 1
+        self._since_snapshot += 1
+
+    def maybe_snapshot(self, state: ServiceState) -> bool:
+        """Snapshot when the journal has grown ``snapshot_every`` records
+        past the last one; returns True when a snapshot was written."""
+        if self._since_snapshot < self.snapshot_every:
+            return False
+        self.write_snapshot(state)
+        return True
+
+    def write_snapshot(self, state: ServiceState) -> None:
+        """Atomically persist the full state, then truncate the journal.
+
+        Crash-ordering argument: the snapshot lands via ``os.replace``
+        (readers see old-complete or new-complete, never torn).  If the
+        process dies between the replace and the truncate, the journal
+        still holds records with ``seq <= snapshot.seq`` — recovery skips
+        them by the idempotence guard, so the window is harmless.
+        """
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        tmp = self.snapshot_path.with_name(self.snapshot_path.name + ".tmp")
+        payload = json.dumps(
+            state.snapshot(), sort_keys=True, separators=(",", ":")
+        )
+        with tmp.open("w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, self.snapshot_path)
+        self.close()
+        self.journal_path.write_text("")
+        self.open()
+        self._since_snapshot = 0
+        self.snapshots += 1
+
+    def tear(self) -> None:
+        """Chaos hook (``journal.torn``): append a torn half-record, as a
+        writer killed mid-append would leave it."""
+        with self.journal_path.open("ab") as handle:
+            handle.write(b'{"q": 999999999, "op": "access", "c": "torn-by')
+
+    # ------------------------------------------------------------------
+    # Recovery
+
+    @classmethod
+    def recover(cls, data_dir: Union[str, Path],
+                config: Optional[ServeConfig] = None) -> RecoveryReport:
+        """Rebuild the service state from snapshot + journal.
+
+        ``config`` seeds a *fresh* state when no snapshot exists; once a
+        snapshot exists its embedded config wins (state and config must
+        never diverge).  Raises :class:`JournalError` on interior
+        corruption or a record that cannot replay — recovering *around*
+        acknowledged state would silently lose it.
+        """
+        data_dir = Path(data_dir)
+        snapshot_path = data_dir / SNAPSHOT_NAME
+        journal_path = data_dir / JOURNAL_NAME
+
+        if snapshot_path.exists():
+            try:
+                state = ServiceState.restore(
+                    json.loads(snapshot_path.read_text(encoding="utf-8"))
+                )
+            except (ValueError, KeyError, TypeError) as exc:
+                raise JournalError(
+                    "corrupt snapshot %s: %s" % (snapshot_path, exc)
+                ) from exc
+            report = RecoveryReport(state=state, snapshot_seq=state.seq)
+        else:
+            report = RecoveryReport(state=ServiceState(config))
+
+        if not journal_path.exists():
+            return report
+        try:
+            scan = scan_jsonl(journal_path.read_bytes(), path=journal_path)
+        except JsonlCorruptionError as exc:
+            raise JournalError(
+                "corrupt journal %s: undecodable record %d (%s)"
+                % (journal_path, exc.line_index, exc)
+            ) from exc
+        if scan.torn is not None:
+            quarantine_fragment(journal_path, scan.torn)
+            report.quarantined += 1
+            # Rewrite the journal without the torn tail so a snapshot-less
+            # restart does not re-quarantine (and re-count) the same tear.
+            journal_path.write_bytes(
+                b"".join(
+                    json.dumps(r, sort_keys=True,
+                               separators=(",", ":")).encode("utf-8") + b"\n"
+                    for r in scan.records
+                )
+            )
+
+        state = report.state
+        for index, record in enumerate(scan.records):
+            if not isinstance(record, dict) or "q" not in record:
+                raise JournalError(
+                    "journal record %d carries no sequence number: %r"
+                    % (index, record)
+                )
+            seq = int(record["q"])
+            if seq <= report.snapshot_seq:
+                report.skipped += 1   # pre-snapshot record: idempotent no-op
+                continue
+            op = record.get("op")
+            if op == "admit":
+                result = state.admit(str(record["c"]))
+                if not result.ok or not result.created:
+                    raise JournalError(
+                        "journal admit %d did not recreate session %r"
+                        % (index, record.get("c"))
+                    )
+            elif op == "access":
+                applied = state.apply(
+                    str(record["c"]), int(record["w"]), int(record["p"]),
+                    int(record["a"]), int(record.get("app", 0)),
+                )
+                if applied is None:
+                    raise JournalError(
+                        "journal access %d targets unknown session %r"
+                        % (index, record.get("c"))
+                    )
+            else:
+                raise JournalError(
+                    "journal record %d has unknown op %r" % (index, op)
+                )
+            if state.seq != seq:
+                raise JournalError(
+                    "replay divergence at record %d: reached seq %d, "
+                    "journal says %d" % (index, state.seq, seq)
+                )
+            report.replayed += 1
+        return report
+
+
+__all__ = ["Journal", "JournalError", "RecoveryReport",
+           "JOURNAL_NAME", "SNAPSHOT_NAME"]

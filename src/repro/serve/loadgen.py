@@ -1,0 +1,255 @@
+"""Load generator: replay the workload suite as many concurrent clients.
+
+Each simulated client connects, says hello, streams one workload's
+memory accesses as ``access`` requests in strict request→response
+lockstep, and says bye.  Clients share per-app event lists (extracted
+once from the trace builders) but write into disjoint address spaces
+(client index << 32), so a thousand clients cost one kernel build per
+app, not a thousand.
+
+The report certifies the zero-silent-drop contract: for every client
+whose connection survived, ``sent == acked + nacked`` — a shed or
+refused request always produced an explicit NACK.  Clients whose
+connection *died* (only expected when the chaos harness is killing the
+server) are tallied as aborted, with their in-flight request counted as
+``unanswered`` rather than silently ignored.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.gpusim.trace import KernelTrace
+from repro.workloads import build_kernel
+
+from .protocol import FrameDecoder, FrameError, HEADER_BYTES, encode_frame
+
+#: One observed access: (warp, pc, addr).
+AccessTuple = Tuple[int, int, int]
+
+#: Per-client address-space stride: client ``i`` offsets every address by
+#: ``i * CLIENT_ADDR_STRIDE`` so sessions never alias.
+CLIENT_ADDR_STRIDE = 1 << 32
+
+_REQUEST_TIMEOUT_S = 60.0
+
+
+class ServeClient:
+    """Minimal asyncio client for the serve frame protocol (shared by the
+    load generator, the chaos harness, and the tests)."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self.reader = reader
+        self.writer = writer
+        self._decoder = FrameDecoder()
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(self, message: Dict[str, Any],
+                      timeout: float = _REQUEST_TIMEOUT_S) -> Dict[str, Any]:
+        self.writer.write(encode_frame(message))
+        await self.writer.drain()
+        return await asyncio.wait_for(self.read_response(), timeout)
+
+    async def read_response(self) -> Dict[str, Any]:
+        header = await self.reader.readexactly(HEADER_BYTES)
+        length = int.from_bytes(header, "big")
+        payload = await self.reader.readexactly(length)
+        frames = self._decoder.feed(header + payload)
+        if len(frames) != 1:
+            raise FrameError("expected exactly one response frame")
+        return frames[0]
+
+    async def close(self) -> None:
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+def kernel_events(kernel: KernelTrace) -> List[AccessTuple]:
+    """Flatten a kernel trace into interleaved (warp, pc, addr) accesses.
+
+    Warps are interleaved position-by-position (a round-robin scheduler's
+    view), so the stream exercises inter-warp stride detection the way a
+    real SM would — warp-major order would starve it.
+    """
+    streams = [
+        [(warp.warp_id, instr.pc, instr.base_addr)
+         for instr in warp.instrs if instr.is_mem]
+        for cta in kernel.ctas for warp in cta.warps
+    ]
+    events: List[AccessTuple] = []
+    position = 0
+    remaining = True
+    while remaining:
+        remaining = False
+        for stream in streams:
+            if position < len(stream):
+                events.append(stream[position])
+                remaining = True
+        position += 1
+    return events
+
+
+def suite_events(apps: Sequence[str], scale: float = 0.1,
+                 seed: int = 1) -> List[List[AccessTuple]]:
+    """One event list per app (built once, shared by all clients)."""
+    return [
+        kernel_events(build_kernel(app, scale=scale, seed=seed))
+        for app in apps
+    ]
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one load-generation run."""
+
+    clients: int = 0
+    connect_failures: int = 0
+    aborted: int = 0            # connection died mid-stream
+    sent: int = 0
+    acked: int = 0
+    nacked: Dict[str, int] = field(default_factory=dict)
+    degraded: int = 0
+    unanswered: int = 0         # sent on a connection that then died
+    silent: int = 0             # unanswered on a SURVIVING connection: must be 0
+    peak_concurrent: int = 0
+
+    def nack_total(self) -> int:
+        return sum(self.nacked.values())
+
+    def summary(self) -> str:
+        nacks = ", ".join(
+            "%s=%d" % (reason, count)
+            for reason, count in sorted(self.nacked.items())
+        ) or "none"
+        return (
+            "loadgen: %d clients (peak %d concurrent, %d connect failures, "
+            "%d aborted), %d sent = %d acked + %d nacked (%s), "
+            "%d degraded answers, %d unanswered, %d SILENT" % (
+                self.clients, self.peak_concurrent, self.connect_failures,
+                self.aborted, self.sent, self.acked, self.nack_total(),
+                nacks, self.degraded, self.unanswered, self.silent,
+            )
+        )
+
+
+class _Gauge:
+    """Tracks the number of in-flight clients and its high-water mark."""
+
+    def __init__(self) -> None:
+        self.active = 0
+        self.peak = 0
+
+    def enter(self) -> None:
+        self.active += 1
+        self.peak = max(self.peak, self.active)
+
+    def leave(self) -> None:
+        self.active -= 1
+
+
+async def _one_client(index: int, host: str, port: int,
+                      events: Sequence[AccessTuple], report: LoadReport,
+                      gauge: _Gauge) -> None:
+    name = "lg-%05d" % index
+    offset = index * CLIENT_ADDR_STRIDE
+    try:
+        client = await ServeClient.connect(host, port)
+    except OSError:
+        report.connect_failures += 1
+        return
+    gauge.enter()
+    sent = answered = 0
+    alive = True
+    try:
+        try:
+            sent += 1
+            response = await client.request(
+                {"op": "hello", "client": name, "seq": 0}
+            )
+            answered += 1
+            _tally(report, response)
+            if response.get("ok"):
+                for k, (warp, pc, addr) in enumerate(events):
+                    sent += 1
+                    response = await client.request({
+                        "op": "access", "warp": warp, "pc": pc,
+                        "addr": addr + offset, "seq": k + 1,
+                    })
+                    answered += 1
+                    _tally(report, response)
+            sent += 1
+            response = await client.request({"op": "bye", "seq": len(events) + 1})
+            answered += 1
+            _tally(report, response)
+        except (OSError, EOFError, asyncio.IncompleteReadError,
+                asyncio.TimeoutError, FrameError):
+            alive = False
+            report.aborted += 1
+    finally:
+        gauge.leave()
+        report.sent += sent
+        lost = sent - answered
+        report.unanswered += lost
+        if alive:
+            # The connection survived end to end, so every request must
+            # have been answered — anything else is a silent drop.
+            report.silent += lost
+        await client.close()
+
+
+async def _run(host: str, port: int, clients: int,
+               events_per_client: int, apps: Sequence[str], scale: float,
+               seed: int) -> LoadReport:
+    per_app = suite_events(apps, scale=scale, seed=seed)
+    report = LoadReport(clients=clients)
+    gauge = _Gauge()
+    tasks = []
+    for index in range(clients):
+        events = per_app[index % len(per_app)]
+        if events_per_client and len(events) > events_per_client:
+            events = events[:events_per_client]
+        tasks.append(_one_client(index, host, port, events, report, gauge))
+    await asyncio.gather(*tasks)
+    report.peak_concurrent = gauge.peak
+    return report
+
+
+def run_loadgen(host: str, port: int, *, clients: int = 100,
+                events_per_client: int = 30,
+                apps: Sequence[str] = ("lps", "hotspot", "backprop"),
+                scale: float = 0.1, seed: int = 1) -> LoadReport:
+    """Blocking entry point: replay ``apps`` as ``clients`` concurrent
+    sessions against a running server and report the tally."""
+    return asyncio.run(_run(
+        host, port, clients, events_per_client, apps, scale, seed
+    ))
+
+
+def _tally(report: LoadReport, response: Dict[str, Any]) -> None:
+    if response.get("ok"):
+        report.acked += 1
+        if response.get("degraded"):
+            report.degraded += 1
+    else:
+        reason = str(response.get("error", "?"))
+        report.nacked[reason] = report.nacked.get(reason, 0) + 1
+
+
+__all__ = [
+    "CLIENT_ADDR_STRIDE",
+    "LoadReport",
+    "ServeClient",
+    "kernel_events",
+    "run_loadgen",
+    "suite_events",
+]

@@ -1,0 +1,235 @@
+"""The serve wire protocol: length-prefixed JSON frames, strictly validated.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON encoding a single object.  The framing exists so the
+server can bound *every* read: a declared length above
+:data:`MAX_FRAME_BYTES` is rejected before a byte of payload is buffered
+(memory-bomb defense), and a peer that dribbles a frame out slower than
+the frame deadline is a slow-loris, not a client.
+
+Validation mirrors the external-trace loader's strictness
+(:mod:`repro.gpusim.traceio`): the service learns *mutable model state*
+from these records, so every numeric field must be a plain JSON integer
+— booleans, floats (including the ``NaN``/``Infinity`` literals Python's
+``json`` happily parses), strings and out-of-range values are rejected
+at the protocol edge with an explicit NACK, never absorbed.
+
+Everything here is sans-I/O (bytes in, objects out) so the codec is unit
+testable without sockets and reusable by clients, the load generator and
+the chaos harness.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, List, Optional
+
+#: Hard ceiling on one frame's payload (requests are tiny; anything close
+#: to this is hostile or corrupt).
+MAX_FRAME_BYTES = 1 << 20
+
+#: Frame header: unsigned 32-bit big-endian payload length.
+HEADER = struct.Struct(">I")
+HEADER_BYTES = HEADER.size
+
+#: Request operations the service understands.
+OPS = ("hello", "access", "predict", "stats", "ping", "bye")
+
+#: NACK reasons the service may answer with.  Every reason is explicit —
+#: a shed, refused or rejected request is *always* told why.
+NACK_REASONS = (
+    "overload",        # ingress queue full: load shed, retry later
+    "deadline",        # request aged past its processing budget in queue
+    "busy",            # admission control: session table full of active clients
+    "malformed",       # frame or record failed protocol validation
+    "protocol",        # valid frame, invalid op sequence (e.g. access before hello)
+    "session-expired", # the session was evicted; re-hello to continue
+    "slow-client",     # frame arrived slower than the frame deadline
+    "shutdown",        # the service is draining
+)
+
+
+class FrameError(ValueError):
+    """A frame (or the stream carrying it) violates the protocol.
+
+    ``offset`` is the byte offset of the offending frame in the
+    connection's stream, ``frame_index`` its ordinal — same shape as
+    :class:`repro.gpusim.traceio.TraceFormatError` so operators get a
+    pinpoint, not a guess.
+    """
+
+    def __init__(self, message: str, *, offset: int = 0,
+                 frame_index: int = 0) -> None:
+        self.offset = offset
+        self.frame_index = frame_index
+        super().__init__(
+            "%s (frame %d at byte offset %d)" % (message, frame_index, offset)
+        )
+
+
+def encode_frame(obj: Dict[str, Any]) -> bytes:
+    """Serialize one message to its on-wire form (canonical JSON, so
+    identical messages are identical bytes)."""
+    payload = json.dumps(obj, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(
+            "frame payload of %d bytes exceeds the %d-byte ceiling"
+            % (len(payload), MAX_FRAME_BYTES)
+        )
+    return HEADER.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame decoder for one connection's byte stream.
+
+    Feed it arbitrary chunks; it returns every complete frame decoded so
+    far and keeps the remainder buffered.  Protocol violations raise
+    :class:`FrameError` carrying the stream offset; the connection is
+    then unrecoverable by design (framing is lost).
+    """
+
+    def __init__(self, max_frame: int = MAX_FRAME_BYTES) -> None:
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+        self._offset = 0       # stream offset of the buffer's first byte
+        self._frames = 0
+
+    def feed(self, data: bytes) -> List[Dict[str, Any]]:
+        self._buffer.extend(data)
+        out: List[Dict[str, Any]] = []
+        while True:
+            if len(self._buffer) < HEADER_BYTES:
+                return out
+            (length,) = HEADER.unpack_from(self._buffer, 0)
+            if length == 0:
+                raise FrameError(
+                    "zero-length frame", offset=self._offset,
+                    frame_index=self._frames,
+                )
+            if length > self.max_frame:
+                raise FrameError(
+                    "declared frame length %d exceeds the %d-byte ceiling"
+                    % (length, self.max_frame),
+                    offset=self._offset, frame_index=self._frames,
+                )
+            if len(self._buffer) < HEADER_BYTES + length:
+                return out
+            payload = bytes(self._buffer[HEADER_BYTES:HEADER_BYTES + length])
+            del self._buffer[:HEADER_BYTES + length]
+            try:
+                message = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise FrameError(
+                    "undecodable frame payload: %s" % exc,
+                    offset=self._offset, frame_index=self._frames,
+                ) from exc
+            if not isinstance(message, dict):
+                raise FrameError(
+                    "frame payload is not an object: %r" % (message,),
+                    offset=self._offset, frame_index=self._frames,
+                )
+            self._offset += HEADER_BYTES + length
+            self._frames += 1
+            out.append(message)
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+
+# ---------------------------------------------------------------------------
+# Request validation.
+
+
+def _require_int(value: object, what: str, minimum: int = 0,
+                 maximum: int = (1 << 64) - 1) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise FrameError("%s must be an integer, got %r" % (what, value))
+    if not minimum <= value <= maximum:
+        raise FrameError(
+            "%s must be in [%d, %d], got %d" % (what, minimum, maximum, value)
+        )
+    return value
+
+
+def validate_request(message: Dict[str, Any]) -> Dict[str, Any]:
+    """Check one decoded request frame and return its normalized form.
+
+    Raises :class:`FrameError` on anything out of contract.  The
+    normalized dict carries only known fields, so hostile extras never
+    reach the learner or the journal.
+    """
+    op = message.get("op")
+    if op not in OPS:
+        raise FrameError(
+            "unknown op %r (known: %s)" % (op, ", ".join(OPS))
+        )
+    out: Dict[str, Any] = {"op": op}
+    if "seq" in message:
+        out["seq"] = _require_int(message["seq"], "seq")
+    if op == "hello":
+        client = message.get("client")
+        if not isinstance(client, str) or not 1 <= len(client) <= 128:
+            raise FrameError(
+                "hello needs a client id string of 1..128 chars, got %r"
+                % (client,)
+            )
+        out["client"] = client
+    elif op in ("access", "predict"):
+        out["warp"] = _require_int(message.get("warp"), "warp")
+        out["pc"] = _require_int(message.get("pc"), "pc")
+        out["addr"] = _require_int(message.get("addr"), "addr")
+        out["app"] = _require_int(message.get("app", 0), "app")
+    elif op == "stats":
+        digest = message.get("digest", False)
+        if not isinstance(digest, bool):
+            raise FrameError("stats digest flag must be a boolean")
+        out["digest"] = digest
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Response constructors.
+
+
+def ack(seq: Optional[int] = None, **fields: Any) -> Dict[str, Any]:
+    response: Dict[str, Any] = {"ok": True}
+    if seq is not None:
+        response["seq"] = seq
+    response.update(fields)
+    return response
+
+
+def nack(reason: str, seq: Optional[int] = None, detail: str = "",
+         retry_after_s: Optional[float] = None) -> Dict[str, Any]:
+    """An explicit refusal.  Every shed, refused or rejected request gets
+    one of these — the zero-silent-drop contract the chaos harness and
+    load generator certify."""
+    if reason not in NACK_REASONS:
+        raise ValueError(
+            "unknown NACK reason %r (known: %s)"
+            % (reason, ", ".join(NACK_REASONS))
+        )
+    response: Dict[str, Any] = {"ok": False, "error": reason}
+    if seq is not None:
+        response["seq"] = seq
+    if detail:
+        response["detail"] = detail
+    if retry_after_s is not None:
+        response["retry_after_s"] = retry_after_s
+    return response
+
+
+__all__ = [
+    "FrameDecoder",
+    "FrameError",
+    "HEADER_BYTES",
+    "MAX_FRAME_BYTES",
+    "NACK_REASONS",
+    "OPS",
+    "ack",
+    "encode_frame",
+    "nack",
+    "validate_request",
+]

@@ -1,0 +1,97 @@
+"""The serve fault plan (fast) and the full chaos certificates (slow)."""
+
+import pytest
+
+from repro.serve.chaos import (
+    SERVE_DEFAULT_RATES,
+    SERVE_SITES,
+    ServeFaultPlan,
+    run_serve_chaos,
+    serve_catalog,
+)
+
+
+def test_plan_is_deterministic_and_order_independent():
+    a = ServeFaultPlan.make({"client.slow_loris": 0.5,
+                             "client.malformed_frame": 0.5}, seed=7)
+    b = ServeFaultPlan.make({"client.malformed_frame": 0.5,
+                             "client.slow_loris": 0.5}, seed=7)
+    assert a == b
+    assignments = [a.client_site(i) for i in range(200)]
+    assert assignments == [b.client_site(i) for i in range(200)]
+    # With 50% rates over two sites, both fire somewhere in 200 draws.
+    assert "client.slow_loris" in assignments
+    assert "client.malformed_frame" in assignments
+    assert assignments.count(None) > 0
+
+
+def test_different_seeds_differ():
+    plan7 = ServeFaultPlan.storm(seed=7)
+    plan8 = ServeFaultPlan.storm(seed=8)
+    assert [plan7.client_site(i) for i in range(100)] != [
+        plan8.client_site(i) for i in range(100)
+    ]
+
+
+def test_single_and_storm_labels():
+    assert ServeFaultPlan.storm().label() == "serve-storm"
+    assert ServeFaultPlan.single("client.slow_loris").label() == "slow_loris"
+    assert ServeFaultPlan.make({}).label() == "none"
+
+
+def test_plan_rejects_unknown_site_and_bad_rate():
+    with pytest.raises(ValueError, match="unknown serve fault site"):
+        ServeFaultPlan.make({"client.teleport": 0.5})
+    with pytest.raises(ValueError, match="in \\[0, 1\\]"):
+        ServeFaultPlan.make({"client.slow_loris": 1.5})
+
+
+def test_zero_rate_plan_never_fires():
+    plan = ServeFaultPlan.make({s: 0.0 for s in SERVE_SITES})
+    assert all(plan.client_site(i) is None for i in range(100))
+    assert not plan.journal_torn()
+
+
+def test_catalog_covers_every_site():
+    assert set(serve_catalog()) == set(SERVE_SITES)
+    assert set(SERVE_DEFAULT_RATES) == set(SERVE_SITES)
+
+
+@pytest.mark.slow
+def test_graceful_chaos_certificate_is_green():
+    report = run_serve_chaos(
+        ServeFaultPlan.storm(seed=0),
+        clients=12, events_per_client=30, apps=("lps",), scale=0.05,
+        kill=False,
+    )
+    assert report.ok, "\n" + report.render()
+    assert report.torn and report.quarantined == 1
+    assert report.digest_served == report.digest_recovered
+
+
+@pytest.mark.slow
+def test_kill9_chaos_certificate_is_green():
+    """The acceptance criterion: SIGKILL mid-stream, torn journal,
+    restart — recovered learner state is byte-identical (snapshot + WAL
+    replay), the structural audit is green, behaved clients saw zero
+    silent drops, and a client resumes its session after restart."""
+    report = run_serve_chaos(
+        ServeFaultPlan.storm(seed=0),
+        clients=24, events_per_client=60, apps=("lps", "hotspot"),
+        scale=0.05, kill=True,
+    )
+    assert report.ok, "\n" + report.render()
+    assert report.killed
+    assert report.digest_served == report.digest_recovered != ""
+    assert report.load is not None and report.load.silent == 0
+
+
+@pytest.mark.slow
+def test_chaos_seed_sweep():
+    for seed in range(3):
+        report = run_serve_chaos(
+            ServeFaultPlan.storm(seed=seed),
+            clients=16, events_per_client=40, apps=("lps",), scale=0.05,
+            kill=True,
+        )
+        assert report.ok, "seed %d:\n%s" % (seed, report.render())

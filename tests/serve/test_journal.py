@@ -1,0 +1,155 @@
+"""Durability: snapshot + WAL recovery, torn tails, idempotence guards."""
+
+import json
+
+import pytest
+
+from repro.serve.journal import (
+    JOURNAL_NAME,
+    SNAPSHOT_NAME,
+    Journal,
+    JournalError,
+)
+from repro.serve.state import ServeConfig, ServiceState
+
+
+def _drive(state, journal, client, n, pc=16, base=4096):
+    for i in range(n):
+        state.apply(client, 0, pc, base + 64 * i)
+        journal.record_access(state.seq, client, 0, pc, base + 64 * i, 0)
+        journal.maybe_snapshot(state)
+
+
+_CONFIG = ServeConfig(shards=2)
+
+
+def _fresh(tmp_path, snapshot_every=1000):
+    state = ServiceState(_CONFIG)
+    journal = Journal(tmp_path, snapshot_every=snapshot_every)
+    journal.open()
+    state.admit("x")
+    journal.record_admit(state.seq, "x")
+    return state, journal
+
+
+def test_wal_only_recovery_is_byte_identical(tmp_path):
+    state, journal = _fresh(tmp_path)
+    _drive(state, journal, "x", 40)
+    journal.close()
+    # No snapshot exists yet, so the caller's config seeds the state —
+    # the same config the service passes on every start().
+    report = Journal.recover(tmp_path, _CONFIG)
+    assert report.snapshot_seq == 0 and report.replayed == 41
+    assert report.state.state_digest() == state.state_digest()
+
+
+def test_snapshot_plus_wal_recovery(tmp_path):
+    state, journal = _fresh(tmp_path, snapshot_every=10)
+    _drive(state, journal, "x", 37)
+    journal.close()
+    assert journal.snapshots >= 3
+    report = Journal.recover(tmp_path)
+    assert report.snapshot_seq > 0
+    assert 0 < report.replayed < 38
+    assert report.state.state_digest() == state.state_digest()
+
+
+def test_torn_tail_quarantined_and_recovered(tmp_path):
+    state, journal = _fresh(tmp_path)
+    _drive(state, journal, "x", 20)
+    journal.close()
+    Journal(tmp_path).tear()
+    report = Journal.recover(tmp_path, _CONFIG)
+    assert report.quarantined == 1
+    assert report.state.state_digest() == state.state_digest()
+    corrupt = tmp_path / (JOURNAL_NAME + ".corrupt")
+    assert corrupt.exists() and b"torn-by" in corrupt.read_bytes()
+    # The journal was rewritten without the tail: recovering again finds
+    # nothing new to quarantine and the digest is stable.
+    again = Journal.recover(tmp_path, _CONFIG)
+    assert again.quarantined == 0
+    assert again.state.state_digest() == state.state_digest()
+
+
+def test_snapshot_truncate_crash_window_is_idempotent(tmp_path):
+    """The process dies after writing a snapshot but before truncating
+    the journal: stale records must replay as no-ops, not double-apply."""
+    state, journal = _fresh(tmp_path)
+    _drive(state, journal, "x", 15)
+    # Write a snapshot WITHOUT the accompanying truncation.
+    snapshot_path = tmp_path / SNAPSHOT_NAME
+    snapshot_path.write_text(json.dumps(state.snapshot(), sort_keys=True))
+    _drive(state, journal, "x", 5)
+    journal.close()
+    report = Journal.recover(tmp_path)
+    assert report.skipped == 16          # admit + 15 pre-snapshot accesses
+    assert report.replayed == 5
+    assert report.state.state_digest() == state.state_digest()
+
+
+def test_interior_corruption_refuses_recovery(tmp_path):
+    state, journal = _fresh(tmp_path)
+    _drive(state, journal, "x", 10)
+    journal.close()
+    journal_path = tmp_path / JOURNAL_NAME
+    lines = journal_path.read_bytes().splitlines(keepends=True)
+    lines[3] = b"{this is not json}\n"
+    journal_path.write_bytes(b"".join(lines))
+    with pytest.raises(JournalError, match="corrupt journal"):
+        Journal.recover(tmp_path)
+
+
+def test_unknown_op_refuses_recovery(tmp_path):
+    state, journal = _fresh(tmp_path)
+    journal.close()
+    with (tmp_path / JOURNAL_NAME).open("a") as handle:
+        handle.write('{"q": 2, "op": "frobnicate"}\n')
+    with pytest.raises(JournalError, match="unknown op"):
+        Journal.recover(tmp_path)
+
+
+def test_access_to_unknown_session_refuses_recovery(tmp_path):
+    journal = Journal(tmp_path)
+    journal.open()
+    journal.record_access(1, "ghost", 0, 16, 4096, 0)
+    journal.close()
+    with pytest.raises(JournalError, match="unknown session"):
+        Journal.recover(tmp_path)
+
+
+def test_sequence_divergence_refuses_recovery(tmp_path):
+    state, journal = _fresh(tmp_path)
+    _drive(state, journal, "x", 3)
+    journal.close()
+    with (tmp_path / JOURNAL_NAME).open("a") as handle:
+        # claims a seq two ahead of where replay will actually land
+        handle.write('{"q": %d, "op": "access", "c": "x", "w": 0, '
+                     '"p": 16, "a": 4096, "app": 0}\n' % (state.seq + 2))
+    with pytest.raises(JournalError, match="divergence"):
+        Journal.recover(tmp_path)
+
+
+def test_corrupt_snapshot_refuses_recovery(tmp_path):
+    state, journal = _fresh(tmp_path, snapshot_every=2)
+    _drive(state, journal, "x", 5)
+    journal.close()
+    (tmp_path / SNAPSHOT_NAME).write_text('{"v": 1, "seq": "nope"}')
+    with pytest.raises(JournalError, match="corrupt snapshot"):
+        Journal.recover(tmp_path)
+
+
+def test_empty_directory_recovers_fresh_state(tmp_path):
+    report = Journal.recover(tmp_path, ServeConfig(shards=3))
+    assert report.state.seq == 0
+    assert report.state.config.shards == 3
+    assert report.replayed == report.quarantined == 0
+
+
+def test_journal_requires_open_for_append(tmp_path):
+    with pytest.raises(JournalError, match="not open"):
+        Journal(tmp_path).record_admit(1, "x")
+
+
+def test_snapshot_every_validated(tmp_path):
+    with pytest.raises(ValueError):
+        Journal(tmp_path, snapshot_every=0)

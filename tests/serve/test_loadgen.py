@@ -1,0 +1,77 @@
+"""Load generator: event extraction, the silent-drop accounting, and a
+concurrency soak (slow tier for the thousand-client certificate)."""
+
+import asyncio
+
+import pytest
+
+from repro.serve import PrefetchServer, ServeConfig, ServeSettings
+from repro.serve.loadgen import (
+    LoadReport,
+    _run,
+    kernel_events,
+    suite_events,
+)
+from repro.workloads import build_kernel
+
+
+def test_kernel_events_interleave_warps():
+    kernel = build_kernel("lps", scale=0.05, seed=1)
+    events = kernel_events(kernel)
+    assert events, "no memory accesses extracted"
+    warps_in_order = [warp for warp, _, _ in events]
+    # Round-robin interleave: the first len(set) events are all distinct
+    # warps, i.e. not warp-major order.
+    distinct = len(set(warps_in_order))
+    if distinct > 1:
+        assert len(set(warps_in_order[:distinct])) > 1
+
+
+def test_suite_events_one_list_per_app():
+    per_app = suite_events(("lps", "hotspot"), scale=0.05, seed=1)
+    assert len(per_app) == 2
+    assert all(events for events in per_app)
+
+
+def test_report_summary_mentions_silence():
+    report = LoadReport(clients=2, sent=10, acked=9, silent=1)
+    assert "1 SILENT" in report.summary()
+    assert report.nack_total() == 0
+
+
+def _soak(tmp_path, clients, events):
+    async def scenario():
+        settings = ServeSettings(
+            data_dir=str(tmp_path / "data"),
+            config=ServeConfig(max_sessions=clients + 8),
+        )
+        server = PrefetchServer(settings)
+        await server.start()
+        report = await _run("127.0.0.1", server.port, clients, events,
+                            ("lps", "hotspot"), 0.05, 1)
+        await server.stop()
+        return report
+
+    return asyncio.run(scenario())
+
+
+def test_loadgen_small_run_zero_silent(tmp_path):
+    report = _soak(tmp_path, clients=20, events=15)
+    assert report.clients == 20
+    assert report.connect_failures == 0 and report.aborted == 0
+    assert report.sent == report.acked + report.nack_total()
+    assert report.silent == 0
+    assert report.peak_concurrent > 1
+
+
+@pytest.mark.slow
+def test_loadgen_thousand_clients_zero_silent(tmp_path):
+    """The acceptance criterion: >= 1000 concurrent replay clients, and
+    every shed or refused request received an explicit NACK — zero
+    silent drops."""
+    report = _soak(tmp_path, clients=1000, events=20)
+    assert report.clients == 1000
+    assert report.connect_failures == 0 and report.aborted == 0
+    assert report.sent == report.acked + report.nack_total()
+    assert report.silent == 0
+    assert report.peak_concurrent >= 500

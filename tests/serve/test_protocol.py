@@ -1,0 +1,151 @@
+"""Unit tests for the sans-I/O serve wire codec and request validation."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.protocol import (
+    HEADER,
+    HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    NACK_REASONS,
+    FrameDecoder,
+    FrameError,
+    ack,
+    encode_frame,
+    nack,
+    validate_request,
+)
+
+
+def test_round_trip_single_frame():
+    message = {"op": "ping", "seq": 7}
+    frames = FrameDecoder().feed(encode_frame(message))
+    assert frames == [message]
+
+
+def test_encode_is_canonical():
+    a = encode_frame({"b": 1, "a": 2})
+    b = encode_frame({"a": 2, "b": 1})
+    assert a == b
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    messages=st.lists(
+        st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.integers(min_value=0, max_value=2**40),
+            max_size=4,
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    chunk=st.integers(min_value=1, max_value=17),
+)
+def test_decoder_reassembles_any_chunking(messages, chunk):
+    stream = b"".join(encode_frame(m) for m in messages)
+    decoder = FrameDecoder()
+    out = []
+    for start in range(0, len(stream), chunk):
+        out.extend(decoder.feed(stream[start:start + chunk]))
+    assert out == messages
+    assert decoder.buffered == 0
+
+
+def test_zero_length_frame_rejected():
+    with pytest.raises(FrameError, match="zero-length"):
+        FrameDecoder().feed(HEADER.pack(0))
+
+
+def test_oversized_declared_length_rejected_before_payload():
+    decoder = FrameDecoder(max_frame=64)
+    # Only the header is fed: the ceiling must trip without any payload.
+    with pytest.raises(FrameError, match="ceiling"):
+        decoder.feed(HEADER.pack(65))
+
+
+def test_undecodable_payload_rejected_with_offset():
+    decoder = FrameDecoder()
+    good = encode_frame({"op": "ping"})
+    decoder.feed(good)
+    bad = HEADER.pack(4) + b"\xff\xfe\x00x"
+    with pytest.raises(FrameError) as err:
+        decoder.feed(bad)
+    assert err.value.offset == len(good)
+    assert err.value.frame_index == 1
+
+
+def test_non_object_payload_rejected():
+    payload = json.dumps([1, 2, 3]).encode()
+    with pytest.raises(FrameError, match="not an object"):
+        FrameDecoder().feed(HEADER.pack(len(payload)) + payload)
+
+
+def test_encode_refuses_oversized_payload():
+    with pytest.raises(FrameError, match="ceiling"):
+        encode_frame({"x": "y" * MAX_FRAME_BYTES})
+
+
+def test_validate_hello():
+    out = validate_request({"op": "hello", "client": "abc", "seq": 3})
+    assert out == {"op": "hello", "client": "abc", "seq": 3}
+
+
+def test_validate_strips_unknown_fields():
+    out = validate_request({
+        "op": "access", "warp": 1, "pc": 2, "addr": 3,
+        "__proto__": "evil", "extra": 1,
+    })
+    assert set(out) == {"op", "warp", "pc", "addr", "app"}
+
+
+@pytest.mark.parametrize("poison", [
+    {"op": "nope"},
+    {},
+    {"op": "hello"},
+    {"op": "hello", "client": ""},
+    {"op": "hello", "client": "x" * 129},
+    {"op": "hello", "client": 7},
+    {"op": "access", "warp": 0, "pc": 0},                      # missing addr
+    {"op": "access", "warp": True, "pc": 0, "addr": 0},        # bool != int
+    {"op": "access", "warp": 0.5, "pc": 0, "addr": 0},         # float
+    {"op": "access", "warp": -1, "pc": 0, "addr": 0},          # negative
+    {"op": "access", "warp": 1 << 64, "pc": 0, "addr": 0},     # overflow
+    {"op": "access", "warp": "0", "pc": 0, "addr": 0},         # string
+    {"op": "stats", "digest": 1},                              # non-bool flag
+    {"op": "ping", "seq": -3},
+])
+def test_validate_poison_rejected(poison):
+    with pytest.raises(FrameError):
+        validate_request(poison)
+
+
+def test_nack_carries_reason_and_retry():
+    response = nack("overload", seq=9, detail="queue full", retry_after_s=0.5)
+    assert response == {
+        "ok": False, "error": "overload", "seq": 9,
+        "detail": "queue full", "retry_after_s": 0.5,
+    }
+
+
+def test_nack_refuses_unknown_reason():
+    with pytest.raises(ValueError, match="unknown NACK reason"):
+        nack("because")
+
+
+def test_every_nack_reason_constructs():
+    for reason in NACK_REASONS:
+        assert nack(reason)["error"] == reason
+
+
+def test_ack_echoes_seq_and_fields():
+    assert ack(4, predictions=[1]) == {
+        "ok": True, "seq": 4, "predictions": [1],
+    }
+    assert ack() == {"ok": True}
+
+
+def test_header_size_is_four_bytes():
+    assert HEADER_BYTES == 4

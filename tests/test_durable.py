@@ -1,0 +1,86 @@
+"""The shared torn-tail JSONL recovery helper (repro.durable).
+
+One audited implementation backs both the sweep checkpoint and the serve
+write-ahead journal; these tests pin its contract directly (the two
+consumers' suites cover their integration).
+"""
+
+import json
+
+import pytest
+
+from repro.durable import (
+    JsonlCorruptionError,
+    corrupt_sidecar,
+    quarantine_fragment,
+    scan_jsonl,
+)
+
+
+def encode(*records):
+    return b"".join(json.dumps(r).encode() + b"\n" for r in records)
+
+
+class TestScan:
+    def test_empty(self):
+        scan = scan_jsonl(b"")
+        assert scan.records == [] and scan.clean
+
+    def test_clean_records_in_order(self):
+        scan = scan_jsonl(encode({"a": 1}, {"b": 2}, [3]))
+        assert scan.records == [{"a": 1}, {"b": 2}, [3]]
+        assert scan.clean
+
+    def test_blank_lines_ignored(self):
+        scan = scan_jsonl(b'\n\n{"a": 1}\n\n  \n{"b": 2}\n\n')
+        assert scan.records == [{"a": 1}, {"b": 2}]
+
+    def test_torn_tail_recovered(self):
+        raw = encode({"a": 1}) + b'{"b": 2, "sp'
+        scan = scan_jsonl(raw)
+        assert scan.records == [{"a": 1}]
+        assert scan.torn == b'{"b": 2, "sp'
+        assert not scan.clean
+
+    def test_torn_tail_followed_by_whitespace_only(self):
+        raw = encode({"a": 1}) + b'{"half\n  \n\n'
+        scan = scan_jsonl(raw)
+        assert scan.records == [{"a": 1}]
+        assert scan.torn == b'{"half'
+
+    def test_non_utf8_tail_recovered(self):
+        raw = encode({"a": 1}) + b"\xff\xfe\x00garbage"
+        scan = scan_jsonl(raw)
+        assert scan.records == [{"a": 1}]
+        assert scan.torn is not None
+
+    def test_interior_corruption_raises(self):
+        raw = encode({"a": 1}) + b"not json\n" + encode({"b": 2})
+        with pytest.raises(JsonlCorruptionError) as excinfo:
+            scan_jsonl(raw, path="some/log.jsonl")
+        assert excinfo.value.line_index == 1
+        assert "some/log.jsonl" in str(excinfo.value)
+
+    def test_interior_corruption_is_a_valueerror(self):
+        # callers that predate the helper catch ValueError
+        with pytest.raises(ValueError):
+            scan_jsonl(encode({"a": 1}) + b"junk\n" + encode({"b": 2}))
+
+    def test_single_torn_line_file(self):
+        scan = scan_jsonl(b'{"never finis')
+        assert scan.records == []
+        assert scan.torn == b'{"never finis'
+
+
+class TestQuarantine:
+    def test_fragment_diverted_to_sidecar(self, tmp_path):
+        log = tmp_path / "wal.jsonl"
+        sidecar = quarantine_fragment(log, b'{"torn": tru')
+        assert sidecar == corrupt_sidecar(log)
+        assert sidecar.read_bytes() == b'{"torn": tru\n'
+
+    def test_fragments_accumulate(self, tmp_path):
+        log = tmp_path / "wal.jsonl"
+        quarantine_fragment(log, b"first\n")
+        quarantine_fragment(log, b"second")
+        assert corrupt_sidecar(log).read_bytes() == b"first\nsecond\n"

@@ -38,6 +38,9 @@ CLI_SURFACE = {
     "chaos": ("--sites", "--delay-cycles", "--runner", "--runner-jobs"),
     "lint": ("--rule", "--baseline", "--json", "--update-baseline"),
     "bench": ("--quick", "--check", "--tolerance", "--legacy-loop"),
+    "serve": ("--loadgen", "--chaos", "--queue-depth", "--deadline",
+              "--frame-timeout", "--idle-timeout", "--snapshot-every",
+              "--fsync", "--max-sessions", "--chaos-seed", "--no-kill"),
 }
 
 
