@@ -96,6 +96,10 @@ class GPUConfig:
     max_threads_per_sm: int = 2048
     warp_size: int = 32
     registers_per_sm: int = 65536
+    #: per-thread register allotment used to derive register-file warp
+    #: occupancy (Volta default: 32 regs/thread fills the 64K file at
+    #: exactly the 64-warp thread limit)
+    registers_per_thread: int = 32
 
     # Unified L1 data cache / shared memory (128KB, 256-way, 128B, 28-cycle).
     l1: CacheConfig = field(
@@ -199,6 +203,20 @@ class GPUConfig:
             v.append("core_clock_mhz must be >= 1 (got %d)" % self.core_clock_mhz)
         if self.registers_per_sm < 1:
             v.append("registers_per_sm must be >= 1 (got %d)" % self.registers_per_sm)
+        if self.registers_per_thread < 1:
+            v.append(
+                "registers_per_thread must be >= 1 (got %d)"
+                % self.registers_per_thread
+            )
+        elif (
+            self.warp_size >= 1
+            and self.registers_per_sm < self.registers_per_thread * self.warp_size
+        ):
+            v.append(
+                "registers_per_sm (%d) must hold at least one warp "
+                "(%d regs/thread x %d lanes)"
+                % (self.registers_per_sm, self.registers_per_thread, self.warp_size)
+            )
         if self.warp_size < 1:
             v.append("warp_size must be >= 1 (got %d)" % self.warp_size)
         if self.max_threads_per_sm < self.warp_size:
@@ -293,7 +311,14 @@ class GPUConfig:
 
     @property
     def max_warps_per_sm(self) -> int:
-        return self.max_threads_per_sm // self.warp_size
+        """Resident-warp capacity: the tighter of the thread limit and the
+        register-file limit (each warp reserves ``registers_per_thread``
+        registers per lane)."""
+        thread_limit = self.max_threads_per_sm // self.warp_size
+        register_limit = self.registers_per_sm // (
+            self.registers_per_thread * self.warp_size
+        )
+        return min(thread_limit, register_limit)
 
     @property
     def l1_data_bytes(self) -> int:

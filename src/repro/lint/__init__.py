@@ -1,4 +1,4 @@
-"""simlint — simulator-aware static analysis for this repro (SL0xx-SL5xx).
+"""simlint — simulator-aware static analysis for this repro (SL0xx-SL8xx).
 
 Off-the-shelf linters cannot know that ``self.now`` is the simulated
 clock, that ``emit()`` payloads must match the dataclasses in
@@ -7,12 +7,28 @@ lying knob.  simlint parses the repo's own source with :mod:`ast` and
 proves those properties *absent* before any simulation runs — the static
 complement to the runtime sanitizer (``docs/ROBUSTNESS.md``).
 
+Since v2, the engine also lowers every function to a control-flow graph
+(:mod:`repro.lint.cfg`) and solves dataflow problems over it
+(:mod:`repro.lint.dataflow`), so the SL6xx async-safety, SL7xx
+resource-lifecycle and SL8xx contract-conformance families can prove
+"along every path, including exception edges" properties the per-node
+AST matchers structurally cannot.
+
 Entry points: ``snake-repro lint`` (CLI, :mod:`repro.lint.cli`),
 :func:`run_lint` (library), ``docs/STATIC_ANALYSIS.md`` (rule catalog and
 suppression policy).
 """
 
 from .baseline import BaselineError, BaselineResult, load, save, screen
+from .cfg import Block, Edge, FunctionCFG, all_function_cfgs, build_cfg
+from .dataflow import (
+    DataflowProblem,
+    MustRelease,
+    ReachingDefinitions,
+    Solution,
+    find_leaks,
+    solve,
+)
 from .engine import (
     LintError,
     RepoContext,
@@ -24,18 +40,29 @@ from .engine import (
 )
 from .findings import Finding
 from .registry import RULE_CLASSES, build_rules, catalog, rule_ids
+from .sarif import to_sarif
 
 __all__ = [
     "BaselineError",
     "BaselineResult",
+    "Block",
+    "DataflowProblem",
+    "Edge",
     "Finding",
+    "FunctionCFG",
     "LintError",
+    "MustRelease",
     "RULE_CLASSES",
+    "ReachingDefinitions",
     "RepoContext",
     "Rule",
+    "Solution",
     "Suppressions",
+    "all_function_cfgs",
+    "build_cfg",
     "build_rules",
     "catalog",
+    "find_leaks",
     "harvest",
     "load",
     "module_of",
@@ -43,4 +70,6 @@ __all__ = [
     "run_lint",
     "save",
     "screen",
+    "solve",
+    "to_sarif",
 ]

@@ -1,0 +1,584 @@
+"""Per-function control-flow graphs for simlint's dataflow rules.
+
+The PR-4 rule set is a per-node AST pattern matcher; it can say "this call
+exists" but never "on every path".  The SL6xx/SL7xx families need the
+latter — *along all paths, including the exception edges, this lease is
+settled* — so this module lowers each ``def`` / ``async def`` body into a
+small CFG that :mod:`repro.lint.dataflow` solves over.
+
+Design choices (kept deliberately boring):
+
+* **Single-payload blocks.**  Every basic block carries at most one simple
+  statement (``stmts``), or one branch/loop test (``control``), or one
+  ``with``-header item list (``withitems``).  Per-statement blocks make
+  exception edges precise: each may-raise statement gets its own ``except``
+  edge to the innermost enclosing handler (or the synthetic
+  ``raise_exit``), so "an exception between acquire and release" is a real
+  path in the graph, not a heuristic.
+* **Two exits.**  ``exit`` is the normal return/fall-through exit;
+  ``raise_exit`` is the uncaught-exception exit.  Must-release analysis
+  checks both.
+* **Shared finally.**  A ``finally`` suite is lowered once, with out-edges
+  to the normal continuation, to the enclosing handler (exception
+  propagation), and to ``exit`` (return continuation).  This merges the
+  continuations a real interpreter keeps separate — a sound
+  over-approximation that keeps the graph linear in source size.
+* **Opaque nested defs.**  A nested ``def``/``lambda`` is a binding, not a
+  control transfer; its body is analysed in its *own* CFG (see
+  :func:`all_function_cfgs`), never inlined into the parent's.
+* **Await boundaries.**  Every block knows whether executing it crosses an
+  await point (``has_await``) — ``await`` expressions, ``async for``
+  headers and ``async with`` headers all count — which is the load-bearing
+  fact for the SL602 staleness analysis.
+
+Constant loop tests are folded: ``while True:`` emits no false edge, so
+code after the loop is only reachable through ``break`` — and a blocking
+call after an infinite loop is correctly dead to SL601.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: edge kinds, for rules and for the leaking-path witness rendered by SL7xx
+EDGE_KINDS = (
+    "normal", "true", "false", "loop", "loop-exit",
+    "except", "return", "break", "continue", "finally",
+)
+
+#: statement types that cannot raise; everything else gets an except edge
+_NO_RAISE = (ast.Pass, ast.Global, ast.Nonlocal, ast.Break, ast.Continue)
+
+
+class Edge:
+    """A directed CFG edge.  ``cond`` is the branch test for
+    ``true``/``false`` edges (the expression the branch is taken on)."""
+
+    __slots__ = ("src", "dst", "kind", "cond")
+
+    def __init__(
+        self, src: "Block", dst: "Block", kind: str,
+        cond: Optional[ast.expr] = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.cond = cond
+
+    def __repr__(self) -> str:
+        return "Edge(%s -> %s, %s)" % (self.src.bid, self.dst.bid, self.kind)
+
+
+class Block:
+    """One basic block.  Exactly one of ``stmts`` (a single simple
+    statement), ``control`` (a branch/loop test) or ``withitems`` is
+    populated; synthetic blocks (entry/exit/joins/finally heads) carry
+    none."""
+
+    __slots__ = (
+        "bid", "label", "stmts", "control", "withitems", "node",
+        "succs", "preds", "has_await", "_forces_await",
+    )
+
+    def __init__(self, bid: int, label: str) -> None:
+        self.bid = bid
+        self.label = label
+        self.stmts: List[ast.stmt] = []
+        self.control: Optional[ast.expr] = None
+        self.withitems: List[ast.withitem] = []
+        #: originating AST node (compound header, handler, or the statement)
+        self.node: Optional[ast.AST] = None
+        self.succs: List[Edge] = []
+        self.preds: List[Edge] = []
+        self.has_await = False
+        self._forces_await = False
+
+    # -- payload views ---------------------------------------------------
+
+    def payload(self) -> List[ast.AST]:
+        """The AST evaluated by this block (statement, test or
+        context-manager expressions)."""
+        out: List[ast.AST] = []
+        out.extend(self.stmts)
+        if self.control is not None:
+            out.append(self.control)
+        for item in self.withitems:
+            out.append(item.context_expr)
+        return out
+
+    def walk(self) -> Iterator[ast.AST]:
+        """Shallow AST walk over the payload: descends expressions but not
+        nested function/class bodies (those live in their own CFGs)."""
+        for root in self.payload():
+            for node in shallow_walk(root):
+                yield node
+
+    def calls(self) -> List[ast.Call]:
+        return [n for n in self.walk() if isinstance(n, ast.Call)]
+
+    def anchor(self) -> ast.AST:
+        """Best AST node to anchor a finding's line/col on."""
+        if self.stmts:
+            return self.stmts[0]
+        if self.node is not None:
+            return self.node
+        if self.control is not None:
+            return self.control
+        if self.withitems:
+            return self.withitems[0].context_expr
+        return ast.Pass()  # synthetic block: caller anchors elsewhere
+
+    def __repr__(self) -> str:
+        return "Block(%d, %s)" % (self.bid, self.label)
+
+
+class FunctionCFG:
+    """The CFG of one function body."""
+
+    def __init__(self, func: FunctionNode, qualname: str) -> None:
+        self.func = func
+        self.name = func.name
+        self.qualname = qualname
+        self.is_async = isinstance(func, ast.AsyncFunctionDef)
+        self.blocks: List[Block] = []
+        self.entry = self.new_block("entry")
+        self.exit = self.new_block("exit")
+        self.raise_exit = self.new_block("raise-exit")
+
+    def new_block(self, label: str) -> Block:
+        block = Block(len(self.blocks), label)
+        self.blocks.append(block)
+        return block
+
+    def add_edge(
+        self, src: Block, dst: Block, kind: str,
+        cond: Optional[ast.expr] = None,
+    ) -> Edge:
+        edge = Edge(src, dst, kind, cond)
+        src.succs.append(edge)
+        dst.preds.append(edge)
+        return edge
+
+    def reachable(self, start: Optional[Block] = None) -> Set[int]:
+        """Block ids reachable from ``start`` (default: entry)."""
+        seen: Set[int] = set()
+        stack = [start if start is not None else self.entry]
+        while stack:
+            block = stack.pop()
+            if block.bid in seen:
+                continue
+            seen.add(block.bid)
+            stack.extend(e.dst for e in block.succs)
+        return seen
+
+    def exits(self) -> Tuple[Block, Block]:
+        return self.exit, self.raise_exit
+
+
+# ----------------------------------------------------------------------
+# AST helpers shared by the rule families
+
+
+def shallow_walk(root: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested function / lambda /
+    class bodies — their statements belong to their own CFGs."""
+    stack: List[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        if node is not root and isinstance(
+            node,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def func_path(func: ast.expr) -> Tuple[str, ...]:
+    """Dotted-name parts of a call target: ``time.sleep`` →
+    ``("time", "sleep")``; non-name roots (calls, subscripts) contribute
+    ``"?"`` so ``self.journal.open`` → ``("self", "journal", "open")`` and
+    ``get().close`` → ``("?", "close")``."""
+    parts: List[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    else:
+        parts.append("?")
+    return tuple(reversed(parts))
+
+
+def _target_names(target: ast.expr) -> Set[str]:
+    out: Set[str] = set()
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            out.add(node.id)
+    return out
+
+
+def binds(block: Block) -> Set[str]:
+    """Local names this block (re)binds: assignment targets, loop targets,
+    ``with ... as`` names, ``except ... as`` names, walrus targets, imports
+    and nested def/class names."""
+    names: Set[str] = set()
+    for stmt in block.stmts:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                names |= _target_names(target)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            names |= _target_names(stmt.target)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                names |= _target_names(target)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            names.add(stmt.name)
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+    node = block.node
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        names |= _target_names(node.target)
+    if isinstance(node, ast.ExceptHandler) and node.name:
+        names.add(node.name)
+    for item in block.withitems:
+        if item.optional_vars is not None:
+            names |= _target_names(item.optional_vars)
+    for sub in block.walk():
+        if isinstance(sub, ast.NamedExpr) and isinstance(
+            sub.target, ast.Name
+        ):
+            names.add(sub.target.id)
+    return names
+
+
+def _may_raise(stmt: ast.stmt) -> bool:
+    return not isinstance(stmt, _NO_RAISE)
+
+
+def _catch_all(handler: ast.ExceptHandler) -> bool:
+    """Does this handler catch every exception (``except:``, ``except
+    Exception``, ``except BaseException``)?"""
+    kind = handler.type
+    if kind is None:
+        return True
+    return isinstance(kind, ast.Name) and kind.id in (
+        "Exception", "BaseException",
+    )
+
+
+def _test_cannot_raise(expr: ast.expr) -> bool:
+    """Branch tests built only from name loads, constants, ``not``,
+    ``and``/``or`` and ``is``/``is not`` cannot raise, so their headers
+    need no exception edge (an ``if lease:`` must not manufacture a
+    HELD path to the raise exit)."""
+    if isinstance(expr, (ast.Name, ast.Constant)):
+        return True
+    if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.Not):
+        return _test_cannot_raise(expr.operand)
+    if isinstance(expr, ast.BoolOp):
+        return all(_test_cannot_raise(v) for v in expr.values)
+    if isinstance(expr, ast.Compare):
+        return (
+            all(isinstance(op, (ast.Is, ast.IsNot)) for op in expr.ops)
+            and _test_cannot_raise(expr.left)
+            and all(_test_cannot_raise(c) for c in expr.comparators)
+        )
+    return False
+
+
+def _const_truth(expr: Optional[ast.expr]) -> Optional[bool]:
+    """Truthiness of a constant test, or None when not statically known."""
+    if isinstance(expr, ast.Constant):
+        try:
+            return bool(expr.value)
+        except Exception:  # pragma: no cover - exotic constants
+            return None
+    return None
+
+
+# ----------------------------------------------------------------------
+# Builder
+
+#: pending out-edges awaiting their destination: (src block, kind, cond)
+Frontier = List[Tuple[Block, str, Optional[ast.expr]]]
+
+
+class _Builder:
+    def __init__(self, func: FunctionNode, qualname: str) -> None:
+        self.cfg = FunctionCFG(func, qualname)
+        #: innermost exception continuation (handler dispatch / finally /
+        #: raise_exit)
+        self.exc_targets: List[Block] = [self.cfg.raise_exit]
+        #: innermost finally heads, for routing ``return``
+        self.finally_stack: List[Block] = []
+        #: per-loop collected break frontiers
+        self.break_stack: List[Frontier] = []
+        #: per-loop continue targets (the loop header)
+        self.continue_stack: List[Block] = []
+
+    # -- plumbing --------------------------------------------------------
+
+    def connect(self, frontier: Frontier, dst: Block) -> None:
+        for src, kind, cond in frontier:
+            self.cfg.add_edge(src, dst, kind, cond)
+
+    def exc_edge(self, block: Block) -> None:
+        self.cfg.add_edge(block, self.exc_targets[-1], "except")
+
+    def seq(self, stmts: Sequence[ast.stmt], frontier: Frontier) -> Frontier:
+        for stmt in stmts:
+            frontier = self.stmt(stmt, frontier)
+        return frontier
+
+    # -- statement lowering ----------------------------------------------
+
+    def stmt(self, stmt: ast.stmt, frontier: Frontier) -> Frontier:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier)
+        if isinstance(stmt, (ast.While,)):
+            return self._while(stmt, frontier)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier)
+        if hasattr(ast, "TryStar") and isinstance(
+            stmt, getattr(ast, "TryStar")
+        ):  # pragma: no cover - py3.11 except*
+            return self._try(stmt, frontier)
+        if hasattr(ast, "Match") and isinstance(stmt, getattr(ast, "Match")):
+            return self._match(stmt, frontier)
+        return self._simple(stmt, frontier)
+
+    def _leaf(self, stmt: ast.stmt, frontier: Frontier, label: str) -> Block:
+        block = self.cfg.new_block(label)
+        block.stmts.append(stmt)
+        block.node = stmt
+        self.connect(frontier, block)
+        if _may_raise(stmt):
+            self.exc_edge(block)
+        return block
+
+    def _simple(self, stmt: ast.stmt, frontier: Frontier) -> Frontier:
+        block = self._leaf(stmt, frontier, type(stmt).__name__)
+        if isinstance(stmt, ast.Return):
+            target = (
+                self.finally_stack[-1] if self.finally_stack else self.cfg.exit
+            )
+            self.cfg.add_edge(block, target, "return")
+            return []
+        if isinstance(stmt, ast.Raise):
+            # the unconditional raise replaces the fall-through; the
+            # except edge added by _leaf already points at the handler
+            return []
+        if isinstance(stmt, ast.Break):
+            if self.break_stack:
+                self.break_stack[-1].append((block, "break", None))
+            return []
+        if isinstance(stmt, ast.Continue):
+            if self.continue_stack:
+                self.cfg.add_edge(block, self.continue_stack[-1], "continue")
+            return []
+        return [(block, "normal", None)]
+
+    def _if(self, stmt: ast.If, frontier: Frontier) -> Frontier:
+        header = self.cfg.new_block("if")
+        header.control = stmt.test
+        header.node = stmt
+        self.connect(frontier, header)
+        if not _test_cannot_raise(stmt.test):
+            self.exc_edge(header)
+        truth = _const_truth(stmt.test)
+        out: Frontier = []
+        if truth is not False:
+            out += self.seq(stmt.body, [(header, "true", stmt.test)])
+        if truth is not True:
+            false_edge: Frontier = [(header, "false", stmt.test)]
+            out += self.seq(stmt.orelse, false_edge) if stmt.orelse else false_edge
+        return out
+
+    def _while(self, stmt: ast.While, frontier: Frontier) -> Frontier:
+        header = self.cfg.new_block("while")
+        header.control = stmt.test
+        header.node = stmt
+        self.connect(frontier, header)
+        if not _test_cannot_raise(stmt.test):
+            self.exc_edge(header)
+        truth = _const_truth(stmt.test)
+        self.break_stack.append([])
+        self.continue_stack.append(header)
+        body_out: Frontier = []
+        if truth is not False:
+            body_out = self.seq(stmt.body, [(header, "true", stmt.test)])
+        self.connect(body_out, header)
+        self.continue_stack.pop()
+        breaks = self.break_stack.pop()
+        out: Frontier = []
+        if truth is not True:
+            false_edge: Frontier = [(header, "false", stmt.test)]
+            out += self.seq(stmt.orelse, false_edge) if stmt.orelse else false_edge
+        return out + breaks
+
+    def _for(
+        self, stmt: Union[ast.For, ast.AsyncFor], frontier: Frontier
+    ) -> Frontier:
+        header = self.cfg.new_block(
+            "async-for" if isinstance(stmt, ast.AsyncFor) else "for"
+        )
+        header.control = stmt.iter
+        header.node = stmt
+        if isinstance(stmt, ast.AsyncFor):
+            header._forces_await = True
+        self.connect(frontier, header)
+        self.exc_edge(header)
+        self.break_stack.append([])
+        self.continue_stack.append(header)
+        body_out = self.seq(stmt.body, [(header, "loop", None)])
+        self.connect(body_out, header)
+        self.continue_stack.pop()
+        breaks = self.break_stack.pop()
+        exhausted: Frontier = [(header, "loop-exit", None)]
+        out = self.seq(stmt.orelse, exhausted) if stmt.orelse else exhausted
+        return out + breaks
+
+    def _with(
+        self, stmt: Union[ast.With, ast.AsyncWith], frontier: Frontier
+    ) -> Frontier:
+        header = self.cfg.new_block(
+            "async-with" if isinstance(stmt, ast.AsyncWith) else "with"
+        )
+        header.withitems = list(stmt.items)
+        header.node = stmt
+        if isinstance(stmt, ast.AsyncWith):
+            header._forces_await = True
+        self.connect(frontier, header)
+        self.exc_edge(header)
+        return self.seq(stmt.body, [(header, "normal", None)])
+
+    def _match(self, stmt: ast.stmt, frontier: Frontier) -> Frontier:
+        # ast.Match only exists on 3.10+; accessed via getattr for 3.9
+        header = self.cfg.new_block("match")
+        header.control = stmt.subject  # type: ignore[attr-defined]
+        header.node = stmt
+        self.connect(frontier, header)
+        self.exc_edge(header)
+        match_as = getattr(ast, "MatchAs", None)
+        out: Frontier = []
+        exhaustive = False
+        for case in stmt.cases:  # type: ignore[attr-defined]
+            out += self.seq(case.body, [(header, "true", None)])
+            if (
+                match_as is not None
+                and isinstance(case.pattern, match_as)
+                and case.pattern.pattern is None
+                and case.guard is None
+            ):
+                exhaustive = True
+        if not exhaustive:
+            out.append((header, "false", None))
+        return out
+
+    def _try(self, stmt: ast.Try, frontier: Frontier) -> Frontier:
+        has_finally = bool(stmt.finalbody)
+        outer_exc = self.exc_targets[-1]
+        f_in: Optional[Block] = None
+        if has_finally:
+            f_in = self.cfg.new_block("finally")
+            f_in.node = stmt
+            self.finally_stack.append(f_in)
+
+        dispatch: Optional[Block] = None
+        if stmt.handlers:
+            dispatch = self.cfg.new_block("except-dispatch")
+            dispatch.node = stmt
+        body_exc = dispatch if dispatch is not None else (
+            f_in if f_in is not None else outer_exc
+        )
+
+        self.exc_targets.append(body_exc)
+        body_out = self.seq(stmt.body, frontier)
+        self.exc_targets.pop()
+        # the else clause runs only when the body did not raise, and its
+        # own exceptions are NOT caught by this try's handlers
+        self.exc_targets.append(f_in if f_in is not None else outer_exc)
+        body_out = self.seq(stmt.orelse, body_out)
+        self.exc_targets.pop()
+
+        handler_out: Frontier = []
+        if dispatch is not None:
+            self.exc_targets.append(f_in if f_in is not None else outer_exc)
+            for handler in stmt.handlers:
+                head = self.cfg.new_block("except-handler")
+                head.node = handler
+                self.cfg.add_edge(dispatch, head, "except")
+                handler_out += self.seq(
+                    handler.body, [(head, "normal", None)]
+                )
+            if not any(_catch_all(h) for h in stmt.handlers):
+                # no handler matched: the exception keeps propagating
+                self.cfg.add_edge(
+                    dispatch,
+                    f_in if f_in is not None else outer_exc,
+                    "except",
+                )
+            self.exc_targets.pop()
+
+        after = body_out + handler_out
+        if f_in is not None:
+            self.finally_stack.pop()
+            self.connect(after, f_in)
+            f_out = self.seq(stmt.finalbody, [(f_in, "normal", None)])
+            for src, _kind, _cond in f_out:
+                # the shared finally continues whatever suspended it:
+                # exception propagation or an in-flight return
+                self.cfg.add_edge(src, outer_exc, "finally")
+                self.cfg.add_edge(src, self.cfg.exit, "finally")
+            return f_out
+        return after
+
+    # -- finalize --------------------------------------------------------
+
+    def build(self) -> FunctionCFG:
+        tail = self.seq(self.cfg.func.body, [(self.cfg.entry, "normal", None)])
+        self.connect(tail, self.cfg.exit)
+        for block in self.cfg.blocks:
+            block.has_await = block._forces_await or any(
+                isinstance(node, ast.Await) for node in block.walk()
+            )
+        return self.cfg
+
+
+def build_cfg(func: FunctionNode, qualname: Optional[str] = None) -> FunctionCFG:
+    """Lower one function body to a CFG (nested defs stay opaque)."""
+    return _Builder(func, qualname or func.name).build()
+
+
+def all_function_cfgs(tree: ast.Module) -> List[FunctionCFG]:
+    """A CFG per function in the module, any nesting depth, with dotted
+    qualnames (``Server.start``, ``outer.<locals>.inner`` style kept simple
+    as ``outer.inner``)."""
+    out: List[FunctionCFG] = []
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = prefix + child.name
+                out.append(build_cfg(child, qualname))
+                visit(child, qualname + ".")
+            elif isinstance(child, ast.ClassDef):
+                visit(child, prefix + child.name + ".")
+            else:
+                visit(child, prefix)
+
+    visit(tree, "")
+    return out

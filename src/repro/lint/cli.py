@@ -18,15 +18,17 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from collections import Counter
 from pathlib import Path
 from typing import List, Optional, Sequence
 
 from . import baseline as baseline_mod
-from .engine import LintError, run_lint
+from .engine import DEFAULT_LINT_ROOT, LintError, run_lint
 from .findings import Finding
 from .registry import catalog
+from .sarif import to_sarif
 
 JSON_SCHEMA_VERSION = 1
 
@@ -64,6 +66,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable report on stdout"
     )
     parser.add_argument(
+        "--sarif", metavar="FILE", default=None,
+        help="also write a SARIF 2.1.0 report to FILE ('-' = stdout) for "
+        "GitHub code-scanning annotations",
+    )
+    parser.add_argument(
+        "--changed", nargs="?", const="HEAD", default=None, metavar="REF",
+        help="lint only files that differ from the git ref (default HEAD), "
+        "plus untracked files — fast pre-commit runs; falls back to the "
+        "full tree outside a git checkout",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog"
     )
     parser.add_argument(
@@ -71,6 +84,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="repository root (default: auto-detected from this package)",
     )
     return parser
+
+
+def _changed_paths(root: Path, ref: str) -> Optional[List[str]]:
+    """Repo-relative ``.py`` paths under the default lint tree that differ
+    from ``ref`` (tracked changes + untracked files).  ``None`` means "not
+    a usable git checkout — lint everything"."""
+    def git(*args: str) -> List[str]:
+        proc = subprocess.run(
+            ["git", "-C", str(root), *args],
+            capture_output=True, text=True, timeout=30,
+        )
+        if proc.returncode != 0:
+            raise OSError(proc.stderr.strip() or "git failed")
+        return [line for line in proc.stdout.splitlines() if line]
+
+    try:
+        changed = set(git("diff", "--name-only", "--diff-filter=d", ref))
+        changed |= set(git("ls-files", "--others", "--exclude-standard"))
+    except (OSError, subprocess.SubprocessError, FileNotFoundError):
+        return None
+    prefix = DEFAULT_LINT_ROOT.rstrip("/") + "/"
+    return sorted(
+        p for p in changed
+        if p.endswith(".py") and p.startswith(prefix)
+        and (root / p).is_file()
+    )
 
 
 def _detect_root(explicit: Optional[str]) -> Path:
@@ -92,8 +131,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     root = _detect_root(args.root)
+    lint_paths: Optional[Sequence[str]] = args.paths or None
+    if args.changed is not None:
+        if args.paths:
+            print(
+                "error: --changed and explicit PATH arguments are "
+                "mutually exclusive", file=sys.stderr,
+            )
+            return 2
+        changed = _changed_paths(root, args.changed)
+        if changed is None:
+            print(
+                "lint: not a git checkout (or git unavailable); "
+                "linting the full tree", file=sys.stderr,
+            )
+        elif not changed:
+            print("lint: no linted files differ from %s" % args.changed)
+            return 0
+        else:
+            lint_paths = changed
     try:
-        findings = run_lint(root, paths=args.paths or None, only=args.rule)
+        findings = run_lint(root, paths=lint_paths, only=args.rule)
     except LintError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
@@ -125,6 +183,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         screened = baseline_mod.screen(findings, allowed)
         findings, grandfathered = screened.new, screened.grandfathered
         stale = screened.stale
+
+    if args.sarif:
+        payload = json.dumps(to_sarif(findings, grandfathered), indent=2)
+        if args.sarif == "-":
+            print(payload)
+        else:
+            Path(args.sarif).write_text(payload + "\n")
 
     if args.json:
         print(json.dumps({

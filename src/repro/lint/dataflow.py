@@ -1,0 +1,344 @@
+"""Generic dataflow solving over :mod:`repro.lint.cfg` graphs.
+
+Three layers, each one screwdriver-plain:
+
+* :class:`DataflowProblem` — the protocol a client analysis implements:
+  a join-semilattice value domain plus block and edge transfer functions.
+  Edge transfers see both the block's *in* and *out* values because
+  exception edges need pre-state semantics (a statement that raises did
+  not complete, so its effect must not leak onto the ``except`` edge —
+  except for settling effects, where the client decides).
+* :func:`solve` — the classic worklist fixpoint, forward or backward.
+* Two shipped analyses: :class:`ReachingDefinitions` (which binding sites
+  reach each block) and :class:`MustRelease` (the three-point lattice
+  ``UNREACHED < SETTLED < HELD`` proving a resource acquired at one block
+  is settled on every path to both exits).  SL7xx is a thin shell around
+  :class:`MustRelease`; SL6xx reuses :func:`solve` with its own domains.
+
+Values must be hashable/comparable with ``==``; ``join`` must be monotone
+(the solver re-queues successors only when a join actually grows a value,
+so a non-monotone join would not terminate).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+import ast
+
+from .cfg import Block, Edge, FunctionCFG, binds
+
+
+class DataflowProblem:
+    """Client protocol for :func:`solve`.  Subclass and override."""
+
+    #: "forward" (values flow entry → exits) or "backward"
+    direction: str = "forward"
+
+    def initial(self) -> object:
+        """Bottom: the value for a block no fact has reached yet."""
+        raise NotImplementedError
+
+    def boundary(self) -> object:
+        """The value entering the graph (at entry for forward problems,
+        at the exits for backward ones)."""
+        return self.initial()
+
+    def join(self, left: object, right: object) -> object:
+        raise NotImplementedError
+
+    def transfer_block(self, block: Block, value: object) -> object:
+        """Value after executing ``block`` given ``value`` before it."""
+        return value
+
+    def transfer_edge(
+        self, edge: Edge, in_value: object, out_value: object
+    ) -> object:
+        """Value carried along ``edge``.  Default: the source block's
+        out-value.  Override to make exception edges use pre-state or to
+        kill facts on branch edges (``if lease:`` false edge)."""
+        return out_value
+
+
+class Solution:
+    """Fixpoint result: per-block in/out values keyed by block id."""
+
+    def __init__(
+        self, graph: FunctionCFG,
+        in_values: Dict[int, object], out_values: Dict[int, object],
+    ) -> None:
+        self.graph = graph
+        self.in_values = in_values
+        self.out_values = out_values
+
+    def value_in(self, block: Block) -> object:
+        return self.in_values[block.bid]
+
+    def value_out(self, block: Block) -> object:
+        return self.out_values[block.bid]
+
+
+def solve(graph: FunctionCFG, problem: DataflowProblem) -> Solution:
+    """Worklist fixpoint of ``problem`` over ``graph``."""
+    forward = problem.direction == "forward"
+    in_values: Dict[int, object] = {
+        b.bid: problem.initial() for b in graph.blocks
+    }
+    if forward:
+        in_values[graph.entry.bid] = problem.boundary()
+    else:
+        for exit_block in graph.exits():
+            in_values[exit_block.bid] = problem.boundary()
+    out_values: Dict[int, object] = {}
+
+    worklist = deque(graph.blocks)
+    queued = {b.bid for b in graph.blocks}
+    while worklist:
+        block = worklist.popleft()
+        queued.discard(block.bid)
+        in_value = in_values[block.bid]
+        out_value = problem.transfer_block(block, in_value)
+        first = block.bid not in out_values
+        if not first and out_values[block.bid] == out_value:
+            continue
+        out_values[block.bid] = out_value
+        edges = block.succs if forward else block.preds
+        for edge in edges:
+            neighbor = edge.dst if forward else edge.src
+            carried = problem.transfer_edge(edge, in_value, out_value)
+            merged = problem.join(in_values[neighbor.bid], carried)
+            if merged != in_values[neighbor.bid] or neighbor.bid not in out_values:
+                in_values[neighbor.bid] = merged
+                if neighbor.bid not in queued:
+                    queued.add(neighbor.bid)
+                    worklist.append(neighbor)
+    # blocks never transferred (unreachable): out = in
+    for block in graph.blocks:
+        out_values.setdefault(block.bid, in_values[block.bid])
+    return Solution(graph, in_values, out_values)
+
+
+# ----------------------------------------------------------------------
+# Reaching definitions
+
+
+class ReachingDefinitions(DataflowProblem):
+    """Forward may-analysis: the set of ``(name, block id)`` binding sites
+    that may reach each block.  Parameters bind at entry (block id of
+    entry).  ``del x`` kills without generating."""
+
+    direction = "forward"
+
+    def __init__(self, graph: FunctionCFG) -> None:
+        self.graph = graph
+        args = graph.func.args
+        params = [
+            a.arg for a in (
+                list(args.posonlyargs) + list(args.args)
+                + list(args.kwonlyargs)
+            )
+        ]
+        if args.vararg:
+            params.append(args.vararg.arg)
+        if args.kwarg:
+            params.append(args.kwarg.arg)
+        self._params = params
+
+    def initial(self) -> FrozenSet[Tuple[str, int]]:
+        return frozenset()
+
+    def boundary(self) -> FrozenSet[Tuple[str, int]]:
+        return frozenset((p, self.graph.entry.bid) for p in self._params)
+
+    def join(self, left: object, right: object) -> object:
+        return left | right  # type: ignore[operator]
+
+    def transfer_block(self, block: Block, value: object) -> object:
+        bound = binds(block)
+        if not bound:
+            return value
+        kept = frozenset(
+            (name, bid) for name, bid in value  # type: ignore[union-attr]
+            if name not in bound
+        )
+        dels = set()
+        for stmt in block.stmts:
+            if isinstance(stmt, ast.Delete):
+                for target in stmt.targets:
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Name):
+                            dels.add(sub.id)
+        gen = frozenset((name, block.bid) for name in bound - dels)
+        return kept | gen
+
+    def defs_reaching(
+        self, solution: Solution, block: Block, name: str
+    ) -> Set[int]:
+        value = solution.value_in(block)
+        return {
+            bid for n, bid in value  # type: ignore[union-attr]
+            if n == name
+        }
+
+
+# ----------------------------------------------------------------------
+# Must-release
+
+
+#: three-point lattice; join = max, so HELD (may still be held) dominates
+UNREACHED, SETTLED, HELD = 0, 1, 2
+
+
+class MustRelease(DataflowProblem):
+    """Forward may-hold analysis for one acquisition site.
+
+    ``acquire_bid`` generates HELD; any block id in ``settle_bids`` drops
+    HELD back to SETTLED (a release call, or an ownership escape — return,
+    store to an attribute, handing the object to another call).  Exception
+    edges leaving the *acquire* block carry the pre-state (an acquire that
+    raised never acquired); exception edges leaving a *settle* block carry
+    the settled post-state (a ``close()`` that raised still relinquished
+    ownership for lint purposes).  If ``guard_name`` is set, the branch
+    where ``if <guard_name>:`` is false also settles — the acquisition
+    provably did not happen on that path (circuit-breaker half-open
+    trials are guarded exactly like this).
+    """
+
+    direction = "forward"
+
+    def __init__(
+        self,
+        acquire_bid: int,
+        settle_bids: Iterable[int],
+        guard_name: Optional[str] = None,
+    ) -> None:
+        self.acquire_bid = acquire_bid
+        self.settle_bids = set(settle_bids)
+        self.guard_name = guard_name
+
+    def initial(self) -> int:
+        return UNREACHED
+
+    def boundary(self) -> int:
+        # flow exists at entry with nothing held; UNREACHED is reserved
+        # for blocks the fixpoint has not delivered any path to yet
+        return SETTLED
+
+    def join(self, left: object, right: object) -> object:
+        return max(left, right)  # type: ignore[call-overload]
+
+    def transfer_block(self, block: Block, value: object) -> object:
+        state = int(value)  # type: ignore[arg-type]
+        if block.bid in self.settle_bids and state == HELD:
+            state = SETTLED
+        if block.bid == self.acquire_bid and state != UNREACHED:
+            state = HELD
+        return state
+
+    def transfer_edge(
+        self, edge: Edge, in_value: object, out_value: object
+    ) -> object:
+        if edge.kind == "except" and edge.src.bid == self.acquire_bid:
+            # the acquiring statement raised: nothing was acquired
+            return in_value
+        if self.guard_name and edge.cond is not None:
+            if _branch_refutes(edge, self.guard_name):
+                if int(out_value) == HELD:  # type: ignore[arg-type]
+                    return SETTLED
+        return out_value
+
+
+def _branch_refutes(edge: Edge, name: str) -> bool:
+    """True when taking ``edge`` proves the guard variable is falsy:
+    the false edge of ``if name:`` or the true edge of ``if not name:``."""
+    cond = edge.cond
+    if edge.kind == "false" and isinstance(cond, ast.Name):
+        return cond.id == name
+    if (
+        edge.kind == "true"
+        and isinstance(cond, ast.UnaryOp)
+        and isinstance(cond.op, ast.Not)
+        and isinstance(cond.operand, ast.Name)
+    ):
+        return cond.operand.id == name
+    return False
+
+
+class Leak:
+    """One escaping path: the resource may reach ``exit_kind``
+    (``"normal"`` or ``"exception"``) still held.  ``path_kinds`` is the
+    edge-kind witness from the acquisition to that exit — symbolic on
+    purpose, so SL7xx messages stay line-number-free and baseline
+    fingerprints survive unrelated edits."""
+
+    def __init__(self, exit_kind: str, path_kinds: Tuple[str, ...]) -> None:
+        self.exit_kind = exit_kind
+        self.path_kinds = path_kinds
+
+    def describe(self) -> str:
+        hops = [k for k in self.path_kinds if k != "normal"]
+        route = " via " + "/".join(dict.fromkeys(hops)) if hops else ""
+        what = (
+            "the exceptional exit" if self.exit_kind == "exception"
+            else "the normal exit"
+        )
+        return what + route
+
+
+def find_leaks(
+    graph: FunctionCFG,
+    acquire: Block,
+    settle_bids: Iterable[int],
+    guard_name: Optional[str] = None,
+) -> List[Leak]:
+    """Solve :class:`MustRelease` and return a leak witness per exit the
+    resource may still be held at (empty list = proven settled on all
+    paths)."""
+    problem = MustRelease(acquire.bid, settle_bids, guard_name)
+    solution = solve(graph, problem)
+    leaks: List[Leak] = []
+    for exit_block, kind in (
+        (graph.exit, "normal"), (graph.raise_exit, "exception"),
+    ):
+        if int(solution.value_in(exit_block)) == HELD:  # type: ignore[arg-type]
+            path = _held_path(graph, problem, solution, acquire, exit_block)
+            leaks.append(Leak(kind, path))
+    return leaks
+
+
+def _held_path(
+    graph: FunctionCFG,
+    problem: MustRelease,
+    solution: Solution,
+    acquire: Block,
+    target: Block,
+) -> Tuple[str, ...]:
+    """BFS witness: a shortest edge-kind path from the acquisition to
+    ``target`` along which the value stays HELD."""
+    parents: Dict[int, Tuple[int, str]] = {}
+    queue = deque([acquire])
+    seen = {acquire.bid}
+    while queue:
+        block = queue.popleft()
+        if block is target:
+            break
+        for edge in block.succs:
+            carried = problem.transfer_edge(
+                edge,
+                solution.value_in(block),
+                solution.value_out(block),
+            )
+            if int(carried) != HELD:  # type: ignore[arg-type]
+                continue
+            if edge.dst.bid in seen:
+                continue
+            seen.add(edge.dst.bid)
+            parents[edge.dst.bid] = (block.bid, edge.kind)
+            queue.append(edge.dst)
+    kinds: List[str] = []
+    bid = target.bid
+    while bid in parents:
+        bid, kind = parents[bid]
+        kinds.append(kind)
+    return tuple(reversed(kinds))

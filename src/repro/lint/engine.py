@@ -105,6 +105,26 @@ def _dataclass_fields(cls: ast.ClassDef) -> List[Tuple[str, str]]:
     return out
 
 
+def _string_tuple_assign(tree: ast.Module, name: str) -> Set[str]:
+    """The string elements of a module-level ``NAME = ("a", "b", ...)``
+    (plain or annotated) assignment, or empty when absent."""
+    for node in tree.body:
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target, value = node.target, node.value
+        if not (isinstance(target, ast.Name) and target.id == name):
+            continue
+        if isinstance(value, (ast.Tuple, ast.List)):
+            return {
+                elt.value for elt in value.elts
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            }
+    return set()
+
+
 _CONFIG_NAMES = {"config", "cfg", "gpu_config", "_config"}
 _CONFIG_FACTORIES = {"scaled", "volta_v100", "with_", "from_dict"}
 
@@ -146,6 +166,10 @@ class RepoContext:
         validate_reads: Optional[Set[str]] = None,
         config_reads: Optional[Set[str]] = None,
         config_field_lines: Optional[Dict[str, int]] = None,
+        nack_reasons: Optional[Set[str]] = None,
+        serve_actions: Optional[Set[str]] = None,
+        lease_actions: Optional[Set[str]] = None,
+        job_phases: Optional[Set[str]] = None,
     ) -> None:
         #: event class name -> payload field names (inheritance resolved)
         self.event_fields = event_fields or {}
@@ -164,6 +188,12 @@ class RepoContext:
         self.config_reads = config_reads or set()
         #: field name -> definition line in config.py (finding anchors)
         self.config_field_lines = config_field_lines or {}
+        #: the closed NACK vocabulary from ``repro/serve/protocol.py``
+        self.nack_reasons = nack_reasons or set()
+        #: action/phase vocabularies declared in ``repro/obs/events.py``
+        self.serve_actions = serve_actions or set()
+        self.lease_actions = lease_actions or set()
+        self.job_phases = job_phases or set()
 
     # -- harvest helpers -------------------------------------------------
 
@@ -187,6 +217,22 @@ class RepoContext:
                 fields.update(f for f, _ in own.get(cls, []))
                 chain.extend(b for b in bases.get(cls, []) if b in own)
             self.event_fields[name] = fields
+
+    def harvest_vocabularies(self, tree: ast.Module) -> None:
+        """Collect the closed action/phase vocabularies declared as
+        module-level string tuples in ``repro/obs/events.py``."""
+        wanted = {
+            "SERVE_ACTIONS": self.serve_actions,
+            "LEASE_ACTIONS": self.lease_actions,
+            "JOB_PHASES": self.job_phases,
+        }
+        for name, into in wanted.items():
+            into.update(_string_tuple_assign(tree, name))
+
+    def harvest_protocol(self, tree: ast.Module) -> None:
+        """Collect the NACK reason vocabulary from
+        ``repro/serve/protocol.py``."""
+        self.nack_reasons.update(_string_tuple_assign(tree, "NACK_REASONS"))
 
     def harvest_stats(self, tree: ast.Module) -> None:
         """Collect counter fields from ``repro/gpusim/stats.py``."""
@@ -259,6 +305,9 @@ def harvest(files: Sequence[Tuple[str, ast.Module]]) -> RepoContext:
         module = module_of(path)
         if module == "repro.obs.events":
             ctx.harvest_events(tree)
+            ctx.harvest_vocabularies(tree)
+        elif module == "repro.serve.protocol":
+            ctx.harvest_protocol(tree)
         elif module == "repro.gpusim.stats":
             ctx.harvest_stats(tree)
         elif module == "repro.gpusim.config":

@@ -12,15 +12,26 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Set, Tuple, Type
 
 from .engine import RepoContext, Rule
+from .rules_async import (
+    BlockingCallInAsyncRule,
+    DroppedTaskRule,
+    StaleSharedStateRule,
+)
 from .rules_config import (
     ConfigFieldReadRule,
     ConfigValidateRule,
     UnknownConfigFieldRule,
 )
+from .rules_contracts import EventVocabRule, NackReasonRule, VersionLiteralRule
 from .rules_cycles import CycleAdvanceRule, CycleCrankRule, StatsFieldRule
 from .rules_determinism import SetIterationRule, UnseededRngRule, WallClockRule
 from .rules_events import AdHocEventRule, EventSchemaRule
 from .rules_hygiene import AssertControlFlowRule, BareExceptRule, MutableDefaultRule
+from .rules_lifecycle import (
+    FileHandleRule,
+    LeaseSettlementRule,
+    TrialSettlementRule,
+)
 
 #: every rule class, in catalog order
 RULE_CLASSES: Tuple[Type[Rule], ...] = (
@@ -38,6 +49,15 @@ RULE_CLASSES: Tuple[Type[Rule], ...] = (
     MutableDefaultRule,
     BareExceptRule,
     AssertControlFlowRule,
+    BlockingCallInAsyncRule,
+    StaleSharedStateRule,
+    DroppedTaskRule,
+    FileHandleRule,
+    LeaseSettlementRule,
+    TrialSettlementRule,
+    NackReasonRule,
+    EventVocabRule,
+    VersionLiteralRule,
 )
 
 #: rules that need the harvested repo context at construction
@@ -47,6 +67,8 @@ _CONTEXT_RULES = (
     ConfigFieldReadRule,
     ConfigValidateRule,
     UnknownConfigFieldRule,
+    NackReasonRule,
+    EventVocabRule,
 )
 
 #: id the engine uses for malformed suppressions

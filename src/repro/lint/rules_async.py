@@ -1,0 +1,303 @@
+"""SL6xx — async-safety rules over the CFG (docs/STATIC_ANALYSIS.md).
+
+The serve layer is an asyncio shell around a sans-IO core; its liveness
+rests on three disciplines the chaos suite can only spot-check at runtime:
+no blocking syscalls on the event loop, no shared-state references carried
+across an await (the event loop may run an eviction in between), and no
+fire-and-forget tasks (a dropped task swallows its exceptions).  These
+rules prove each one per function over :mod:`repro.lint.cfg` graphs, so
+"reachable" and "after the await" mean real paths, not text order.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .cfg import (
+    Block, FunctionCFG, all_function_cfgs, binds, func_path, shallow_walk,
+)
+from .dataflow import DataflowProblem, solve
+from .engine import Rule
+from .findings import Finding
+
+# ----------------------------------------------------------------------
+# SL601
+
+#: module-level callables that block the event loop
+_BLOCKING_QUALIFIED = {
+    ("time", "sleep"),
+    ("subprocess", "run"), ("subprocess", "call"),
+    ("subprocess", "check_call"), ("subprocess", "check_output"),
+    ("subprocess", "Popen"),
+    ("os", "system"), ("os", "popen"), ("os", "waitpid"), ("os", "fsync"),
+    ("socket", "create_connection"), ("socket", "getaddrinfo"),
+    ("requests", "get"), ("requests", "post"), ("requests", "request"),
+    ("urllib", "request", "urlopen"),
+}
+
+#: sync-I/O methods regardless of receiver (Path, file, our Journal)
+_BLOCKING_METHODS = {
+    "read_text", "write_text", "read_bytes", "write_bytes", "open",
+}
+
+#: blocking builtins
+_BLOCKING_NAMES = {"open", "input"}
+
+
+def _blocking_call(call: ast.Call) -> Optional[str]:
+    """Dotted name of the blocking callee, or None when the call is fine."""
+    path = func_path(call.func)
+    if len(path) == 1 and path[0] in _BLOCKING_NAMES:
+        return path[0]
+    if path in _BLOCKING_QUALIFIED or path[-2:] in _BLOCKING_QUALIFIED:
+        return ".".join(path)
+    if len(path) >= 2 and path[-1] in _BLOCKING_METHODS:
+        return ".".join(path)
+    return None
+
+
+class BlockingCallInAsyncRule(Rule):
+    """SL601: a blocking call is reachable inside an ``async def``."""
+
+    id = "SL601"
+    title = "blocking call (sync sleep/I-O/subprocess) reachable in async def"
+    severity = "error"
+    packages = ()
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for graph in all_function_cfgs(tree):
+            if not graph.is_async:
+                continue
+            reachable = graph.reachable()
+            for block in graph.blocks:
+                if block.bid not in reachable:
+                    continue
+                for call in block.calls():
+                    callee = _blocking_call(call)
+                    if callee is None:
+                        continue
+                    findings.append(
+                        self.finding(
+                            path, call,
+                            "blocking call %s() on the event loop in "
+                            "async def %s — await the asyncio equivalent "
+                            "or push it through run_in_executor"
+                            % (callee, graph.qualname),
+                        )
+                    )
+        return findings
+
+
+# ----------------------------------------------------------------------
+# SL602
+
+#: attribute / variable names that denote the shared service state
+_SHARED_ATTRS = {
+    "state", "_state", "sessions", "_sessions",
+    "shards", "_shards", "breakers", "_breakers",
+}
+
+
+def _is_shared_expr(expr: ast.expr) -> bool:
+    """Does this expression read through the shared service state?"""
+    for node in shallow_walk(expr):
+        if isinstance(node, ast.Attribute) and node.attr in _SHARED_ATTRS:
+            return True
+        if isinstance(node, ast.Name) and node.id in _SHARED_ATTRS:
+            return True
+    return False
+
+
+#: dataflow value: (bound-from-shared-state names, now-stale subset)
+_StaleValue = Tuple[FrozenSet[str], FrozenSet[str]]
+
+
+class _StalenessProblem(DataflowProblem):
+    direction = "forward"
+
+    def __init__(self, shared_assigns: Dict[int, Set[str]]) -> None:
+        #: block id -> names bound from shared state in that block
+        self.shared_assigns = shared_assigns
+
+    def initial(self) -> _StaleValue:
+        return (frozenset(), frozenset())
+
+    def join(self, left: object, right: object) -> object:
+        lb, ls = left  # type: ignore[misc]
+        rb, rs = right  # type: ignore[misc]
+        return (lb | rb, ls | rs)
+
+    def transfer_block(self, block: Block, value: object) -> object:
+        bound, stale = value  # type: ignore[misc]
+        if block.has_await:
+            # the loop ran arbitrary other tasks: every shared-derived
+            # binding may now point at evicted/replaced objects
+            stale = frozenset(bound)
+        rebound = binds(block)
+        if rebound:
+            fresh = self.shared_assigns.get(block.bid, set())
+            bound = (bound - frozenset(rebound)) | frozenset(fresh)
+            stale = stale - frozenset(rebound)
+        return (bound, stale)
+
+
+def _mutation_roots(block: Block) -> List[Tuple[str, ast.AST]]:
+    """(root variable, anchor node) pairs for every mutation-shaped use in
+    the block: method calls, attribute/subscript stores, aug-assigns and
+    deletes rooted at a local name."""
+    out: List[Tuple[str, ast.AST]] = []
+
+    def root_of(expr: ast.expr) -> Optional[str]:
+        node = expr
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            node = node.value
+        return node.id if isinstance(node, ast.Name) else None
+
+    for node in block.walk():
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            root = root_of(node.func.value)
+            if root is not None:
+                out.append((root, node))
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    root = root_of(target)
+                    if root is not None:
+                        out.append((root, target))
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    root = root_of(target)
+                    if root is not None:
+                        out.append((root, target))
+    return out
+
+
+class StaleSharedStateRule(Rule):
+    """SL602: a local bound from shared service state before an await is
+    mutated after the await without being re-fetched."""
+
+    id = "SL602"
+    title = "shared-state binding mutated across an await without re-fetch"
+    severity = "error"
+    packages = ()
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for graph in all_function_cfgs(tree):
+            if not graph.is_async:
+                continue
+            shared_assigns: Dict[int, Set[str]] = {}
+            for block in graph.blocks:
+                for stmt in block.stmts:
+                    if (
+                        isinstance(stmt, ast.Assign)
+                        and len(stmt.targets) == 1
+                        and isinstance(stmt.targets[0], ast.Name)
+                        and _is_shared_expr(stmt.value)
+                    ):
+                        shared_assigns.setdefault(block.bid, set()).add(
+                            stmt.targets[0].id
+                        )
+            if not shared_assigns:
+                continue
+            solution = solve(graph, _StalenessProblem(shared_assigns))
+            reachable = graph.reachable()
+            for block in graph.blocks:
+                if block.bid not in reachable:
+                    continue
+                _bound, stale = solution.value_in(block)  # type: ignore[misc]
+                if not stale:
+                    continue
+                for root, anchor in _mutation_roots(block):
+                    if root in stale:
+                        findings.append(
+                            self.finding(
+                                path, anchor,
+                                "%r was bound from shared service state "
+                                "before an await point in async def %s and "
+                                "is mutated after it — another task may "
+                                "have evicted or replaced it; re-fetch it "
+                                "from the state after the await"
+                                % (root, graph.qualname),
+                            )
+                        )
+        return findings
+
+
+# ----------------------------------------------------------------------
+# SL603
+
+_TASK_FACTORIES = {"create_task", "ensure_future"}
+
+
+def _task_call(expr: ast.expr) -> bool:
+    return (
+        isinstance(expr, ast.Call)
+        and func_path(expr.func)[-1] in _TASK_FACTORIES
+    )
+
+
+class DroppedTaskRule(Rule):
+    """SL603: a ``create_task``/``ensure_future`` result is dropped —
+    nobody awaits, cancels, or attaches a done-callback, so its exceptions
+    vanish and shutdown cannot reap it."""
+
+    id = "SL603"
+    title = "create_task/ensure_future result dropped without an owner"
+    severity = "error"
+    packages = ()
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for graph in all_function_cfgs(tree):
+            for block in graph.blocks:
+                for stmt in block.stmts:
+                    finding = self._check_stmt(graph, block, stmt, path)
+                    if finding is not None:
+                        findings.append(finding)
+        return findings
+
+    def _check_stmt(
+        self, graph: FunctionCFG, block: Block, stmt: ast.stmt, path: str
+    ) -> Optional[Finding]:
+        if isinstance(stmt, ast.Expr) and _task_call(stmt.value):
+            return self.finding(
+                path, stmt.value,
+                "task spawned and dropped in %s — bind it to an owner "
+                "that awaits or cancels it (or add_done_callback); a "
+                "dropped task silently swallows its exceptions"
+                % graph.qualname,
+            )
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and _task_call(stmt.value)
+        ):
+            name = stmt.targets[0].id
+            if not self._used_later(graph, block, name):
+                return self.finding(
+                    path, stmt,
+                    "task bound to %r in %s but never awaited, cancelled "
+                    "or given a done-callback on any path"
+                    % (name, graph.qualname),
+                )
+        return None
+
+    def _used_later(self, graph: FunctionCFG, origin: Block, name: str) -> bool:
+        for bid in graph.reachable(origin):
+            block = graph.blocks[bid]
+            for node in block.walk():
+                if (
+                    isinstance(node, ast.Name)
+                    and node.id == name
+                    and isinstance(node.ctx, ast.Load)
+                ):
+                    return True
+        return False

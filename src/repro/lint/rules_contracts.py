@@ -1,0 +1,369 @@
+"""SL8xx — cross-module contract conformance (docs/STATIC_ANALYSIS.md).
+
+Three vocabularies hold the serve/runner/obs subsystems together:
+
+* the closed NACK reason set (``repro/serve/protocol.py::NACK_REASONS``) —
+  every refusal the server sends and every reason a client matches on;
+* the event action/phase vocabularies
+  (``repro/obs/events.py::SERVE_ACTIONS/LEASE_ACTIONS/JOB_PHASES``) —
+  every lifecycle string an emit site produces or a sink compares on;
+* the snapshot/journal/checkpoint schema-version constants
+  (``STATE_VERSION``, ``FORMAT_VERSION``) — the only legal spelling of a
+  version number in durable payloads.
+
+Each is declared in exactly one module and consumed in many.  ``nack()``
+validates its reason at runtime, but only on the paths a test happens to
+drive; these rules move the check to lint time and extend it to consumer
+sites (a chaos assertion comparing against a misspelled reason silently
+never fires — that is a contract bug, not a test).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List, Optional, Set
+
+from .engine import RepoContext, Rule, module_of
+from .findings import Finding
+
+# ----------------------------------------------------------------------
+# SL801
+
+
+def _constant_strings(expr: ast.expr) -> List[ast.Constant]:
+    """String constants in a comparator: a bare literal, or the elements
+    of a tuple/list/set literal (membership tests)."""
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return [expr]
+    if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+        return [
+            e for e in expr.elts
+            if isinstance(e, ast.Constant) and isinstance(e.value, str)
+        ]
+    return []
+
+
+def _mentions(expr: ast.expr, tokens: Iterable[str]) -> bool:
+    try:
+        text = ast.unparse(expr).lower()
+    except Exception:  # pragma: no cover - unparse is total on valid ASTs
+        return False
+    return any(token in text for token in tokens)
+
+
+class NackReasonRule(Rule):
+    """SL801: a NACK reason string not declared in ``NACK_REASONS``."""
+
+    id = "SL801"
+    title = "NACK reason string not declared in serve/protocol.py"
+    severity = "error"
+    packages = ("repro.serve", "repro.runner", "repro.obs")
+
+    _REASONISH = ("error", "reason", "nack")
+
+    def __init__(self, context: RepoContext) -> None:
+        self.context = context
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        vocab = self.context.nack_reasons
+        if not vocab or module_of(path) == "repro.serve.protocol":
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                findings.extend(self._check_call(node, vocab, path))
+            elif isinstance(node, ast.Compare):
+                findings.extend(self._check_compare(node, vocab, path))
+        return findings
+
+    def _check_call(
+        self, call: ast.Call, vocab: Set[str], path: str
+    ) -> List[Finding]:
+        func = call.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        if name != "nack":
+            return []
+        reason: Optional[ast.expr] = call.args[0] if call.args else None
+        for kw in call.keywords:
+            if kw.arg == "reason":
+                reason = kw.value
+        if (
+            isinstance(reason, ast.Constant)
+            and isinstance(reason.value, str)
+            and reason.value not in vocab
+        ):
+            return [self.finding(
+                path, reason,
+                "nack() reason %r is not in the protocol vocabulary — "
+                "declare it in serve/protocol.py NACK_REASONS or use a "
+                "declared reason" % reason.value,
+            )]
+        return []
+
+    def _check_compare(
+        self, node: ast.Compare, vocab: Set[str], path: str
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        sides = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, sides, sides[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq, ast.In, ast.NotIn)):
+                continue
+            for lit_side, other in ((left, right), (right, left)):
+                for lit in _constant_strings(lit_side):
+                    if lit.value in vocab:
+                        continue
+                    if _mentions(other, self._REASONISH):
+                        findings.append(self.finding(
+                            path, lit,
+                            "comparison against undeclared NACK reason %r "
+                            "— this match can never fire; use a reason "
+                            "from serve/protocol.py NACK_REASONS"
+                            % lit.value,
+                        ))
+        return findings
+
+
+# ----------------------------------------------------------------------
+# SL802
+
+_EVENT_VOCABS = {
+    "ServeEvent": ("action", "serve_actions"),
+    "RunnerLeaseEvent": ("action", "lease_actions"),
+    "RunnerJobEvent": ("phase", "job_phases"),
+}
+
+
+class EventVocabRule(Rule):
+    """SL802: an event ``action``/``phase`` string not declared in the
+    ``repro/obs/events.py`` vocabulary tuples — at constructor sites, at
+    the scheduler/server emit helpers, and at consumer comparisons."""
+
+    id = "SL802"
+    title = "event action/phase string not declared in obs/events.py"
+    severity = "error"
+    packages = ("repro.serve", "repro.runner", "repro.obs")
+
+    def __init__(self, context: RepoContext) -> None:
+        self.context = context
+
+    def _vocab(self, name: str) -> Set[str]:
+        return getattr(self.context, name)  # type: ignore[no-any-return]
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        ctx = self.context
+        if not (ctx.serve_actions or ctx.lease_actions or ctx.job_phases):
+            return []
+        findings: List[Finding] = []
+        module = module_of(path)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                findings.extend(self._check_call(node, module, path))
+            elif isinstance(node, ast.Compare):
+                findings.extend(self._check_compare(node, path))
+        return findings
+
+    def _flag(
+        self, path: str, node: ast.AST, label: str, value: str,
+        vocab_name: str,
+    ) -> Finding:
+        declared = "/".join(
+            sorted({"serve_actions": "SERVE_ACTIONS",
+                    "lease_actions": "LEASE_ACTIONS",
+                    "job_phases": "JOB_PHASES"}[v]
+                   for v in vocab_name.split())
+        )
+        return self.finding(
+            path, node,
+            "event %s %r is not declared in obs/events.py %s — grow the "
+            "vocabulary there, never at the emit or match site"
+            % (label, value, declared),
+        )
+
+    def _check_call(
+        self, call: ast.Call, module: str, path: str
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        func = call.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        if name in _EVENT_VOCABS:
+            field, vocab_name = _EVENT_VOCABS[name]
+            for kw in call.keywords:
+                if (
+                    kw.arg == field
+                    and isinstance(kw.value, ast.Constant)
+                    and isinstance(kw.value.value, str)
+                    and kw.value.value not in self._vocab(vocab_name)
+                ):
+                    findings.append(self._flag(
+                        path, kw.value, field, kw.value.value, vocab_name,
+                    ))
+        elif name == "_emit" and module.startswith("repro.serve"):
+            arg = call.args[0] if call.args else None
+            if (
+                isinstance(arg, ast.Constant) and isinstance(arg.value, str)
+                and arg.value not in self.context.serve_actions
+            ):
+                findings.append(self._flag(
+                    path, arg, "action", arg.value, "serve_actions",
+                ))
+        elif name == "_emit_lease" and module.startswith("repro.runner"):
+            arg: Optional[ast.expr] = (
+                call.args[2] if len(call.args) > 2 else None
+            )
+            for kw in call.keywords:
+                if kw.arg == "action":
+                    arg = kw.value
+            if (
+                isinstance(arg, ast.Constant) and isinstance(arg.value, str)
+                and arg.value not in self.context.lease_actions
+            ):
+                findings.append(self._flag(
+                    path, arg, "action", arg.value, "lease_actions",
+                ))
+        elif name == "_emit_job" and module.startswith("repro.runner"):
+            for kw in call.keywords:
+                if (
+                    kw.arg == "phase"
+                    and isinstance(kw.value, ast.Constant)
+                    and isinstance(kw.value.value, str)
+                    and kw.value.value not in self.context.job_phases
+                ):
+                    findings.append(self._flag(
+                        path, kw.value, "phase", kw.value.value, "job_phases",
+                    ))
+        return findings
+
+    def _check_compare(self, node: ast.Compare, path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        sides = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, sides, sides[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq, ast.In, ast.NotIn)):
+                continue
+            for lit_side, other in ((left, right), (right, left)):
+                field = (
+                    other.attr if isinstance(other, ast.Attribute) else None
+                )
+                if field == "action":
+                    vocab = self.context.serve_actions | self.context.lease_actions
+                    vocab_name = "serve_actions lease_actions"
+                elif field == "phase":
+                    vocab = self.context.job_phases
+                    vocab_name = "job_phases"
+                else:
+                    continue
+                for lit in _constant_strings(lit_side):
+                    if lit.value not in vocab:
+                        findings.append(self._flag(
+                            path, lit, field, lit.value, vocab_name,
+                        ))
+        return findings
+
+
+# ----------------------------------------------------------------------
+# SL803
+
+_VERSION_NAME_RE = re.compile(r"^_?[A-Z][A-Z_]*VERSION[A-Z_]*$")
+_VERSION_KEYS = {
+    "v", "version", "schema_version", "state_version", "format_version",
+}
+
+
+def _declared_version_names(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and _VERSION_NAME_RE.match(
+                    target.id
+                ):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            if _VERSION_NAME_RE.match(node.target.id):
+                names.add(node.target.id)
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                local = alias.asname or alias.name
+                if _VERSION_NAME_RE.match(local):
+                    names.add(local)
+    return names
+
+
+def _version_key_read(expr: ast.expr) -> bool:
+    """Does this expression read a version-ish key: ``d["v"]`` or
+    ``d.get("v")``?"""
+    if isinstance(expr, ast.Subscript):
+        key = expr.slice
+        return (
+            isinstance(key, ast.Constant) and key.value in _VERSION_KEYS
+        )
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr == "get"
+        and expr.args
+    ):
+        first = expr.args[0]
+        return (
+            isinstance(first, ast.Constant) and first.value in _VERSION_KEYS
+        )
+    return False
+
+
+class VersionLiteralRule(Rule):
+    """SL803: a module that declares (or imports) a schema-version
+    constant spells a version as a bare int literal in a durable payload
+    key or comparison — the constant and the literal will drift apart."""
+
+    id = "SL803"
+    title = "schema version written as a bare literal, not the constant"
+    severity = "error"
+    packages = ("repro.serve", "repro.runner", "repro.obs")
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        declared = _declared_version_names(tree)
+        if not declared:
+            return []
+        names = " / ".join(sorted(declared))
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Dict):
+                for key, value in zip(node.keys, node.values):
+                    if (
+                        isinstance(key, ast.Constant)
+                        and key.value in _VERSION_KEYS
+                        and isinstance(value, ast.Constant)
+                        and isinstance(value.value, int)
+                        and not isinstance(value.value, bool)
+                    ):
+                        findings.append(self.finding(
+                            path, value,
+                            "durable payload writes schema version as "
+                            "bare literal under key %r — use the declared "
+                            "constant (%s)" % (key.value, names),
+                        ))
+            elif isinstance(node, ast.Compare):
+                sides = [node.left] + list(node.comparators)
+                for op, left, right in zip(node.ops, sides, sides[1:]):
+                    if not isinstance(op, (ast.Eq, ast.NotEq)):
+                        continue
+                    for key_side, lit_side in ((left, right), (right, left)):
+                        if (
+                            _version_key_read(key_side)
+                            and isinstance(lit_side, ast.Constant)
+                            and isinstance(lit_side.value, int)
+                            and not isinstance(lit_side.value, bool)
+                        ):
+                            findings.append(self.finding(
+                                path, lit_side,
+                                "schema-version comparison against bare "
+                                "literal — compare against the declared "
+                                "constant (%s)" % names,
+                            ))
+        return findings

@@ -1,0 +1,309 @@
+"""SL7xx — resource-lifecycle rules: must-release over all CFG paths.
+
+The PR-4 AST engine can see that a ``release()`` call *exists*; it cannot
+see that an exception between ``grant()`` and ``release()`` skips it.
+These rules run the :class:`repro.lint.dataflow.MustRelease` lattice per
+acquisition site and report any path — normal or exceptional — on which
+the resource may leave the function still held.  Findings name the leaking
+path symbolically (exit kind + edge kinds), never by line number, so
+baseline fingerprints survive unrelated edits.
+
+Ownership model (deliberate, documented noise tradeoffs):
+
+* ``with`` acquisitions are inherently settled and never tracked.
+* Escapes settle: returning/yielding the object, storing it on an
+  attribute or into a container, handing it to another call, or aliasing
+  it transfers ownership to code outside this function's CFG.
+* Receiver-bound resources (``table.grant(...)`` settled by
+  ``table.release(...)``) are only tracked when the receiver is a *local
+  name or parameter*.  A self-rooted receiver (``self._leases.grant``)
+  is cross-method ownership — the scheduler grants in ``_assign`` and
+  settles in ``_expire`` — which a per-function analysis must not flag.
+* A release that itself raises still counts as settled (``close()``
+  failing mid-close relinquishes ownership for lint purposes); an
+  *acquire* that raises acquired nothing (pre-state on its except edge).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+from .cfg import Block, FunctionCFG, all_function_cfgs, func_path
+from .dataflow import find_leaks
+from .engine import Rule
+from .findings import Finding
+
+
+class _Site:
+    """One tracked acquisition."""
+
+    def __init__(
+        self,
+        block: Block,
+        call: ast.Call,
+        callee: str,
+        result_var: Optional[str],
+        receiver_src: Optional[str],
+        guard_name: Optional[str],
+    ) -> None:
+        self.block = block
+        self.call = call
+        self.callee = callee
+        self.result_var = result_var
+        self.receiver_src = receiver_src
+        self.guard_name = guard_name
+
+
+def _single_stmt_call(stmt: ast.stmt) -> Optional[Tuple[ast.Call, Optional[str]]]:
+    """(call, bound name) when the statement is exactly ``var = f(...)``
+    or a bare ``f(...)``; nested calls are consumed by their consumer and
+    not tracked."""
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        return stmt.value, None
+    if (
+        isinstance(stmt, ast.Assign)
+        and len(stmt.targets) == 1
+        and isinstance(stmt.targets[0], ast.Name)
+        and isinstance(stmt.value, ast.Call)
+    ):
+        return stmt.value, stmt.targets[0].id
+    if (
+        isinstance(stmt, ast.AnnAssign)
+        and isinstance(stmt.target, ast.Name)
+        and isinstance(stmt.value, ast.Call)
+    ):
+        return stmt.value, stmt.target.id
+    return None
+
+
+def _name_loads(root: ast.AST, name: str) -> bool:
+    return any(
+        isinstance(n, ast.Name) and n.id == name
+        and isinstance(n.ctx, ast.Load)
+        for n in ast.walk(root)
+    )
+
+
+class _LifecycleRule(Rule):
+    """Shared machinery; subclasses define the acquire/settle vocabulary."""
+
+    #: method names whose call acquires (any receiver shape filtered below)
+    acquire_attrs: Tuple[str, ...] = ()
+    #: the subset of ``acquire_attrs`` settled through the *receiver*
+    #: (``table.release(...)``); these need a local-Name receiver, the
+    #: rest are settled through their bound result
+    receiver_bound_attrs: Tuple[str, ...] = ()
+    #: bare builtin names that acquire (``open``)
+    acquire_names: Tuple[str, ...] = ()
+    #: methods on the *result* that settle
+    result_release_attrs: Tuple[str, ...] = ()
+    #: methods on the *receiver* that settle
+    receiver_release_attrs: Tuple[str, ...] = ()
+    #: does ``await result`` settle (futures)?
+    await_settles: bool = False
+    #: is the acquisition conditional on its truthy result (breaker
+    #: half-open trials: the false branch of ``if result:`` settles)?
+    guarded: bool = False
+    #: must the result be bound for method-acquires to be tracked?  (keeps
+    #: ``self.journal.open()`` — returns None by design — out of SL701)
+    require_bound_result: bool = True
+    #: human label for messages
+    resource_label: str = "resource"
+    #: remediation hint appended to the finding
+    remedy: str = "wrap it in try/finally or with"
+
+    def check(self, tree: ast.Module, path: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for graph in all_function_cfgs(tree):
+            reachable = graph.reachable()
+            for site in self._sites(graph, reachable):
+                settle_bids = self._settle_bids(graph, site)
+                leaks = find_leaks(
+                    graph, site.block, settle_bids, site.guard_name
+                )
+                if not leaks:
+                    continue
+                where = " and ".join(leak.describe() for leak in leaks)
+                findings.append(
+                    self.finding(
+                        path, site.call,
+                        "%s acquired by %s() in %s may reach %s still "
+                        "unsettled — %s"
+                        % (
+                            self.resource_label, site.callee, graph.qualname,
+                            where, self.remedy,
+                        ),
+                    )
+                )
+        return findings
+
+    # -- site discovery --------------------------------------------------
+
+    def _sites(
+        self, graph: FunctionCFG, reachable: Set[int]
+    ) -> Iterator[_Site]:
+        for block in graph.blocks:
+            if block.bid not in reachable or not block.stmts:
+                continue
+            hit = _single_stmt_call(block.stmts[0])
+            if hit is None:
+                continue
+            call, result_var = hit
+            site = self._classify(block, call, result_var)
+            if site is not None:
+                yield site
+
+    def _classify(
+        self, block: Block, call: ast.Call, result_var: Optional[str]
+    ) -> Optional[_Site]:
+        path = func_path(call.func)
+        callee = ".".join(path)
+        if len(path) == 1 and path[0] in self.acquire_names:
+            return _Site(block, call, callee, result_var, None, None)
+        if len(path) >= 2 and path[-1] in self.acquire_attrs:
+            receiver_src: Optional[str] = None
+            if path[-1] in self.receiver_bound_attrs:
+                # receiver-bound tracking needs a local identity;
+                # self-rooted receivers are cross-method ownership
+                if not isinstance(call.func, ast.Attribute) or not isinstance(
+                    call.func.value, ast.Name
+                ):
+                    return None
+                receiver_src = call.func.value.id
+            elif self.require_bound_result and result_var is None:
+                return None
+            guard = result_var if (self.guarded and result_var) else None
+            return _Site(block, call, callee, result_var, receiver_src, guard)
+        return None
+
+    # -- settlement discovery --------------------------------------------
+
+    def _settle_bids(self, graph: FunctionCFG, site: _Site) -> Set[int]:
+        bids: Set[int] = set()
+        for block in graph.blocks:
+            if block is site.block:
+                continue
+            if self._settles(block, site):
+                bids.add(block.bid)
+        return bids
+
+    def _settles(self, block: Block, site: _Site) -> bool:
+        var = site.result_var
+        for node in block.walk():
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute):
+                    if (
+                        var is not None
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id == var
+                        and func.attr in self.result_release_attrs
+                    ):
+                        return True
+                    if (
+                        site.receiver_src is not None
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id == site.receiver_src
+                        and func.attr in self.receiver_release_attrs
+                    ):
+                        return True
+                if var is not None and self._escapes_into_call(node, var):
+                    return True
+            if var is None:
+                continue
+            if isinstance(node, ast.Await) and _name_loads(node.value, var):
+                if self.await_settles:
+                    return True
+            if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                value = node.value
+                if value is not None and _name_loads(value, var):
+                    return True
+            if isinstance(node, ast.Assign):
+                stores_out = any(
+                    isinstance(t, (ast.Attribute, ast.Subscript, ast.Name))
+                    for t in node.targets
+                )
+                if stores_out and _name_loads(node.value, var):
+                    # stored on an attribute / into a container, or
+                    # aliased to another local: ownership moved
+                    return True
+        return False
+
+    @staticmethod
+    def _escapes_into_call(call: ast.Call, var: str) -> bool:
+        """``var`` handed to another callable (argument position, not the
+        receiver of the call itself)."""
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            if _name_loads(arg, var):
+                return True
+        return False
+
+
+class FileHandleRule(_LifecycleRule):
+    """SL701: a file handle opened without ``with`` must be provably
+    closed (or have its ownership transferred) on every path."""
+
+    id = "SL701"
+    title = "file handle may leak on a path (no close/with/ownership move)"
+    severity = "error"
+    packages = ()
+
+    acquire_attrs = ("open", "fdopen")
+    acquire_names = ("open",)
+    result_release_attrs = ("close",)
+    require_bound_result = True
+    resource_label = "file handle"
+    remedy = (
+        "use `with`, or close it in try/finally on the named path"
+    )
+
+
+class LeaseSettlementRule(_LifecycleRule):
+    """SL702: a lease/claim granted on a *local* table must be settled
+    (released / quarantined / requeued) or escape on every path.  The
+    scheduler's ``self._leases`` grants are cross-method ownership and are
+    exempt by the local-receiver requirement."""
+
+    id = "SL702"
+    title = "granted lease/claim may leave the function unsettled"
+    severity = "error"
+    packages = ()
+
+    acquire_attrs = ("grant", "claim")
+    receiver_bound_attrs = ("grant", "claim")
+    receiver_release_attrs = (
+        "release", "expire", "quarantine", "requeue", "discard",
+    )
+    require_bound_result = False
+    resource_label = "lease/claim"
+    remedy = (
+        "settle it in try/finally (release/quarantine/requeue), or hand "
+        "the lease object to an owner"
+    )
+
+
+class TrialSettlementRule(_LifecycleRule):
+    """SL703: circuit-breaker half-open trials and loop futures must be
+    settled on every path — ``on_ok``/``on_fault`` for a trial opened by
+    ``answer_from_learner``, ``set_result``/``set_exception``/``cancel``
+    (or an await / ownership move) for a ``create_future`` result.  The
+    false branch of ``if trial_result:`` settles: no trial was opened."""
+
+    id = "SL703"
+    title = "breaker half-open trial or future may go unsettled on a path"
+    severity = "error"
+    packages = ()
+
+    acquire_attrs = ("answer_from_learner", "create_future")
+    receiver_bound_attrs = ("answer_from_learner",)
+    result_release_attrs = ("set_result", "set_exception", "cancel")
+    receiver_release_attrs = ("on_ok", "on_fault")
+    await_settles = True
+    guarded = True
+    require_bound_result = True
+    resource_label = "half-open trial/future"
+    remedy = (
+        "settle both outcomes (on_ok/on_fault, set_result/set_exception/"
+        "cancel) or transfer the future to its consumer"
+    )

@@ -1,0 +1,95 @@
+"""SARIF 2.1.0 rendering for simlint findings.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests: uploading the file produced here annotates PR diffs
+inline with each finding.  One run, one tool (``simlint``), the full rule
+catalog as ``tool.driver.rules`` (so GitHub can render titles and help
+text), and one result per finding.
+
+Baseline semantics map onto SARIF's ``baselineState``: findings the
+ratchet would fail the build for are ``new``; grandfathered ones are
+``unchanged`` (uploaded so they still annotate, but recognisably old).
+The simlint fingerprint — path::rule::message, line-insensitive by
+design — rides along in ``partialFingerprints`` so code-scanning dedups
+findings across pushes the same way ``lint-baseline.json`` does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from .findings import Finding
+from .registry import catalog
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: partialFingerprints key; bump the suffix if fingerprint() semantics change
+FINGERPRINT_KEY = "simlint/v1"
+
+_LEVELS = {"error": "error", "warning": "warning", "warn": "warning"}
+
+
+def _rules_array() -> List[Dict[str, Any]]:
+    rules = []
+    for rule_id, title, scope in catalog():
+        rules.append({
+            "id": rule_id,
+            "name": rule_id,
+            "shortDescription": {"text": title},
+            "fullDescription": {
+                "text": "%s (guards %s; see docs/STATIC_ANALYSIS.md)"
+                % (title, scope),
+            },
+            "defaultConfiguration": {"level": "error"},
+        })
+    return rules
+
+
+def _result(finding: Finding, baseline_state: str) -> Dict[str, Any]:
+    return {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "note"),
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.path,
+                    "uriBaseId": "%SRCROOT%",
+                },
+                "region": {
+                    "startLine": max(finding.line, 1),
+                    "startColumn": max(finding.col, 1),
+                },
+            },
+        }],
+        "partialFingerprints": {FINGERPRINT_KEY: finding.fingerprint()},
+        "baselineState": baseline_state,
+    }
+
+
+def to_sarif(
+    findings: Sequence[Finding],
+    grandfathered: Sequence[Finding] = (),
+) -> Dict[str, Any]:
+    """Render findings as a SARIF 2.1.0 log dict (``json.dump`` it)."""
+    results = [_result(f, "new") for f in findings]
+    results += [_result(f, "unchanged") for f in grandfathered]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "simlint",
+                    "version": "2.0.0",
+                    "rules": _rules_array(),
+                },
+            },
+            "columnKind": "unicodeCodePoints",
+            "originalUriBaseIds": {
+                "SRCROOT": {"description": {"text": "repository root"}},
+            },
+            "results": results,
+        }],
+    }

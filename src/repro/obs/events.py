@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import ClassVar, Iterable, List, Union
+from typing import ClassVar, Iterable, List, Tuple, Union
 
 
 class EventKind(enum.IntEnum):
@@ -169,6 +169,33 @@ class L2AccessEvent(Event):
     hit: bool = False
 
     kind = EventKind.L2_ACCESS
+
+
+# ----------------------------------------------------------------------
+# Closed vocabularies for the wall-clock lifecycle events.
+#
+# These tuples are the declaration point the SL802 lint rule harvests:
+# every ``action=``/``phase=`` literal at a producer site (the scheduler's
+# ``_emit_lease``/``_emit_job``, the server's ``_emit``) and every
+# comparison at a consumer site must come from here.  Grow the vocabulary
+# by editing these tuples (and the class docstrings below) — never by
+# inventing a string at an emit site.
+
+#: ``RunnerJobEvent.phase`` values
+JOB_PHASES: Tuple[str, ...] = ("start", "retry", "done", "failed", "reused")
+
+#: ``RunnerLeaseEvent.action`` values
+LEASE_ACTIONS: Tuple[str, ...] = (
+    "grant", "renew", "release", "expire", "steal", "duplicate",
+    "quarantine", "drain",
+)
+
+#: ``ServeEvent.action`` values
+SERVE_ACTIONS: Tuple[str, ...] = (
+    "accept", "deny", "shed", "evict_slow", "evict_session",
+    "breaker_open", "breaker_close", "malformed", "snapshot", "recover",
+    "drain",
+)
 
 
 @dataclass

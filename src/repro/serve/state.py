@@ -383,14 +383,17 @@ class ServiceState:
         shard_index = pc % self.config.shards
         breaker = session.breakers[shard_index]
         result = ApplyResult(shard=shard_index)
-        from_learner = breaker.answer_from_learner(
-            self.seq, self.config.breaker_cooldown
-        )
         event = AccessEvent(
             warp_id=warp, cta_id=0, pc=pc, base_addr=addr, line_addr=addr,
             now=self.seq, app_id=app,
         )
         learner_predictions: List[int] = []
+        # The half-open trial opens here and MUST be settled by on_ok /
+        # on_fault on every path (SL703); nothing that can raise may sit
+        # between opening it and entering the try block.
+        from_learner = breaker.answer_from_learner(
+            self.seq, self.config.breaker_cooldown
+        )
         try:
             learner = session.shards[shard_index]
             learner_predictions = [
@@ -408,17 +411,19 @@ class ServiceState:
                         "structural audit failed: " + "; ".join(violations)
                     )
         except Exception as exc:  # noqa: BLE001 — any learner misbehaviour
-            # Replace the wounded shard with a fresh learner (it retrains
-            # from live traffic while the breaker serves fallback answers)
-            # and trip the breaker.  Deterministic: the same state and
-            # input fault identically during journal replay.
+            # Trip the breaker FIRST — settling the half-open trial must
+            # not depend on the recovery steps below succeeding (SL703) —
+            # then replace the wounded shard with a fresh learner (it
+            # retrains from live traffic while the breaker serves fallback
+            # answers).  Deterministic: the same state and input fault
+            # identically during journal replay.
+            result.breaker_opened = breaker.on_fault(
+                self.seq, self.config.breaker_threshold
+            )
             result.fault = "%s: %s" % (type(exc).__name__, exc)
             session.shards[shard_index] = self.config.make_learner()
             session.faults += 1
             self.counters["faults"] += 1
-            result.breaker_opened = breaker.on_fault(
-                self.seq, self.config.breaker_threshold
-            )
             from_learner = False
         else:
             if from_learner:

@@ -52,6 +52,30 @@ class TestTable1Defaults:
     def test_register_file(self):
         assert GPUConfig.volta_v100().registers_per_sm == 65536
 
+    def test_register_limit_matches_thread_limit_at_default_pressure(self):
+        # 32 regs/thread x 32 lanes x 64 warps fills the 64K file exactly
+        config = GPUConfig.volta_v100()
+        assert config.registers_per_thread == 32
+        assert config.max_warps_per_sm == 64
+
+    def test_register_hungry_kernels_shrink_resident_warps(self):
+        config = GPUConfig.volta_v100().with_(registers_per_thread=64)
+        assert config.max_warps_per_sm == 32
+
+    def test_smaller_register_file_binds_occupancy(self):
+        config = GPUConfig.volta_v100().with_(registers_per_sm=32 * 1024)
+        assert config.max_warps_per_sm == 32
+
+    def test_rejects_nonpositive_registers_per_thread(self):
+        with pytest.raises(InvalidConfigError):
+            GPUConfig.volta_v100().with_(registers_per_thread=0)
+
+    def test_register_file_must_hold_at_least_one_warp(self):
+        with pytest.raises(InvalidConfigError):
+            GPUConfig.volta_v100().with_(
+                registers_per_sm=1000, registers_per_thread=32
+            )
+
     def test_unified_cache(self):
         l1 = GPUConfig.volta_v100().l1
         assert l1.size_bytes == 128 * 1024

@@ -19,6 +19,9 @@ UNGUARDED = "src/repro/analysis/mod_under_test.py"
 EVENTS = "src/repro/obs/events.py"
 STATS = "src/repro/gpusim/stats.py"
 CONFIG = "src/repro/gpusim/config.py"
+SERVE = "src/repro/serve/handlers.py"
+RUNNER = "src/repro/runner/mod_under_test.py"
+PROTOCOL = "src/repro/serve/protocol.py"
 
 
 def build_tree(root: Path, mapping: Dict[str, str]) -> Path:

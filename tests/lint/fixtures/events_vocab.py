@@ -1,0 +1,29 @@
+"""Minimal obs/events.py for fixture trees: event classes plus the
+action/phase vocabulary tuples SL802 harvests."""
+
+from dataclasses import dataclass
+
+JOB_PHASES = ("start", "retry", "done", "failed")
+LEASE_ACTIONS = ("grant", "release", "expire")
+SERVE_ACTIONS = ("accept", "deny", "shed")
+
+
+@dataclass
+class Event:
+    cycle: int
+    sm_id: int
+
+
+@dataclass
+class ServeEvent(Event):
+    action: str = ""
+
+
+@dataclass
+class RunnerLeaseEvent(Event):
+    action: str = ""
+
+
+@dataclass
+class RunnerJobEvent(Event):
+    phase: str = ""

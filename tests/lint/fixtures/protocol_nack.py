@@ -1,0 +1,9 @@
+"""Minimal serve/protocol.py for fixture trees: the NACK vocabulary."""
+
+NACK_REASONS = ("busy", "slow-client", "malformed", "draining")
+
+
+def nack(reason):
+    if reason not in NACK_REASONS:
+        raise ValueError(reason)
+    return {"error": reason}

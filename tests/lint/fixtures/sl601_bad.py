@@ -1,0 +1,16 @@
+"""SL601 positive: blocking calls reachable inside async defs."""
+
+import time
+import subprocess
+
+
+class Handler:
+    async def handle(self, payload):
+        time.sleep(0.1)  # blocks the event loop
+        return payload
+
+    async def shell_out(self, argv):
+        return subprocess.run(argv)
+
+    async def slurp(self, path):
+        return path.read_text()

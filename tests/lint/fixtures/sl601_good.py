@@ -1,0 +1,23 @@
+"""SL601 negative: async code that stays off the blocking surface, sync
+code that may block freely, and blocking calls on unreachable paths."""
+
+import asyncio
+import time
+
+
+class Handler:
+    async def handle(self, payload):
+        await asyncio.sleep(0)
+        return payload
+
+    async def slurp(self, loop, path):
+        return await loop.run_in_executor(None, path.read_text)
+
+    def snapshot(self):
+        # sync context: blocking is fine here
+        time.sleep(0.01)
+        return 1
+
+    async def early(self):
+        return 0
+        time.sleep(1)  # unreachable: the CFG proves no path gets here

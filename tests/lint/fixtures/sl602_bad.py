@@ -1,0 +1,10 @@
+"""SL602 positive: a shared-state binding mutated across an await."""
+
+
+class Server:
+    async def handle(self, key):
+        session = self.sessions[key]
+        await self.flush()
+        # the loop may have evicted the session while we were parked
+        session.touch()
+        return session

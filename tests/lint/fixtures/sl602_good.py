@@ -1,0 +1,16 @@
+"""SL602 negative: re-fetch after the await, or mutate before it."""
+
+
+class Server:
+    async def handle(self, key):
+        session = self.sessions[key]
+        await self.flush()
+        session = self.sessions[key]  # re-validated: fresh binding
+        session.touch()
+        return session
+
+    async def warm(self, key):
+        session = self.sessions[key]
+        session.touch()  # mutation strictly before the await point
+        await self.flush()
+        return key

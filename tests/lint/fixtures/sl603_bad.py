@@ -1,0 +1,13 @@
+"""SL603 positive: fire-and-forget tasks with no owner."""
+
+import asyncio
+
+
+class Owner:
+    async def go(self):
+        asyncio.create_task(self.work())  # dropped on the floor
+        return None
+
+    async def spawn(self):
+        pending = asyncio.ensure_future(self.work())
+        return None  # `pending` is never awaited, cancelled or stored

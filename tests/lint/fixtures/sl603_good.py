@@ -1,0 +1,18 @@
+"""SL603 negative: every spawned task gets an owner."""
+
+import asyncio
+
+
+class Owner:
+    async def go(self):
+        self._task = asyncio.create_task(self.work())
+        return None
+
+    async def spawn(self):
+        pending = asyncio.create_task(self.work())
+        return await pending
+
+    async def reap(self):
+        pending = asyncio.ensure_future(self.work())
+        pending.add_done_callback(self._on_done)
+        return None

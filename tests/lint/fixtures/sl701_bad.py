@@ -1,0 +1,9 @@
+"""SL701 positive: the close() exists, but an exception between open and
+close skips it — only a path-sensitive engine can see the leak."""
+
+
+def dump(path, rows):
+    fh = open(path, "w")
+    for row in rows:
+        fh.write(row)  # a write that raises skips the close below
+    fh.close()

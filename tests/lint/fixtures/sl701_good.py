@@ -1,0 +1,26 @@
+"""SL701 negative: with-block, try/finally, or ownership transfer."""
+
+
+def dump_with(path, rows):
+    with open(path, "w") as fh:
+        for row in rows:
+            fh.write(row)
+
+
+def dump_finally(path, rows):
+    fh = open(path, "w")
+    try:
+        for row in rows:
+            fh.write(row)
+    finally:
+        fh.close()
+
+
+def handoff(path):
+    fh = open(path)
+    return fh  # ownership moves to the caller
+
+
+def register(path, registry):
+    fh = open(path)
+    registry.adopt(fh)  # ownership moves to the registry

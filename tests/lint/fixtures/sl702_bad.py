@@ -1,0 +1,14 @@
+"""SL702 positive: the seeded lease-leak-on-exception.
+
+``table.release(lease)`` is textually present, so any engine that only
+checks "does a release call exist" passes this file.  The leak is the
+*path*: an exception inside ``execute`` jumps straight to the caller
+with the lease still granted.
+"""
+
+
+def run_one(table, key, worker, execute):
+    lease = table.grant(key, worker)
+    result = execute(key)  # raises -> the release below never runs
+    table.release(lease)
+    return result

@@ -1,0 +1,28 @@
+"""SL702 negative: settled on every path, or cross-method ownership."""
+
+
+def run_finally(table, key, worker, execute):
+    lease = table.grant(key, worker)
+    try:
+        return execute(key)
+    finally:
+        table.release(lease)
+
+
+def run_quarantine(table, key, worker, execute):
+    lease = table.grant(key, worker)
+    try:
+        result = execute(key)
+    except Exception:
+        table.quarantine(lease)
+        raise
+    table.release(lease)
+    return result
+
+
+class Scheduler:
+    def assign(self, key, worker):
+        # self-rooted receiver: the lease lives on past this method and
+        # is settled by the expiry sweep — cross-method ownership
+        self._leases.grant(key, worker)
+        return key

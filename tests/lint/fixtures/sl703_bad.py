@@ -1,0 +1,19 @@
+"""SL703 positive: a half-open trial and a future that can go unsettled."""
+
+
+class Shard:
+    def apply(self, breaker, learner, key):
+        trial = breaker.answer_from_learner(learner, key)
+        if trial:
+            value = learner.value(key)  # raises -> on_fault never runs
+            breaker.on_ok()
+            return value
+        return None
+
+
+async def fanout(loop, queue, key):
+    future = loop.create_future()
+    if queue.full():
+        return None  # the future is dropped unsettled on this path
+    queue.put_nowait((key, future))
+    return await future

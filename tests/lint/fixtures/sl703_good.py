@@ -1,0 +1,31 @@
+"""SL703 negative: both trial outcomes settled; future ownership moved."""
+
+
+class Shard:
+    def apply(self, breaker, learner, key):
+        trial = breaker.answer_from_learner(learner, key)
+        if not trial:
+            return None  # no trial opened: nothing to settle
+        try:
+            value = learner.value(key)
+        except Exception:
+            breaker.on_fault()
+            raise
+        breaker.on_ok()
+        return value
+
+
+async def fanout(loop, queue, key):
+    future = loop.create_future()
+    queue.put_nowait((key, future))  # consumer owns it now
+    return await future
+
+
+async def cancel_on_overload(loop, queue, key):
+    overloaded = queue.full()
+    future = loop.create_future()
+    if overloaded:  # a bare-name test cannot raise: no except edge
+        future.cancel()
+        return None
+    queue.put_nowait((key, future))
+    return await future

@@ -1,0 +1,12 @@
+"""SL801 positive: undeclared NACK reasons at produce and match sites."""
+
+from .protocol import nack
+
+
+def refuse(session):
+    return nack("busyy")  # typo: not in NACK_REASONS
+
+
+def is_slow(resp):
+    # this match can never fire against a real server
+    return resp.get("error") == "slow-clientt"

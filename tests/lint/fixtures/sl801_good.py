@@ -1,0 +1,15 @@
+"""SL801 negative: declared reasons, and non-reason strings ignored."""
+
+from .protocol import nack
+
+
+def refuse(session):
+    return nack("busy")
+
+
+def is_slow(resp):
+    return resp.get("error") == "slow-client"
+
+
+def classify(resp):
+    return resp.get("kind") == "aggregate"  # not reason-ish: out of scope

@@ -1,0 +1,20 @@
+"""SL802 positive: undeclared event actions at constructor, emit-helper
+and consumer-comparison sites (serve-module shape)."""
+
+from repro.obs.events import ServeEvent
+
+
+def record(sink, cycle):
+    sink.append(ServeEvent(cycle=cycle, sm_id=0, action="warp-speed"))
+
+
+class Server:
+    def _emit(self, action):
+        self._sink.append(action)
+
+    def drop_client(self):
+        self._emit("ejected")
+
+
+def count_denials(events):
+    return sum(1 for ev in events if ev.action == "denied")

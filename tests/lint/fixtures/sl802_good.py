@@ -1,0 +1,19 @@
+"""SL802 negative: only declared actions/phases appear anywhere."""
+
+from repro.obs.events import ServeEvent
+
+
+def record(sink, cycle):
+    sink.append(ServeEvent(cycle=cycle, sm_id=0, action="accept"))
+
+
+class Server:
+    def _emit(self, action):
+        self._sink.append(action)
+
+    def drop_client(self):
+        self._emit("deny")
+
+
+def count_sheds(events):
+    return sum(1 for ev in events if ev.action == "shed")

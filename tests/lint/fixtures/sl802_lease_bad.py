@@ -1,0 +1,16 @@
+"""SL802 positive (runner shape): undeclared lease action and job phase
+through the scheduler emit helpers."""
+
+
+class Scheduler:
+    def _emit_lease(self, key, worker, action):
+        self._sink.append((key, worker, action))
+
+    def _emit_job(self, key, *, phase):
+        self._sink.append((key, phase))
+
+    def steal(self, key):
+        self._emit_lease(key, "w0", "yoink")
+
+    def finish(self, key):
+        self._emit_job(key, phase="celebrated")

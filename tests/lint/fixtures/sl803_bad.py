@@ -1,0 +1,14 @@
+"""SL803 positive: a version-owning module spelling the version as a
+bare integer literal in payloads and comparisons."""
+
+_STATE_VERSION = 3
+
+
+def snapshot(state):
+    return {"v": 3, "rows": list(state)}
+
+
+def load(payload):
+    if payload.get("v") != 3:
+        raise ValueError("version drift")
+    return payload["rows"]

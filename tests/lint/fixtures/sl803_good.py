@@ -1,0 +1,17 @@
+"""SL803 negative: the named constant is the only spelling."""
+
+_STATE_VERSION = 3
+
+
+def snapshot(state):
+    return {"v": _STATE_VERSION, "rows": list(state)}
+
+
+def load(payload):
+    if payload.get("v") != _STATE_VERSION:
+        raise ValueError("version drift")
+    return payload["rows"]
+
+
+def count(payload):
+    return {"n": 3}  # not a version key: ignored

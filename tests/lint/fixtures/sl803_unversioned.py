@@ -1,0 +1,6 @@
+"""SL803 negative: a module that owns no version constant may carry
+integer payload fields named ``v`` (it is not a schema owner)."""
+
+
+def tally(state):
+    return {"v": 3, "rows": list(state)}

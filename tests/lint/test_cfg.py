@@ -1,0 +1,254 @@
+"""Structural tests for the per-function CFG builder."""
+
+import ast
+import textwrap
+
+from repro.lint.cfg import all_function_cfgs, binds, func_path
+
+
+def graphs_of(source):
+    return all_function_cfgs(ast.parse(textwrap.dedent(source)))
+
+
+def cfg_of(source, name=None):
+    graphs = graphs_of(source)
+    if name is None:
+        assert len(graphs) == 1
+        return graphs[0]
+    return next(g for g in graphs if g.qualname == name)
+
+
+def block_calling(graph, callee):
+    """The block whose payload calls ``callee`` (bare or attribute name)."""
+    for block in graph.blocks:
+        for call in block.calls():
+            if func_path(call.func)[-1] == callee:
+                return block
+    raise AssertionError("no block calls %s()" % callee)
+
+
+def test_straight_line_reaches_exit():
+    g = cfg_of("def f(x):\n    y = x + 1\n    return y\n")
+    reachable = g.reachable()
+    assert g.exit.bid in reachable
+    assert g.qualname == "f"
+    assert not g.is_async
+
+
+def test_if_without_else_joins():
+    g = cfg_of(
+        """
+        def f(x):
+            if x.ready():
+                x.fire()
+            return x
+        """
+    )
+    reachable = g.reachable()
+    assert block_calling(g, "fire").bid in reachable
+    assert g.exit.bid in reachable
+
+
+def test_while_true_code_after_loop_needs_break():
+    no_break = cfg_of(
+        """
+        def f(x):
+            while True:
+                x.spin()
+            x.after()
+        """
+    )
+    assert block_calling(no_break, "after").bid not in no_break.reachable()
+
+    with_break = cfg_of(
+        """
+        def f(x):
+            while True:
+                if x.done():
+                    break
+            x.after()
+        """
+    )
+    assert block_calling(with_break, "after").bid in with_break.reachable()
+
+
+def test_code_after_return_is_unreachable():
+    g = cfg_of(
+        """
+        def f(x):
+            return x
+            x.dead()
+        """
+    )
+    assert block_calling(g, "dead").bid not in g.reachable()
+
+
+def test_statement_exception_edge_reaches_raise_exit():
+    g = cfg_of("def f(x):\n    x.boom()\n")
+    assert g.raise_exit.bid in g.reachable()
+
+
+def test_catch_all_handler_seals_the_raise_exit():
+    g = cfg_of(
+        """
+        def f(x):
+            try:
+                x.boom()
+            except Exception:
+                pass
+        """
+    )
+    assert g.raise_exit.bid not in g.reachable()
+
+
+def test_narrow_handler_still_propagates():
+    g = cfg_of(
+        """
+        def f(x):
+            try:
+                x.boom()
+            except ValueError:
+                pass
+            return x
+        """
+    )
+    # a non-ValueError escapes past the only handler
+    assert g.raise_exit.bid in g.reachable()
+
+
+def test_else_clause_exceptions_escape_own_handlers():
+    g = cfg_of(
+        """
+        def f(x):
+            try:
+                x.step()
+            except Exception:
+                x.handle()
+            else:
+                x.boom()
+        """
+    )
+    # from the else clause, an exception bypasses this try's handlers
+    else_block = block_calling(g, "boom")
+    downstream = g.reachable(else_block)
+    assert g.raise_exit.bid in downstream
+    assert block_calling(g, "handle").bid not in downstream
+
+
+def test_bare_name_branch_test_has_no_exception_edge():
+    g = cfg_of(
+        """
+        def f(flag, x):
+            if flag:
+                return x
+            return None
+        """
+    )
+    header = next(b for b in g.blocks if b.label == "if")
+    assert not any(e.kind == "except" for e in header.succs)
+
+
+def test_call_branch_test_keeps_its_exception_edge():
+    g = cfg_of(
+        """
+        def f(x):
+            if x.ready():
+                return x
+            return None
+        """
+    )
+    header = next(b for b in g.blocks if b.label == "if")
+    assert any(e.kind == "except" for e in header.succs)
+
+
+def test_await_marks_blocks():
+    g = cfg_of(
+        """
+        async def f(x, items):
+            await x.flush()
+            async for item in items:
+                x.note(item)
+            x.done()
+        """
+    )
+    assert g.is_async
+    assert block_calling(g, "flush").has_await
+    assert not block_calling(g, "done").has_await
+    # the async-for header crosses the loop even without an await expr
+    header = next(b for b in g.blocks if b.label == "async-for")
+    assert header.has_await
+
+
+def test_finally_reached_from_return_and_exception():
+    g = cfg_of(
+        """
+        def f(x):
+            try:
+                return x.work()
+            finally:
+                x.cleanup()
+        """
+    )
+    cleanup = block_calling(g, "cleanup")
+    assert cleanup.bid in g.reachable()
+    assert g.exit.bid in g.reachable(cleanup)
+    assert g.raise_exit.bid in g.reachable(cleanup)
+
+
+def test_nested_defs_get_their_own_graphs():
+    graphs = graphs_of(
+        """
+        def outer():
+            def inner():
+                return 1
+            return inner
+
+        class C:
+            def method(self):
+                return 2
+        """
+    )
+    names = {g.qualname for g in graphs}
+    assert names == {"outer", "outer.inner", "C.method"}
+    # the nested body is opaque to the parent graph
+    outer = next(g for g in graphs if g.qualname == "outer")
+    assert all(
+        not isinstance(stmt, ast.Return) or stmt.value is None
+        or not isinstance(stmt.value, ast.Constant)
+        for b in outer.blocks for stmt in b.stmts
+    )
+
+
+def test_binds_covers_every_binding_form():
+    g = cfg_of(
+        """
+        def f(pairs, src):
+            total = 0
+            for key, value in pairs:
+                total += value
+            with open(src) as fh:
+                data = fh.read()
+            try:
+                fh.close()
+            except OSError as err:
+                data = str(err)
+            if (n := len(data)) > 0:
+                return n
+            return total
+        """
+    )
+    bound = set()
+    for block in g.blocks:
+        bound |= binds(block)
+    assert {"total", "key", "value", "fh", "data", "err", "n"} <= bound
+
+
+def test_func_path_shapes():
+    def path_of(src):
+        call = ast.parse(src, mode="eval").body
+        return func_path(call.func)
+
+    assert path_of("time.sleep(1)") == ("time", "sleep")
+    assert path_of("open(p)") == ("open",)
+    assert path_of("self.journal.open()") == ("self", "journal", "open")
+    assert path_of("get().close()") == ("?", "close")

@@ -1,0 +1,78 @@
+"""``snake-repro lint --changed [REF]``: git-scoped file selection."""
+
+import subprocess
+
+from repro.lint.cli import main as lint_main
+
+from .conftest import FIXTURES, GUARDED, UNGUARDED, build_tree
+
+
+def git(root, *argv):
+    subprocess.run(
+        ["git", "-C", str(root)] + list(argv),
+        check=True, capture_output=True,
+        env={
+            "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+            "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t",
+            "HOME": str(root),
+            "PATH": "/usr/bin:/bin:/usr/local/bin",
+        },
+    )
+
+
+def init_repo(root):
+    git(root, "init", "-q")
+    git(root, "add", "-A")
+    git(root, "commit", "-q", "-m", "seed")
+
+
+def test_changed_lints_only_the_touched_file(tmp_path, capsys):
+    build_tree(tmp_path, {
+        GUARDED: "sl101_good.py",
+        UNGUARDED: "sl502_bad.py",  # pre-existing, untouched
+    })
+    init_repo(tmp_path)
+    # introduce a violation in one tracked file only
+    (tmp_path / GUARDED).write_text(
+        (FIXTURES / "sl101_bad.py").read_text()
+    )
+    rc = lint_main(["--root", str(tmp_path), "--changed", "HEAD"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "SL101" in out
+    assert "SL502" not in out  # untouched file was not linted
+
+
+def test_changed_includes_untracked_files(tmp_path, capsys):
+    build_tree(tmp_path, {GUARDED: "sl101_good.py"})
+    init_repo(tmp_path)
+    build_tree(tmp_path, {UNGUARDED: "sl502_bad.py"})  # new, untracked
+    rc = lint_main(["--root", str(tmp_path), "--changed", "HEAD"])
+    assert rc == 1
+    assert "SL502" in capsys.readouterr().out
+
+
+def test_changed_with_no_diff_exits_clean(tmp_path, capsys):
+    build_tree(tmp_path, {GUARDED: "sl101_bad.py"})
+    init_repo(tmp_path)
+    rc = lint_main(["--root", str(tmp_path), "--changed", "HEAD"])
+    assert rc == 0
+    assert "no linted files differ" in capsys.readouterr().out
+
+
+def test_changed_outside_git_falls_back_to_full_tree(tmp_path, capsys):
+    build_tree(tmp_path, {GUARDED: "sl101_bad.py"})
+    rc = lint_main(["--root", str(tmp_path), "--changed", "HEAD"])
+    captured = capsys.readouterr()
+    assert rc == 1  # fell back to the full tree, which has a finding
+    assert "SL101" in captured.out
+    assert "linting the full tree" in captured.err
+
+
+def test_changed_conflicts_with_explicit_paths(tmp_path, capsys):
+    build_tree(tmp_path, {GUARDED: "sl101_good.py"})
+    rc = lint_main([
+        "--root", str(tmp_path), "--changed", "HEAD",
+        str(tmp_path / GUARDED),
+    ])
+    assert rc == 2

@@ -1,0 +1,172 @@
+"""Dataflow solver tests: reaching definitions and must-release."""
+
+import ast
+import textwrap
+
+from repro.lint.cfg import all_function_cfgs, func_path
+from repro.lint.dataflow import ReachingDefinitions, find_leaks, solve
+
+
+def cfg_of(source):
+    graphs = all_function_cfgs(ast.parse(textwrap.dedent(source)))
+    assert len(graphs) == 1
+    return graphs[0]
+
+
+def block_calling(graph, callee):
+    for block in graph.blocks:
+        for call in block.calls():
+            if func_path(call.func)[-1] == callee:
+                return block
+    raise AssertionError("no block calls %s()" % callee)
+
+
+def leaks_of(source, guard=None):
+    """find_leaks for the ``t.acquire()`` site, with every block calling
+    ``release`` (by any receiver) as a settle block."""
+    graph = cfg_of(source)
+    acquire = block_calling(graph, "acquire")
+    settle = set()
+    for block in graph.blocks:
+        if block is acquire:
+            continue
+        if any(func_path(c.func)[-1] == "release" for c in block.calls()):
+            settle.add(block.bid)
+    return find_leaks(graph, acquire, settle, guard)
+
+
+# ---------------------------------------------------------------------------
+# Reaching definitions
+
+
+def test_parameters_reach_from_entry_until_rebound():
+    graph = cfg_of(
+        """
+        def f(x):
+            use(x)
+            x = fresh()
+            use(x)
+        """
+    )
+    problem = ReachingDefinitions(graph)
+    solution = solve(graph, problem)
+    first_use = block_calling(graph, "use")
+    assert problem.defs_reaching(solution, first_use, "x") == {
+        graph.entry.bid
+    }
+    # at exit the rebinding has killed the parameter definition
+    at_exit = problem.defs_reaching(solution, graph.exit, "x")
+    assert graph.entry.bid not in at_exit
+    assert len(at_exit) == 1
+
+
+def test_branches_merge_definitions():
+    graph = cfg_of(
+        """
+        def f(flag):
+            if flag:
+                y = one()
+            else:
+                y = two()
+            sink(y)
+        """
+    )
+    problem = ReachingDefinitions(graph)
+    solution = solve(graph, problem)
+    assert len(problem.defs_reaching(solution, graph.exit, "y")) == 2
+
+
+# ---------------------------------------------------------------------------
+# Must-release
+
+
+def test_exception_between_acquire_and_release_leaks():
+    leaks = leaks_of(
+        """
+        def f(t, work):
+            h = t.acquire()
+            work(h)
+            t.release(h)
+        """
+    )
+    assert [leak.exit_kind for leak in leaks] == ["exception"]
+    assert "exceptional exit" in leaks[0].describe()
+
+
+def test_try_finally_settles_every_path():
+    assert not leaks_of(
+        """
+        def f(t, work):
+            h = t.acquire()
+            try:
+                work(h)
+            finally:
+                t.release(h)
+        """
+    )
+
+
+def test_early_return_without_release_leaks_normal_exit():
+    leaks = leaks_of(
+        """
+        def f(t, flag):
+            h = t.acquire()
+            if flag:
+                return None
+            t.release(h)
+            return h
+        """
+    )
+    assert "normal" in {leak.exit_kind for leak in leaks}
+
+
+def test_guard_refutation_settles_the_false_branch():
+    source = """
+        def f(t, work):
+            h = t.acquire()
+            if h:
+                work()
+                t.release(h)
+            return None
+        """
+    # without the guard, the false branch looks like a normal-exit leak
+    assert any(l.exit_kind == "normal" for l in leaks_of(source))
+    # with it, `if h:` being false proves nothing was acquired...
+    leaks = leaks_of(source, guard="h")
+    assert all(l.exit_kind != "normal" for l in leaks)
+    # ...while work() raising between acquire and release still leaks
+    assert [l.exit_kind for l in leaks] == ["exception"]
+
+
+def test_acquire_that_raises_acquired_nothing():
+    leaks = leaks_of(
+        """
+        def f(t):
+            h = t.acquire()
+        """
+    )
+    # the only leak is the normal fall-through; the acquire block's own
+    # except edge carries the pre-state (nothing was acquired)
+    assert [leak.exit_kind for leak in leaks] == ["normal"]
+
+
+def test_settle_block_that_raises_still_settled():
+    assert not leaks_of(
+        """
+        def f(t):
+            h = t.acquire()
+            t.release(h)
+        """
+    )
+
+
+def test_witness_path_names_edge_kinds():
+    leaks = leaks_of(
+        """
+        def f(t, work):
+            h = t.acquire()
+            work(h)
+            t.release(h)
+        """
+    )
+    assert leaks[0].describe() == "the exceptional exit via except"

@@ -1,0 +1,59 @@
+"""SL6xx async-safety rules: positive and negative fixtures."""
+
+from .conftest import SERVE, lint_tree, rules_hit
+
+
+def hits(findings, rule):
+    return [f for f in findings if f.rule == rule]
+
+
+# ---------------------------------------------------------------------------
+# SL601 — blocking calls in async defs
+
+
+def test_sl601_blocking_calls_in_async_defs(tmp_path):
+    findings = lint_tree(tmp_path, {SERVE: "sl601_bad.py"})
+    found = hits(findings, "SL601")
+    assert len(found) == 3
+    assert any("time.sleep" in f.message for f in found)
+    assert any("subprocess.run" in f.message for f in found)
+    assert any("read_text" in f.message for f in found)
+
+
+def test_sl601_async_safe_and_sync_code_clean(tmp_path):
+    findings = lint_tree(tmp_path, {SERVE: "sl601_good.py"})
+    assert "SL601" not in rules_hit(findings)
+
+
+# ---------------------------------------------------------------------------
+# SL602 — shared-state bindings across await
+
+
+def test_sl602_stale_binding_mutated_after_await(tmp_path):
+    findings = lint_tree(tmp_path, {SERVE: "sl602_bad.py"})
+    found = hits(findings, "SL602")
+    assert len(found) == 1
+    assert "'session'" in found[0].message
+    assert "re-fetch" in found[0].message
+
+
+def test_sl602_refetch_or_mutate_before_await_clean(tmp_path):
+    findings = lint_tree(tmp_path, {SERVE: "sl602_good.py"})
+    assert "SL602" not in rules_hit(findings)
+
+
+# ---------------------------------------------------------------------------
+# SL603 — dropped tasks
+
+
+def test_sl603_dropped_and_unused_tasks(tmp_path):
+    findings = lint_tree(tmp_path, {SERVE: "sl603_bad.py"})
+    found = hits(findings, "SL603")
+    assert len(found) == 2
+    assert any("dropped" in f.message for f in found)
+    assert any("'pending'" in f.message for f in found)
+
+
+def test_sl603_owned_tasks_clean(tmp_path):
+    findings = lint_tree(tmp_path, {SERVE: "sl603_good.py"})
+    assert "SL603" not in rules_hit(findings)

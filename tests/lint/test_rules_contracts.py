@@ -1,0 +1,86 @@
+"""SL8xx cross-module contract rules: vocabulary harvest + conformance."""
+
+from .conftest import EVENTS, PROTOCOL, RUNNER, SERVE, lint_tree, rules_hit
+
+
+def hits(findings, rule):
+    return [f for f in findings if f.rule == rule]
+
+
+# ---------------------------------------------------------------------------
+# SL801 — NACK reasons
+
+
+def test_sl801_undeclared_reasons_at_produce_and_match_sites(tmp_path):
+    findings = lint_tree(
+        tmp_path, {PROTOCOL: "protocol_nack.py", SERVE: "sl801_bad.py"}
+    )
+    found = hits(findings, "SL801")
+    assert len(found) == 2
+    assert any("'busyy'" in f.message for f in found)
+    assert any("'slow-clientt'" in f.message for f in found)
+
+
+def test_sl801_declared_reasons_and_non_reason_strings_clean(tmp_path):
+    findings = lint_tree(
+        tmp_path, {PROTOCOL: "protocol_nack.py", SERVE: "sl801_good.py"}
+    )
+    assert "SL801" not in rules_hit(findings)
+
+
+def test_sl801_silent_without_a_protocol_module(tmp_path):
+    # no vocabulary harvested -> the rule cannot judge, so it stays quiet
+    findings = lint_tree(tmp_path, {SERVE: "sl801_bad.py"})
+    assert "SL801" not in rules_hit(findings)
+
+
+# ---------------------------------------------------------------------------
+# SL802 — event action/phase vocabulary
+
+
+def test_sl802_serve_constructor_emit_and_consumer_sites(tmp_path):
+    findings = lint_tree(
+        tmp_path, {EVENTS: "events_vocab.py", SERVE: "sl802_bad.py"}
+    )
+    found = hits(findings, "SL802")
+    assert len(found) == 3
+    assert any("'warp-speed'" in f.message for f in found)  # constructor
+    assert any("'ejected'" in f.message for f in found)     # _emit helper
+    assert any("'denied'" in f.message for f in found)      # consumer
+
+
+def test_sl802_runner_emit_helpers(tmp_path):
+    findings = lint_tree(
+        tmp_path, {EVENTS: "events_vocab.py", RUNNER: "sl802_lease_bad.py"}
+    )
+    found = hits(findings, "SL802")
+    assert len(found) == 2
+    assert any("'yoink'" in f.message for f in found)
+    assert any("'celebrated'" in f.message for f in found)
+
+
+def test_sl802_declared_vocabulary_clean(tmp_path):
+    findings = lint_tree(
+        tmp_path, {EVENTS: "events_vocab.py", SERVE: "sl802_good.py"}
+    )
+    assert "SL802" not in rules_hit(findings)
+
+
+# ---------------------------------------------------------------------------
+# SL803 — schema-version literals
+
+
+def test_sl803_version_owner_using_bare_literals(tmp_path):
+    findings = lint_tree(tmp_path, {SERVE: "sl803_bad.py"})
+    found = hits(findings, "SL803")
+    assert len(found) == 2
+
+
+def test_sl803_named_constant_spelling_clean(tmp_path):
+    findings = lint_tree(tmp_path, {SERVE: "sl803_good.py"})
+    assert "SL803" not in rules_hit(findings)
+
+
+def test_sl803_non_owner_modules_exempt(tmp_path):
+    findings = lint_tree(tmp_path, {SERVE: "sl803_unversioned.py"})
+    assert "SL803" not in rules_hit(findings)

@@ -1,0 +1,75 @@
+"""SL7xx resource-lifecycle rules: positive and negative fixtures,
+including the proof that the path-sensitive engine catches what a
+call-exists AST matcher cannot."""
+
+import ast
+from pathlib import Path
+
+from .conftest import FIXTURES, RUNNER, SERVE, lint_tree, rules_hit
+
+
+def hits(findings, rule):
+    return [f for f in findings if f.rule == rule]
+
+
+# ---------------------------------------------------------------------------
+# SL701 — file handles
+
+
+def test_sl701_exception_path_skips_close(tmp_path):
+    findings = lint_tree(tmp_path, {SERVE: "sl701_bad.py"})
+    found = hits(findings, "SL701")
+    assert len(found) == 1
+    assert "exceptional exit" in found[0].message
+    assert "open()" in found[0].message
+
+
+def test_sl701_with_finally_and_ownership_moves_clean(tmp_path):
+    findings = lint_tree(tmp_path, {SERVE: "sl701_good.py"})
+    assert "SL701" not in rules_hit(findings)
+
+
+# ---------------------------------------------------------------------------
+# SL702 — leases
+
+
+def test_sl702_catches_what_call_exists_matching_cannot(tmp_path):
+    """The seeded leak: ``table.release(lease)`` is textually present, so
+    an engine that only checks the release call exists passes the file.
+    Only the CFG shows the exception path that skips it."""
+    source = (Path(FIXTURES) / "sl702_bad.py").read_text()
+    release_calls = [
+        node for node in ast.walk(ast.parse(source))
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "release"
+    ]
+    assert release_calls, "fixture must contain a textual release call"
+
+    findings = lint_tree(tmp_path, {SERVE: "sl702_bad.py"})
+    found = hits(findings, "SL702")
+    assert len(found) == 1
+    assert "exceptional exit" in found[0].message
+    assert "grant()" in found[0].message
+
+
+def test_sl702_settled_paths_and_cross_method_ownership_clean(tmp_path):
+    findings = lint_tree(tmp_path, {SERVE: "sl702_good.py"})
+    assert "SL702" not in rules_hit(findings)
+
+
+# ---------------------------------------------------------------------------
+# SL703 — breaker trials and futures
+
+
+def test_sl703_trial_and_future_leaks(tmp_path):
+    findings = lint_tree(tmp_path, {RUNNER: "sl703_bad.py"})
+    found = hits(findings, "SL703")
+    assert len(found) == 2
+    assert any("answer_from_learner()" in f.message for f in found)
+    assert any("create_future()" in f.message for f in found)
+
+
+def test_sl703_settled_trials_and_owned_futures_clean(tmp_path):
+    findings = lint_tree(tmp_path, {RUNNER: "sl703_good.py"})
+    assert "SL703" not in rules_hit(findings)

@@ -1,0 +1,227 @@
+"""SARIF 2.1.0 output: structural checks plus schema validation.
+
+The schema below is a trimmed-but-faithful subset of the official
+sarif-2.1.0 JSON schema covering everything simlint emits (log, run,
+tool/driver/rules, results with locations and fingerprints), with
+``additionalProperties: false`` kept strict at the layers we own so the
+test fails if we emit a misspelled property.
+"""
+
+import json
+
+import jsonschema
+import pytest
+
+from repro.lint import run_lint, to_sarif
+from repro.lint.cli import main as lint_main
+from repro.lint.registry import rule_ids
+from repro.lint.sarif import FINGERPRINT_KEY, SARIF_VERSION
+
+from .conftest import GUARDED, SERVE, build_tree
+
+SARIF_SCHEMA_SUBSET = {
+    "type": "object",
+    "required": ["$schema", "version", "runs"],
+    "properties": {
+        "$schema": {"type": "string", "format": "uri"},
+        "version": {"enum": ["2.1.0"]},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "additionalProperties": False,
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "version": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "name": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                                "fullDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                                "defaultConfiguration": {
+                                                    "type": "object",
+                                                    "properties": {
+                                                        "level": {
+                                                            "enum": [
+                                                                "none",
+                                                                "note",
+                                                                "warning",
+                                                                "error",
+                                                            ],
+                                                        },
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                    "columnKind": {
+                        "enum": ["utf16CodeUnits", "unicodeCodePoints"],
+                    },
+                    "originalUriBaseIds": {"type": "object"},
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "additionalProperties": False,
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "level": {
+                                    "enum": [
+                                        "none", "note", "warning", "error",
+                                    ],
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {
+                                        "text": {"type": "string"},
+                                    },
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "uri": {
+                                                                "type": "string",
+                                                            },
+                                                            "uriBaseId": {
+                                                                "type": "string",
+                                                            },
+                                                        },
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                                "partialFingerprints": {
+                                    "type": "object",
+                                    "additionalProperties": {
+                                        "type": "string",
+                                    },
+                                },
+                                "baselineState": {
+                                    "enum": [
+                                        "new", "unchanged", "updated",
+                                        "absent",
+                                    ],
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def sarif_for(tmp_path, mapping):
+    findings = run_lint(build_tree(tmp_path, mapping))
+    return findings, to_sarif(findings)
+
+
+def test_sarif_validates_against_the_schema(tmp_path):
+    findings, log = sarif_for(
+        tmp_path, {GUARDED: "sl101_bad.py", SERVE: "sl702_bad.py"}
+    )
+    assert findings
+    jsonschema.validate(log, SARIF_SCHEMA_SUBSET)
+
+
+def test_empty_run_still_validates(tmp_path):
+    jsonschema.validate(to_sarif([]), SARIF_SCHEMA_SUBSET)
+
+
+def test_every_catalog_rule_is_described(tmp_path):
+    log = to_sarif([])
+    described = {r["id"] for r in log["runs"][0]["tool"]["driver"]["rules"]}
+    assert described == set(rule_ids())
+
+
+def test_results_carry_rule_fingerprint_and_location(tmp_path):
+    findings, log = sarif_for(tmp_path, {SERVE: "sl702_bad.py"})
+    results = log["runs"][0]["results"]
+    assert len(results) == len(findings)
+    by_rule = {r["ruleId"]: r for r in results}
+    leak = by_rule["SL702"]
+    assert leak["level"] == "error"
+    assert leak["baselineState"] == "new"
+    assert leak["partialFingerprints"][FINGERPRINT_KEY]
+    location = leak["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == SERVE
+    assert location["region"]["startLine"] >= 1
+
+
+def test_grandfathered_findings_marked_unchanged(tmp_path):
+    findings = run_lint(build_tree(tmp_path, {SERVE: "sl702_bad.py"}))
+    log = to_sarif([], grandfathered=findings)
+    states = {r["baselineState"] for r in log["runs"][0]["results"]}
+    assert states == {"unchanged"}
+
+
+def test_cli_writes_sarif_file(tmp_path, capsys):
+    build_tree(tmp_path, {SERVE: "sl702_bad.py"})
+    out_file = tmp_path / "simlint.sarif"
+    rc = lint_main(["--root", str(tmp_path), "--sarif", str(out_file)])
+    assert rc == 1
+    log = json.loads(out_file.read_text())
+    assert log["version"] == SARIF_VERSION
+    jsonschema.validate(log, SARIF_SCHEMA_SUBSET)
+    assert any(
+        r["ruleId"] == "SL702" for r in log["runs"][0]["results"]
+    )
+
+
+def test_cli_sarif_to_stdout(tmp_path, capsys):
+    build_tree(tmp_path, {GUARDED: "sl101_good.py"})
+    rc = lint_main(["--root", str(tmp_path), "--sarif", "-"])
+    assert rc == 0
+    log = json.loads(capsys.readouterr().out.split("simlint:")[0])
+    jsonschema.validate(log, SARIF_SCHEMA_SUBSET)

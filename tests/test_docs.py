@@ -15,6 +15,15 @@ def test_architecture_mentions_every_module():
     assert missing_modules(REPO_ROOT) == []
 
 
+def test_static_analysis_names_every_rule_family():
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        from check_docs import missing_rule_family_docs
+    finally:
+        sys.path.pop(0)
+    assert missing_rule_family_docs(REPO_ROOT) == []
+
+
 def test_docs_cover_the_cli_surface():
     sys.path.insert(0, str(REPO_ROOT / "tools"))
     try:
