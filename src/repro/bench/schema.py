@@ -35,6 +35,14 @@ BENCH_SCHEMA_VERSION = 1
 #: drops more than this fraction below the committed baseline's.
 DEFAULT_TOLERANCE = 0.15
 
+#: the quickstart-wall gate's default: the quickstart pair's absolute
+#: wall time may exceed the baseline's by at most this fraction.  Wall
+#: time is machine-dependent (unlike the speedup ratio), so this bound
+#: is deliberately loose — it exists to catch order-of-magnitude
+#: hot-path regressions that a ratio gate cannot see (both loops getting
+#: slower together), not few-percent jitter.
+DEFAULT_WALL_TOLERANCE = 0.60
+
 #: top-level payload fields -> required type
 TOP_FIELDS: Dict[str, type] = {
     "schema_version": int,
@@ -140,6 +148,7 @@ def compare_payloads(
     current: Mapping[str, Any],
     baseline: Mapping[str, Any],
     tolerance: float = DEFAULT_TOLERANCE,
+    wall_tolerance: float = DEFAULT_WALL_TOLERANCE,
 ) -> List[str]:
     """Regressions of ``current`` against a committed ``baseline``
     (empty list = gate passes).
@@ -151,6 +160,11 @@ def compare_payloads(
     contribution.  A case regresses when its ratio drops more than
     ``tolerance`` below the baseline's, when its stats no longer match
     the legacy loop, or when the two payloads share no comparable case.
+
+    One absolute check backs the ratio gate up: ``quickstart_wall_s``
+    may not exceed the baseline's by more than ``wall_tolerance`` — a
+    hot-path regression that slows *both* loops leaves every ratio
+    intact, and only the wall clock notices.
     """
     regressions: List[str] = []
     for name, payload in (("current", current), ("baseline", baseline)):
@@ -195,6 +209,16 @@ def compare_payloads(
         regressions.append(
             "no case is comparable between current and baseline payloads"
         )
+    ceiling = baseline["quickstart_wall_s"] * (1.0 + wall_tolerance)
+    if current["quickstart_wall_s"] > ceiling:
+        regressions.append(
+            "quickstart_wall_s %.3fs > %.3fs (baseline %.3fs + %d%% "
+            "wall tolerance)"
+            % (
+                current["quickstart_wall_s"], ceiling,
+                baseline["quickstart_wall_s"], round(wall_tolerance * 100),
+            )
+        )
     return regressions
 
 
@@ -215,6 +239,7 @@ def comparable_cases(
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "DEFAULT_TOLERANCE",
+    "DEFAULT_WALL_TOLERANCE",
     "TOP_FIELDS",
     "CASE_FIELDS",
     "bench_filename",

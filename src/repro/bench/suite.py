@@ -63,7 +63,84 @@ CASES: Tuple[BenchCase, ...] = (
         "sweep-mum-snake-4sm", "mum", "snake", 0.5,
         overrides=(("num_sms", 4),), quick=False,
     ),
+    # Table-walk-heavy pair (docs/PERFORMANCE.md, "The batched hot
+    # path").  The long-chain cell enlarges the Tail CAM past the
+    # vectorized walk's bucket threshold and deepens chains, so
+    # ``TailTable.walk_raw`` dominates; the serve-drain cell measures
+    # ``ServiceState.apply_batch`` against sequential ``apply`` (its
+    # "legacy" loop), with digest equality as the differential bit.
+    BenchCase(
+        "longchain-mum-snake", "mum", "snake", 0.5,
+        overrides=(("tail_entries", 64), ("max_chain_depth", 16)),
+    ),
+    BenchCase("serve-drain-snake", "serve-drain", "snake", 1.0),
 )
+
+#: Records handed to ``ServiceState.apply_batch`` per call in the
+#: serve-drain case — the service worker's ``batch_limit``-bounded queue
+#: sweep, modeled without the event loop.
+SERVE_DRAIN_CHUNK = 64
+
+
+def _serve_drain_records(scale: float, seed: int):
+    """Deterministic access stream for the serve-drain case: bursty
+    per-client traffic (what a queue sweep actually drains).  Each burst
+    is one warp's loop body — the shard's pc group swept cyclically with
+    per-pc strides — so the Snake learners train stable chains and spend
+    their time walking them rather than thrashing the Tail CAM."""
+    import random
+
+    rng = random.Random(seed)
+    clients = ["client-%d" % i for i in range(8)]
+    pcs = [0x100 + i for i in range(8)]
+    strides = {pc: 64 * (1 + i % 4) for i, pc in enumerate(pcs)}
+    cursors: Dict[Tuple[str, int, int], int] = {}
+    count = int(24000 * scale)
+    records = []
+    while len(records) < count:
+        client = clients[rng.randrange(len(clients))]
+        shard = rng.randrange(4)
+        group = [pc for pc in pcs if pc % 4 == shard]
+        warp = rng.randrange(4)
+        for k in range(rng.randrange(16, 65)):
+            pc = group[k % len(group)]
+            key = (client, warp, pc)
+            addr = cursors.get(key, 0x10000 + warp * 0x4000 + pc * 0x100)
+            cursors[key] = addr + strides[pc]
+            records.append((client, warp, pc, addr, 0))
+    del records[count:]
+    return clients, records
+
+
+def _run_serve_drain(
+    case: BenchCase, batched: bool
+) -> Tuple[Dict[str, Any], int, int, float]:
+    """Drain one deterministic record stream through the service state
+    core; returns (identity stats, seq, applied count, wall seconds).
+
+    ``batched`` picks the lane: ``apply_batch`` in
+    ``SERVE_DRAIN_CHUNK``-sized sweeps (the primary measurement) or one
+    scalar ``apply`` per record (the reference).  The identity stats are
+    the state digest plus the journaled counters — byte-equal digests
+    are the serve analogue of the gpusim ``stats_match`` bit.
+    """
+    from repro.serve.state import ServeConfig, ServiceState
+
+    state = ServiceState(ServeConfig())
+    clients, records = _serve_drain_records(case.scale, case.seed)
+    for client in clients:
+        state.admit(client)
+    start = time.perf_counter()
+    if batched:
+        for i in range(0, len(records), SERVE_DRAIN_CHUNK):
+            state.apply_batch(records[i:i + SERVE_DRAIN_CHUNK])
+    else:
+        apply = state.apply
+        for record in records:
+            apply(*record)
+    wall = time.perf_counter() - start
+    stats = {"digest": state.state_digest(), **state.counters}
+    return stats, state.seq, state.counters["applied"], wall
 
 
 def _run_once(case: BenchCase, legacy: bool) -> Tuple[Dict[str, float], int, int, float]:
@@ -96,13 +173,30 @@ def run_case(case: BenchCase, loop: str = "event") -> Dict[str, Any]:
     with the legacy primary only one run happens (ratio pinned to 1)."""
     if loop not in ("event", "legacy"):
         raise ValueError("loop must be 'event' or 'legacy', not %r" % loop)
-    stats, cycles, instructions, wall = _run_once(case, legacy=loop == "legacy")
-    if loop == "event":
-        legacy_stats, _, _, legacy_wall = _run_once(case, legacy=True)
-        stats_match = stats == legacy_stats
+    if case.app == "serve-drain":
+        # The serve case's two "loops" are the batched and scalar apply
+        # lanes; digest equality plays the role of SimStats identity.
+        stats, cycles, instructions, wall = _run_serve_drain(
+            case, batched=loop == "event"
+        )
+        if loop == "event":
+            legacy_stats, _, _, legacy_wall = _run_serve_drain(
+                case, batched=False
+            )
+            stats_match = stats == legacy_stats
+        else:
+            legacy_wall = wall
+            stats_match = True
     else:
-        legacy_wall = wall
-        stats_match = True
+        stats, cycles, instructions, wall = _run_once(
+            case, legacy=loop == "legacy"
+        )
+        if loop == "event":
+            legacy_stats, _, _, legacy_wall = _run_once(case, legacy=True)
+            stats_match = stats == legacy_stats
+        else:
+            legacy_wall = wall
+            stats_match = True
     return {
         "name": case.name,
         "app": case.app,

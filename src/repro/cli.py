@@ -226,6 +226,13 @@ def _obs_parser(command: str) -> argparse.ArgumentParser:
             "--out", metavar="PATH", default=None,
             help="Chrome-trace JSON path (default <app>.trace.json)",
         )
+    else:
+        parser.add_argument(
+            "--hot", action="store_true",
+            help="attribute host wall time to the hot components "
+            "(table-walk / issue / coalesce / cache) instead of "
+            "reporting cycle-domain metrics; see docs/OBSERVABILITY.md",
+        )
     return parser
 
 
@@ -234,6 +241,19 @@ def _run_obs_command(command: str, argv) -> int:
     from repro.obs.runner import traced_run
 
     args = _obs_parser(command).parse_args(argv)
+    if command == "profile" and args.hot:
+        from repro.obs.hotprof import hot_profile_run
+
+        try:
+            profile = hot_profile_run(
+                args.app, mechanism=args.mechanism, scale=args.scale,
+                seed=args.seed, legacy_loop=args.legacy_loop,
+            )
+        except (KeyError, ValueError) as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+        print(profile.render())
+        return 0
     bucket = (
         args.bucket
         if args.bucket is not None

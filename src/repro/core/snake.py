@@ -18,7 +18,9 @@ only the chains; decoupling/throttling are composed at the GPU level (see
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.obs.events import ChainWalkEvent
 from repro.prefetch.base import AccessEvent, Prefetcher, PrefetchRequest
@@ -46,6 +48,7 @@ class SnakePrefetcher(Prefetcher):
         use_inter_warp: bool = True,
         eviction: str = "lru+pop",
         per_app: bool = False,
+        batched: bool = True,
     ) -> None:
         if max_chain_depth < 1:
             raise ValueError("max_chain_depth must be >= 1")
@@ -72,6 +75,12 @@ class SnakePrefetcher(Prefetcher):
         self.use_intra = use_intra
         self.use_inter_warp = use_inter_warp
         self.train_threshold = train_threshold
+        # Batched hot path: chain generation goes through the Tail table's
+        # column-mirror walk (``TailTable.walk_raw``); False selects the
+        # scalar reference walk, retained as the differential oracle
+        # (``GPUConfig.batched_tables``).  A strategy flag, not learner
+        # state — deliberately absent from snapshots.
+        self.batched = batched
 
         # Intra-warp detection: last address per (app, warp, pc).
         self._intra_last: Dict[Tuple[int, int, int], int] = {}
@@ -111,13 +120,19 @@ class SnakePrefetcher(Prefetcher):
 
     def _detect(self, event: AccessEvent) -> None:
         transition = self.head.update(event.warp_id, event.pc, event.base_addr)
-        if transition is not None and transition.stride != 0:
-            self.tail.record(
-                transition.warp_id,
-                transition.pc1,
-                transition.pc2,
-                transition.stride,
-            )
+        self._train_tail(
+            event,
+            transition.pc1 if transition is not None else 0,
+            transition.stride if transition is not None else None,
+        )
+
+    def _train_tail(
+        self, event: AccessEvent, pc1: int, stride: Optional[int]
+    ) -> None:
+        """Tail-side training for one access, given the Head-table
+        transition (``stride is None`` when the warp had no previous load)."""
+        if stride is not None and stride != 0:
+            self.tail.record(event.warp_id, pc1, event.pc, stride)
 
         if self.use_intra:
             key = (event.app_id, event.warp_id, event.pc)
@@ -230,7 +245,15 @@ class SnakePrefetcher(Prefetcher):
             self.head.update(event.warp_id, event.pc, event.base_addr)
             return []
         self._detect(event)
+        return self._generate(event)
 
+    def _generate(self, event: AccessEvent) -> List[PrefetchRequest]:
+        """Prefetch generation for one (already trained-on) access."""
+        if self.batched:
+            return [
+                PrefetchRequest(base_addr=addr, depth=depth)
+                for addr, depth in self._generate_raw(event)
+            ]
         requests: List[PrefetchRequest] = []
         if self.use_chains:
             requests.extend(self._chain_requests(event))
@@ -258,6 +281,132 @@ class SnakePrefetcher(Prefetcher):
                 )
             )
         return unique
+
+    def _generate_raw(self, event: AccessEvent) -> List[Tuple[int, int]]:
+        """Deduplicated ``(base_addr, depth)`` pairs for one trained-on
+        access — the allocation-light lane under both :meth:`_generate`
+        (which boxes pairs into :class:`PrefetchRequest`) and the SM's
+        batched issue path (:meth:`observe_raw`), which consumes the raw
+        pairs directly.  Ordering, deduplication, ``lookups`` accounting
+        and telemetry match the scalar path exactly."""
+        pairs: List[Tuple[int, int]]
+        if self.use_chains:
+            pairs = self.tail.walk_raw(
+                event.pc, event.base_addr, event.warp_id,
+                min(self.max_chain_depth, self._depth_limit),
+            )
+        else:
+            pairs = []
+        base = event.base_addr
+        if self.use_intra:
+            # One CAM search, bucket scanned in place (find()'s accounting,
+            # without its list copy).
+            tail = self.tail
+            tail.lookups += 1
+            for entry in tail._pc_index.get(event.pc, ()):
+                if entry.t2.prefetchable and entry.intra_stride:
+                    stride = entry.intra_stride
+                    pairs.extend(
+                        (base + k * stride, k)
+                        for k in range(1, self.intra_degree + 1)
+                        if base + k * stride >= 0
+                    )
+                    break
+        if self.use_inter_warp:
+            tracker = self._iw_consensus.get((event.app_id, event.pc))
+            if tracker is not None and tracker.trained_stride is not None:
+                stride = tracker.trained_stride
+                pairs.extend(
+                    (base + k * stride, k)
+                    for k in range(1, self.inter_warp_degree + 1)
+                    if base + k * stride >= 0
+                )
+
+        # Inter-thread first (higher accuracy, §3.4), then de-duplicate.
+        seen = set()
+        unique: List[Tuple[int, int]] = []
+        for pair in pairs:
+            addr = pair[0]
+            if addr not in seen:
+                seen.add(addr)
+                unique.append(pair)
+        if unique and self.obs.enabled:
+            self.obs.emit(
+                ChainWalkEvent(
+                    cycle=event.now,
+                    sm_id=self.obs_sm_id,
+                    warp_id=event.warp_id,
+                    pc=event.pc,
+                    depth=max(d for _, d in unique),
+                    requests=len(unique),
+                )
+            )
+        return unique
+
+    def observe_raw(self, event: AccessEvent) -> List[Tuple[int, int]]:
+        """Digest one access and return raw ``(base_addr, depth)`` pairs.
+
+        The SM's batched issue path (``GPUConfig.batched_issue``) uses this
+        lane to skip per-request :class:`PrefetchRequest` boxing — the
+        batch issuer only consumes base addresses.  Learner state
+        transitions and the pair stream are identical to :meth:`observe`
+        (property-pinned); with ``batched=False`` it simply unboxes the
+        scalar oracle's requests.
+        """
+        if not self.batched:
+            return [
+                (r.base_addr, r.depth) for r in self.observe(event)
+            ]
+        self._select_app(event.app_id)
+        if event.divergent:
+            self.head.update(event.warp_id, event.pc, event.base_addr)
+            return []
+        self._detect(event)
+        return self._generate_raw(event)
+
+    def observe_batch(
+        self, events: Sequence[AccessEvent]
+    ) -> List[List[PrefetchRequest]]:
+        """Train and predict for a whole batch of accesses in one sweep.
+
+        The Head-table updates for the entire batch run as one vectorized
+        ``update_batch`` call; Tail training and chain walks then proceed
+        per event in input order, so the learner state, ``lookups``
+        accounting, and every prediction list are identical to N sequential
+        :meth:`observe` calls (the serve digest-parity property).  Falls
+        back to the sequential path for per-app table routing or inputs the
+        int64 fast path cannot represent.
+        """
+        if self.per_app or not events:
+            return [self.observe(event) for event in events]
+        n = len(events)
+        try:
+            warps = np.fromiter(
+                (e.warp_id for e in events), dtype=np.int64, count=n
+            )
+            pcs = np.fromiter((e.pc for e in events), dtype=np.int64, count=n)
+            addrs = np.fromiter(
+                (e.base_addr for e in events), dtype=np.int64, count=n
+            )
+        except OverflowError:
+            return [self.observe(event) for event in events]
+        pc1s, strides, valid = self.head.update_batch(warps, pcs, addrs)
+        valid_l = valid.tolist()
+        pc1s_l = pc1s.tolist()
+        strides_l = strides.tolist()
+        results: List[List[PrefetchRequest]] = []
+        for i, event in enumerate(events):
+            if event.divergent:
+                # Head entry already advanced by the batch update.
+                results.append([])
+                continue
+            self._train_tail(
+                event,
+                int(pc1s_l[i]),
+                int(strides_l[i]) if valid_l[i] else None,
+            )
+            results.append(self._generate(event))
+        return results
 
     def tables(self) -> List[Tuple[int, HeadTable, TailTable]]:
         """Every (app_id, head, tail) table pair this prefetcher owns —

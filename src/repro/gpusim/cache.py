@@ -12,13 +12,13 @@ from __future__ import annotations
 
 import heapq
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from .config import CacheConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class LineState:
     """Metadata of one resident cache line."""
 
@@ -30,6 +30,12 @@ class LineState:
     transferred: bool = False  # prefetch line later claimed by demand
     predicted: bool = False  # the prefetcher (re-)predicted this address
     sectors_valid: int = -1  # bitmask of fetched sectors (-1 = whole line)
+    #: The owning set's OrderedDict, so touch/evict skip the XOR-fold set
+    #: hash (structural back-pointer, not line state — excluded from
+    #: comparisons and repr; audited by ``structural_violations``).
+    home: Optional["OrderedDict[int, LineState]"] = field(
+        default=None, repr=False, compare=False
+    )
 
 
 class SetAssocCache:
@@ -51,6 +57,11 @@ class SetAssocCache:
         self._sets: List["OrderedDict[int, LineState]"] = [
             OrderedDict() for _ in range(config.num_sets)
         ]
+        # Flat address -> line mirror of ``_sets``: ``lookup`` runs on every
+        # demand and prefetch transaction, so it must not pay the XOR-fold
+        # set hash — the mirror is maintained on the (much rarer) insert and
+        # evict paths and holds exactly the union of all sets.
+        self._flat: Dict[int, LineState] = {}
         # Incrementally-maintained aggregates.  ``occupancy`` and the
         # prefetched-but-unused backlog are read on every prefetch-throttle
         # decision, so they must not require walking the sets.  They change
@@ -72,15 +83,16 @@ class SetAssocCache:
 
     def lookup(self, line_addr: int) -> Optional[LineState]:
         """Return the line's state without touching LRU order."""
-        return self._set_of(line_addr).get(line_addr)
+        return self._flat.get(line_addr)
 
     def touch(self, line_addr: int, now: int) -> Optional[LineState]:
         """Look up and, on hit, move to MRU position and stamp last_use."""
-        cache_set = self._set_of(line_addr)
-        state = cache_set.get(line_addr)
+        state = self._flat.get(line_addr)
         if state is None:
             return None
-        cache_set.move_to_end(line_addr)
+        home = state.home
+        if home is not None:
+            home.move_to_end(line_addr)
         state.last_use = now
         if not state.used:
             if state.is_prefetch:
@@ -109,8 +121,11 @@ class SetAssocCache:
         return next(iter(cache_set.values()))
 
     def evict(self, line_addr: int) -> Optional[LineState]:
-        evicted = self._set_of(line_addr).pop(line_addr, None)
+        evicted = self._flat.pop(line_addr, None)
         if evicted is not None:
+            home = evicted.home
+            if home is not None:
+                home.pop(line_addr, None)
             self._occupancy -= 1
             if evicted.is_prefetch and not evicted.used:
                 self._prefetch_unused -= 1
@@ -139,12 +154,16 @@ class SetAssocCache:
                 victim = self.lru_victim(set_idx)
             assert victim is not None
             evicted = cache_set.pop(victim.addr)
+            del self._flat[victim.addr]
             self._occupancy -= 1
             if evicted.is_prefetch and not evicted.used:
                 self._prefetch_unused -= 1
-        cache_set[line_addr] = LineState(
-            addr=line_addr, inserted_at=now, last_use=now, is_prefetch=is_prefetch
+        state = LineState(
+            addr=line_addr, inserted_at=now, last_use=now,
+            is_prefetch=is_prefetch, home=cache_set,
         )
+        cache_set[line_addr] = state
+        self._flat[line_addr] = state
         self._occupancy += 1
         if is_prefetch:
             self._prefetch_unused += 1
@@ -167,6 +186,11 @@ class SetAssocCache:
                         "%s line %#x resident in set %d but hashes to %d"
                         % (label, line.addr, set_idx, self.set_index(line.addr))
                     )
+                if line.home is not cache_set:
+                    violations.append(
+                        "%s line %#x home pointer does not reference set %d"
+                        % (label, line.addr, set_idx)
+                    )
                 if line.sectors_valid < -1:
                     violations.append(
                         "%s line %#x has malformed sector mask %d"
@@ -179,6 +203,11 @@ class SetAssocCache:
             violations.append(
                 "%s occupancy counter %d != walked %d"
                 % (label, self._occupancy, walked)
+            )
+        if len(self._flat) != walked:
+            violations.append(
+                "%s flat mirror holds %d lines != walked %d"
+                % (label, len(self._flat), walked)
             )
         walked_unused = sum(
             1
@@ -211,7 +240,7 @@ class SetAssocCache:
         return [line for s in self._sets for line in s.values()]
 
 
-@dataclass
+@dataclass(slots=True)
 class MSHREntry:
     """One in-flight miss."""
 
@@ -265,6 +294,12 @@ class MSHR:
     @property
     def occupancy(self) -> int:
         return len(self._inflight)
+
+    @property
+    def next_fill_at(self) -> Optional[int]:
+        """Earliest-fill horizon lower bound (heap head), or None when no
+        fill is in flight — lets batch callers skip no-op commit sweeps."""
+        return self._fill_heap[0][0] if self._fill_heap else None
 
     def allocate(
         self, line_addr: int, fill_time: int, is_prefetch: bool = False

@@ -159,6 +159,17 @@ class GPUConfig:
     # produce cycle-identical statistics on any workload.
     legacy_loop: bool = False
 
+    # Batched hot path (docs/PERFORMANCE.md).  ``batched_tables`` routes
+    # Snake chain generation through the Tail table's numpy column-mirror
+    # walk (``TailTable.walk_raw``); ``batched_issue`` routes prefetch
+    # candidates through the one-pass L1 batch filter
+    # (``UnifiedL1Cache.prefetch_batch``).  ``False`` selects the scalar
+    # reference paths, retained as differential oracles — both settings
+    # must produce identical statistics on any workload (pinned by
+    # property tests).
+    batched_tables: bool = True
+    batched_issue: bool = True
+
     # Observability (repro.obs).  ``telemetry=True`` makes the GPU build an
     # event bus even when no explicit ``obs`` bus is passed; sinks attached
     # to ``GPU.obs`` then see every event.  ``telemetry_bucket_cycles`` is

@@ -129,21 +129,33 @@ class GPU:
         ]
         heapq.heapify(heap)
         iterations = 0
+        heappop, heappush = heapq.heappop, heapq.heappush
         while heap:
-            _, idx, sm = heapq.heappop(heap)
-            horizon = sm.step_event()
-            if horizon is None:
-                sm.finalize()
-            else:
-                heapq.heappush(heap, (horizon, idx, sm))
-            iterations += 1
-            # The progress signature (and the sanitizer's full audit) sums
-            # state over all SMs, so sample sparsely rather than per step.
-            if iterations & 0xFF == 0:
-                if watchdog is not None:
-                    watchdog.check(sm.now)
-                if sanitizer is not None:
-                    sanitizer.maybe_check(sm.now)
+            _, idx, sm = heappop(heap)
+            # Burst: keep stepping the popped SM while its next horizon
+            # still precedes the heap head in (horizon, index) order — each
+            # re-push/re-pop the per-quantum loop would do is a guaranteed
+            # no-op reshuffle, so skipping it preserves the exact global
+            # step order (and therefore cycle-identical statistics).
+            head = heap[0] if heap else None
+            while True:
+                horizon = sm.step_event()
+                iterations += 1
+                # The progress signature (and the sanitizer's full audit)
+                # sums state over all SMs, so sample sparsely, not per step.
+                if iterations & 0xFF == 0:
+                    if watchdog is not None:
+                        watchdog.check(sm.now)
+                    if sanitizer is not None:
+                        sanitizer.maybe_check(sm.now)
+                if horizon is None:
+                    sm.finalize()
+                    break
+                if head is not None and not (
+                    horizon < head[0] or (horizon == head[0] and idx < head[1])
+                ):
+                    heappush(heap, (horizon, idx, sm))
+                    break
 
     def _run_loop_legacy(
         self,

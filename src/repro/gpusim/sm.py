@@ -15,9 +15,10 @@ predictions enter the L1's prefetch path under the throttle's control.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Protocol
+from typing import Deque, Dict, List, Optional, Protocol, Tuple
 
 from collections import deque
+from heapq import heappop, heappush
 
 from repro.obs.events import (
     BusLike,
@@ -39,7 +40,7 @@ from .trace import CTA, Op, WarpInstr, WarpTrace
 from .unified_cache import L1Outcome, StorageMode, UnifiedL1Cache
 
 
-@dataclass
+@dataclass(slots=True)
 class WarpState:
     """Execution state of one resident warp."""
 
@@ -107,25 +108,57 @@ class SM:
         # Whether the prefetcher accepts a dynamic chain-depth cap; probed
         # once here instead of per observed access.
         self._pf_has_depth_limit = hasattr(prefetcher, "set_depth_limit")
+        # Raw-pair observe lane (Snake): returns (base_addr, depth) tuples
+        # so the batched issue path skips PrefetchRequest boxing entirely.
+        self._pf_observe_raw = getattr(prefetcher, "observe_raw", None)
+        # A mechanism that never predicts ("none" baseline keeps the base
+        # class observe) makes the whole prefetcher hook a no-op, so loads
+        # skip building AccessEvents entirely — unless a fault injector is
+        # armed, whose corrupt-tail RNG draws must keep their per-load
+        # cadence.
+        self._pf_skip = (
+            type(prefetcher).observe is Prefetcher.observe
+            and not prefetcher.uses_magic
+            and faults is None
+        )
+        # Batched prefetch issue (docs/PERFORMANCE.md): hand the L1 each
+        # request's line vector in one call.  Scalar fallback when disabled
+        # by config (differential oracle) or when telemetry is on — the
+        # scalar path interleaves PrefetchIssueEvents with L1 drop events
+        # line by line, and event order is part of the parity contract.
+        self._batched_issue = config.batched_issue
         self.throttle = throttle
         self.scheduler = make_scheduler(config.scheduler)
         # Each scheduler issues at most one instruction per cycle, so the
         # per-cycle issue bandwidth is capped by whichever is smaller.
         self._issue_width = min(config.issue_width, config.schedulers_per_sm)
+        # Hot-path config reads hoisted once (issue loop runs per cycle).
+        self._alu_latency = config.alu_latency
+        self._sfu_latency = config.sfu_latency
+        self._sector_bytes = config.l1_sector_bytes
 
         self._cta_queue: Deque[CTA] = deque()
         self._cta_app: Dict[int, int] = {}
         self._warps: List[WarpState] = []
         self._barrier_waits: Dict[int, int] = {}
         self._cta_live_warps: Dict[int, int] = {}
-        # Event-core bookkeeping (docs/PERFORMANCE.md).  ``_resident`` is
-        # ``_warps`` minus retired warps, in the same order, so the event
-        # loop's scans cost O(warps on core) instead of O(warps ever run);
-        # ``_retired`` counts finished warps awaiting compaction and
-        # ``_live`` mirrors ``sum(1 for w in _warps if not w.finished)``.
-        self._resident: List[WarpState] = []
-        self._retired = 0
+        # Event-core bookkeeping (docs/PERFORMANCE.md).  ``_live`` mirrors
+        # ``sum(1 for w in _warps if not w.finished)``.
         self._live = 0
+        # Wake heap (event core): every unfinished, non-parked warp sits in
+        # the heap exactly once, keyed by (ready_at, push order).  A warp's
+        # ``ready_at`` only moves while it is *out* of the heap (it is
+        # popped before issuing, re-pushed after; barrier parking removes
+        # it, release re-adds it), so entries are never stale and the head
+        # is an exact next-wakeup horizon — no per-quantum scan of all
+        # resident warps.  The reference :meth:`step` keeps its scans.
+        self._wake: List[Tuple[int, int, WarpState]] = []
+        self._wake_seq = 0
+        # Count of unfinished, non-parked warps with ``waiting_on_memory``
+        # False: the stall-classification predicate ``all(w.waiting_on_memory
+        # for w in runnable)`` is exactly ``_active_non_mem == 0`` whenever
+        # the ready set is empty.  Maintained at every flag transition.
+        self._active_non_mem = 0
         self.now = 0
 
     # ------------------------------------------------------------------
@@ -152,7 +185,10 @@ class SM:
                     ready_at=self.now,
                 )
                 self._warps.append(warp)
-                self._resident.append(warp)
+                self._active_non_mem += 1
+                seq = self._wake_seq
+                self._wake_seq = seq + 1
+                heappush(self._wake, (warp.ready_at, seq, warp))
 
     # ------------------------------------------------------------------
     # Main loop
@@ -213,33 +249,33 @@ class SM:
         :meth:`step`, returning the SM's next-event horizon (the earliest
         cycle it can make further progress) or None once all work retired.
 
-        Differences from the reference loop are purely structural — scans
-        run over the resident-warp list instead of every warp the SM has
-        ever hosted, and the issue loop maintains its ready set
-        incrementally (an issued warp always leaves the set: every issue
-        path moves ``ready_at`` forward, parks the warp at a barrier or
-        retires it; the only additions are warps of CTAs activated by a
-        retirement, which the reference rescan would also pick up at the
-        list tail).  Statistics must be cycle-identical to :meth:`step`;
+        Differences from the reference loop are purely structural — the
+        ready set comes off the wake heap instead of a scan over every
+        resident warp (the heap invariant is documented at ``_wake``), and
+        the schedulers are ready-*set* functions, never ready-*order*
+        functions, so heap pop order cannot perturb a pick.  Statistics
+        must be cycle-identical to :meth:`step`;
         ``tests/gpusim/test_skip_ahead.py`` enforces this differentially.
         """
-        if self._retired:
-            self._resident = [w for w in self._resident if not w.finished]
-            self._retired = 0
-        runnable = [w for w in self._resident if not w.at_barrier]
-        if not runnable:
-            if self._cta_queue:
-                self._activate_ctas()
-                return self.now
-            return None
-
         now = self.now
-        ready = [w for w in runnable if w.ready_at <= now]
+        wake = self._wake
+        ready: List[WarpState] = []
+        while wake and wake[0][0] <= now:
+            w = heappop(wake)[2]
+            if not w.finished and not w.at_barrier:
+                ready.append(w)
         if not ready:
-            next_time = min(w.ready_at for w in runnable)
+            if not wake:
+                # No unfinished, non-parked warp exists (parked warps always
+                # have a runnable sibling holding the barrier open).
+                if self._cta_queue:
+                    self._activate_ctas()
+                    return self.now
+                return None
+            next_time = wake[0][0]
             gap = next_time - now
             self.stats.stall_cycles_total += gap
-            if all(w.waiting_on_memory for w in runnable):
+            if self._active_non_mem == 0:
                 self.stats.stall_cycles_memory += gap
             self.now = next_time
             return next_time
@@ -247,7 +283,6 @@ class SM:
         issued = 0
         while issued < self._issue_width and ready:
             warp = self.scheduler.pick(ready)
-            appended_from = len(self._warps)
             self._issue(warp)
             self.scheduler.note_issued(warp)
             issued += 1
@@ -255,12 +290,22 @@ class SM:
                 if w is warp:
                     del ready[idx]
                     break
-            if len(self._warps) > appended_from:
-                ready.extend(
-                    w
-                    for w in self._warps[appended_from:]
-                    if w.ready_at <= now and not w.at_barrier and not w.finished
-                )
+            # CTAs activated by a retirement push warps with ready_at ==
+            # now: drain them into this quantum's ready set (the reference
+            # rescan would also pick them up) *before* re-parking the
+            # issued warp, which must not re-enter the set this quantum.
+            while wake and wake[0][0] <= now:
+                w = heappop(wake)[2]
+                if not w.finished and not w.at_barrier:
+                    ready.append(w)
+            if not warp.finished and not warp.at_barrier:
+                seq = self._wake_seq
+                self._wake_seq = seq + 1
+                heappush(wake, (warp.ready_at, seq, warp))
+        for w in ready:  # leftovers stay ready for the next quantum
+            seq = self._wake_seq
+            self._wake_seq = seq + 1
+            heappush(wake, (w.ready_at, seq, w))
         self.now = now + 1
         return self.now
 
@@ -294,12 +339,16 @@ class SM:
             return
 
         if instr.op is Op.ALU:
-            warp.ready_at = self.now + self.config.alu_latency
-            warp.waiting_on_memory = False
+            warp.ready_at = self.now + self._alu_latency
+            if warp.waiting_on_memory:
+                warp.waiting_on_memory = False
+                self._active_non_mem += 1
             self._complete(warp)
         elif instr.op is Op.SFU:
-            warp.ready_at = self.now + self.config.sfu_latency
-            warp.waiting_on_memory = False
+            warp.ready_at = self.now + self._sfu_latency
+            if warp.waiting_on_memory:
+                warp.waiting_on_memory = False
+                self._active_non_mem += 1
             self._complete(warp)
         elif instr.op is Op.BARRIER:
             self._arrive_barrier(warp)
@@ -320,7 +369,8 @@ class SM:
         if warp.finished:
             return
         warp.finished = True
-        self._retired += 1
+        if not warp.waiting_on_memory:
+            self._active_non_mem -= 1
         self._live -= 1
         self.stats.warps_finished += 1
         cta = warp.cta_id
@@ -332,17 +382,18 @@ class SM:
     # Memory instructions
 
     def _issue_load(self, warp: WarpState, instr: WarpInstr) -> None:
-        if self.config.l1_sector_bytes:
+        if self._sector_bytes:
             masks = coalesce_sectors(
                 instr, self.config.warp_size, self.l1.line_bytes,
-                self.config.l1_sector_bytes,
+                self._sector_bytes,
             )
             lines = list(masks)
             warp.sector_masks = masks
         else:
             lines = coalesce(instr, self.config.warp_size, self.l1.line_bytes)
             warp.sector_masks = {}
-        self._feed_prefetcher(warp, instr, lines[0])
+        if not self._pf_skip:
+            self._feed_prefetcher(warp, instr, lines[0])
         self._issue_mem_lines(warp, lines, is_load=True, replay=False)
 
     def _issue_mem_lines(
@@ -383,7 +434,9 @@ class SM:
                 warp.ready_at = when
             else:
                 ready = max(ready, when)
-        warp.waiting_on_memory = True
+        if not warp.waiting_on_memory:
+            warp.waiting_on_memory = True
+            self._active_non_mem -= 1
         if failed:
             warp.replay_lines = remaining
             warp.replay_ready = max(ready, warp.ready_at)
@@ -401,7 +454,9 @@ class SM:
         for line in lines:
             done = max(done, self.l1.demand_store(line, self.now))
         warp.ready_at = done
-        warp.waiting_on_memory = False
+        if warp.waiting_on_memory:
+            warp.waiting_on_memory = False
+            self._active_non_mem += 1
         self._complete(warp)
 
     # ------------------------------------------------------------------
@@ -436,6 +491,27 @@ class SM:
             # the tables are consulted — predictions may go wrong, demand
             # correctness cannot.
             self._faults.corrupt_tail(self.prefetcher, self.now, self.sm_id)
+        if (
+            self._batched_issue
+            and not self.obs.enabled
+            and not self.prefetcher.uses_magic
+        ):
+            observe_raw = self._pf_observe_raw
+            if observe_raw is not None:
+                pairs = observe_raw(event)
+                if not pairs:
+                    return
+                self.l1.prefetcher_trained = self.prefetcher.trained
+                self._issue_prefetch_batch(pairs, instr)
+                return
+            requests = self.prefetcher.observe(event)
+            if not requests:
+                return
+            self.l1.prefetcher_trained = self.prefetcher.trained
+            self._issue_prefetch_batch(
+                [(r.base_addr, r.depth) for r in requests], instr
+            )
+            return
         requests = self.prefetcher.observe(event)
         if not requests:
             return
@@ -487,6 +563,37 @@ class SM:
                     )
                 )
 
+    def _issue_prefetch_batch(
+        self, requests: List[Tuple[int, int]], instr: WarpInstr
+    ) -> None:
+        """Issue one trigger's whole candidate vector (``config.batched_issue``)
+        given raw ``(base_addr, depth)`` pairs.
+
+        Coalesces every request up front and hands the L1 the full
+        per-trigger vector-of-vectors in one
+        :meth:`UnifiedL1Cache.prefetch_trigger` call; the throttle still
+        votes per request inside (memoized — see there).  Statistics are
+        identical to the scalar loop (the retained oracle), pinned by
+        property tests; telemetry runs take the scalar path so event
+        interleaving is byte-stable.
+        """
+        now = self.now
+        stride = instr.thread_stride
+        size_bytes = instr.size_bytes
+        warp_size = self.config.warp_size
+        line_bytes = self.l1.line_bytes
+        self.l1.prefetch_trigger(
+            [
+                coalesce_lines(
+                    base_addr, stride, size_bytes, warp_size, line_bytes
+                )
+                for base_addr, _depth in requests
+            ],
+            now,
+            now + self.config.prefetcher_latency,
+            self.throttle,
+        )
+
     # ------------------------------------------------------------------
     # Barriers
 
@@ -500,11 +607,24 @@ class SM:
             for other in self._warps:
                 if other.cta_id == cta and other.at_barrier:
                     other.at_barrier = False
+                    # Parked warps always have waiting_on_memory False (set
+                    # at arrival), so re-joining the active set re-counts
+                    # them on the non-memory side.
+                    self._active_non_mem += 1
                     other.ready_at = self.now + 1
                     self._complete(other)
+                    if not other.finished:
+                        seq = self._wake_seq
+                        self._wake_seq = seq + 1
+                        heappush(self._wake, (other.ready_at, seq, other))
             self._complete(warp)
             warp.ready_at = self.now + 1
         else:
             self._barrier_waits[cta] = waiting
             warp.at_barrier = True
-            warp.waiting_on_memory = False
+            # Parking removes the warp from the active set (and from the
+            # wake heap: the issue loop never re-pushes a parked warp).
+            if warp.waiting_on_memory:
+                warp.waiting_on_memory = False
+            else:
+                self._active_non_mem -= 1

@@ -25,7 +25,7 @@ class Op(enum.Enum):
     BARRIER = "barrier"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WarpInstr:
     """One warp-wide instruction.
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 import enum
 import math
 from collections import deque
-from typing import Deque, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Deque, List, Optional, Set, Tuple
 
 from repro.obs.events import (
     BusLike,
@@ -41,6 +41,9 @@ from .faults import FaultInjector
 from .interconnect import Interconnect
 from .l2 import L2Cache
 from .stats import SimStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core -> gpusim)
+    from repro.core.throttle import Throttle
 
 _REQUEST_BYTES = 8  # read-request / write-through packet header
 
@@ -88,6 +91,11 @@ class UnifiedL1Cache:
         self._icnt_resp = icnt_resp
         self._l2 = l2
         self.stats = stats
+        # Hot-path scalars hoisted out of the frozen config (attribute-chain
+        # reads on every demand access otherwise).
+        self._l1_latency = config.l1.latency
+        self._replay_interval = config.replay_interval
+        self._sector_bytes = config.l1_sector_bytes
 
         if mode is StorageMode.ISOLATED:
             side = CacheConfig(
@@ -129,6 +137,13 @@ class UnifiedL1Cache:
         return addr - (addr % self.line_bytes)
 
     def _commit_fills(self, now: int) -> None:
+        # Hot-path early exit: on most calls nothing has filled and the
+        # miss queue head is still in the future, so answer without the
+        # pop_filled round trip (the heap head is an exact lower bound).
+        heap = self._mshr._fill_heap
+        queue = self._miss_queue
+        if (not heap or heap[0][0] > now) and (not queue or queue[0] > now):
+            return
         for entry in self._mshr.pop_filled(now):
             if entry.dropped and not entry.demand_joined:
                 # Chaos icnt.drop_fill: the best-effort fill packet was lost.
@@ -138,7 +153,7 @@ class UnifiedL1Cache:
                 # promoted the packet to the demand channel.
                 continue
             resident = self._store.lookup(entry.line_addr)
-            if resident is not None and self.config.l1_sector_bytes:
+            if resident is not None and self._sector_bytes:
                 # sector fill into an already-resident line
                 if entry.sectors == -1 or resident.sectors_valid == -1:
                     resident.sectors_valid = -1
@@ -278,7 +293,7 @@ class UnifiedL1Cache:
                         self._evict_line(demand_side[0])
 
         evicted = store.insert(line_addr, now, is_prefetch=is_prefetch, victim=victim)
-        if self.config.l1_sector_bytes:
+        if self._sector_bytes:
             line = store.lookup(line_addr)
             if line is not None and line.sectors_valid != -1:
                 line.sectors_valid |= sectors if sectors != -1 else -1
@@ -351,7 +366,7 @@ class UnifiedL1Cache:
             self.stats.l1_hits += 1
             self.stats.prefetch.demand_covered += 1
             self.stats.prefetch.demand_timely += 1
-            return L1Outcome.HIT, now + self.config.l1.latency
+            return L1Outcome.HIT, now + self._l1_latency
 
         state = self._store.touch(line_addr, now)
         if state is not None and not self._sectors_present(state, sector_mask):
@@ -373,7 +388,7 @@ class UnifiedL1Cache:
                             cycle=now, sm_id=self._sm_id, line_addr=line_addr
                         )
                     )
-            return L1Outcome.HIT, now + self.config.l1.latency
+            return L1Outcome.HIT, now + self._l1_latency
 
         if self._side_buffer is not None:
             side = self._side_buffer.touch(line_addr, now)
@@ -387,7 +402,7 @@ class UnifiedL1Cache:
                             cycle=now, sm_id=self._sm_id, line_addr=line_addr
                         )
                     )
-                return L1Outcome.HIT, now + self.config.l1.latency
+                return L1Outcome.HIT, now + self._l1_latency
 
         inflight = self._mshr.lookup(line_addr)
         if inflight is not None:
@@ -396,7 +411,7 @@ class UnifiedL1Cache:
                 self.stats.l1_reservation_fails += 1
                 return (
                     L1Outcome.RESERVATION_FAIL,
-                    now + self.config.replay_interval,
+                    now + self._replay_interval,
                 )
             self.stats.l1_reserved += 1
             if merged.is_prefetch or merged.predicted:
@@ -424,19 +439,19 @@ class UnifiedL1Cache:
             )
         ):
             self.stats.l1_reservation_fails += 1
-            return L1Outcome.RESERVATION_FAIL, now + self.config.replay_interval
+            return L1Outcome.RESERVATION_FAIL, now + self._replay_interval
 
         self.stats.l1_misses += 1
         fill_time = self._send_to_l2(
             line_addr, now, is_write=False, nbytes=self._fetch_bytes(sector_mask)
         )
         entry = self._mshr.allocate(line_addr, fill_time, is_prefetch=False)
-        entry.sectors = sector_mask if self.config.l1_sector_bytes else -1
+        entry.sectors = sector_mask if self._sector_bytes else -1
         return L1Outcome.MISS, fill_time + 1
 
     def _sectors_present(self, state: LineState, sector_mask: int) -> bool:
         """Does the resident line hold every requested sector?"""
-        if not self.config.l1_sector_bytes or sector_mask == -1:
+        if not self._sector_bytes or sector_mask == -1:
             return True
         if state.sectors_valid == -1:
             return True
@@ -444,7 +459,7 @@ class UnifiedL1Cache:
 
     def _fetch_bytes(self, sector_mask: int) -> Optional[int]:
         """Transfer size for a demand fill (None = whole line)."""
-        sector = self.config.l1_sector_bytes
+        sector = self._sector_bytes
         if not sector or sector_mask == -1:
             return None
         return max(sector, bin(sector_mask & ((1 << 64) - 1)).count("1") * sector)
@@ -558,6 +573,233 @@ class UnifiedL1Cache:
             entry.dropped = True
         self.stats.prefetch.issued += 1
         return True
+
+    def prefetch_batch(self, line_addrs: List[int], now: int) -> List[bool]:
+        """Issue one trigger's whole line vector in a single pass
+        (``config.batched_issue``): duplicate/in-flight filtering, MSHR and
+        miss-queue headroom, and L2 hand-off run per line over hoisted
+        state instead of N :meth:`prefetch` round trips.  The observable
+        sequence — counters, drop events, MSHR/NoC state — is identical to
+        N sequential ``prefetch()`` calls (the retained scalar oracle),
+        pinned by property tests.  With a fault injector armed it delegates
+        to the scalar path outright so chaos RNG draws keep their order.
+        """
+        if self._faults is not None:
+            return [self.prefetch(line, now) for line in line_addrs]
+        self._commit_fills(now)
+        store_get = self._store._flat.get
+        side = self._side_buffer
+        mshr = self._mshr
+        mshr_get = mshr._inflight.get
+        inflight_file = mshr._inflight
+        fill_heap = mshr._fill_heap
+        stats_pf = self.stats.prefetch
+        obs = self._obs
+        observing = obs.enabled
+        miss_queue = self._miss_queue
+        mshr_cap = max(1, (self.config.mshr_entries * 3) // 4)
+        queue_cap = max(1, self.config.miss_queue_depth - 1)
+        sent: List[bool] = []
+        for line_addr in line_addrs:
+            # The scalar path re-commits fills before every line; only the
+            # heap head can make that a non-no-op.
+            if fill_heap and fill_heap[0][0] <= now:
+                self._commit_fills(now)
+            resident = store_get(line_addr)
+            if resident is None and side is not None:
+                resident = side.lookup(line_addr)
+            if resident is not None:
+                resident.predicted = True
+                stats_pf.dropped_duplicate += 1
+                if observing:
+                    obs.emit(
+                        PrefetchDropEvent(
+                            cycle=now, sm_id=self._sm_id,
+                            line_addr=line_addr, reason="duplicate",
+                        )
+                    )
+                sent.append(False)
+                continue
+            inflight = mshr_get(line_addr)
+            if inflight is not None:
+                inflight.predicted = True
+                stats_pf.dropped_duplicate += 1
+                if observing:
+                    obs.emit(
+                        PrefetchDropEvent(
+                            cycle=now, sm_id=self._sm_id,
+                            line_addr=line_addr, reason="duplicate",
+                        )
+                    )
+                sent.append(False)
+                continue
+            while miss_queue and miss_queue[0] <= now:
+                miss_queue.popleft()
+            if len(inflight_file) >= mshr_cap or len(miss_queue) >= queue_cap:
+                stats_pf.dropped_throttled += 1
+                if observing:
+                    obs.emit(
+                        PrefetchDropEvent(
+                            cycle=now, sm_id=self._sm_id,
+                            line_addr=line_addr, reason="headroom",
+                        )
+                    )
+                sent.append(False)
+                continue
+            fill_time = self._send_to_l2(
+                line_addr, now, is_write=False, is_prefetch=True
+            )
+            mshr.allocate(line_addr, fill_time, is_prefetch=True)
+            stats_pf.issued += 1
+            sent.append(True)
+        return sent
+
+    def prefetch_trigger(
+        self,
+        vectors: List[List[int]],
+        now: int,
+        issue_at: int,
+        throttle: "Throttle",
+    ) -> None:
+        """Issue a whole trigger's candidate requests — one coalesced line
+        vector per prefetch request — in a single call
+        (``config.batched_issue``).
+
+        Per request the throttle still votes in sequence at ``now``, but
+        the vote is memoized: ``Throttle.allow`` is a deterministic,
+        repeat-idempotent function of (utilization, L1 occupancy, prefetch
+        backlog) at a fixed cycle, and within one trigger those inputs only
+        move when a request actually sends bytes or a fill commits — so
+        re-votes with unchanged inputs are provable no-ops, and once the
+        vote is False nothing can flip it back this trigger: every
+        remaining request drops, exactly what the scalar oracle concludes
+        one ``allow``/``prefetch()`` call at a time.  Counters, drop
+        events and MSHR/NoC state are identical to the scalar sequence
+        (pinned by property tests); telemetry runs take the scalar path in
+        the SM so event interleaving stays byte-stable.  With a fault
+        injector armed the line issue delegates to scalar :meth:`prefetch`
+        so chaos RNG draws keep their per-line cadence.
+        """
+        stats_pf = self.stats.prefetch
+        pf_store = self._pf_store
+        req_util = self._icnt_req.measured_utilization
+        resp_util = self._icnt_resp.measured_utilization
+        allow = throttle.allow
+        utilization = 0.0
+        need_vote = True
+        sent_since_vote = True
+        last_occ = -1
+        last_unused = -1
+        if self._faults is not None:
+            prefetch = self.prefetch
+            for index, vector in enumerate(vectors):
+                if sent_since_vote:
+                    utilization = 0.5 * (req_util(now) + resp_util(now))
+                elif (
+                    pf_store._occupancy != last_occ
+                    or pf_store._prefetch_unused != last_unused
+                ):
+                    need_vote = True  # fills committed: space inputs moved
+                if need_vote:
+                    if not allow(now, self, utilization):
+                        stats_pf.dropped_throttled += len(vectors) - index
+                        return
+                    last_occ = pf_store._occupancy
+                    last_unused = pf_store._prefetch_unused
+                    need_vote = False
+                    sent_since_vote = False
+                # Every line must reach prefetch() so chaos RNG draws keep
+                # their cadence — no short-circuit on first send.
+                if True in [prefetch(line, issue_at) for line in vector]:
+                    need_vote = True
+                    sent_since_vote = True
+            return
+
+        store_get = self._store._flat.get
+        side = self._side_buffer
+        mshr = self._mshr
+        mshr_get = mshr._inflight.get
+        inflight_file = mshr._inflight
+        fill_heap = mshr._fill_heap
+        obs = self._obs
+        observing = obs.enabled
+        miss_queue = self._miss_queue
+        mshr_cap = max(1, (self.config.mshr_entries * 3) // 4)
+        queue_cap = max(1, self.config.miss_queue_depth - 1)
+        for index, vector in enumerate(vectors):
+            if sent_since_vote:
+                utilization = 0.5 * (req_util(now) + resp_util(now))
+            elif (
+                pf_store._occupancy != last_occ
+                or pf_store._prefetch_unused != last_unused
+            ):
+                need_vote = True  # fills committed: space inputs moved
+            if need_vote:
+                if not allow(now, self, utilization):
+                    stats_pf.dropped_throttled += len(vectors) - index
+                    return
+                last_occ = pf_store._occupancy
+                last_unused = pf_store._prefetch_unused
+                need_vote = False
+                sent_since_vote = False
+            sent_any = False
+            for line_addr in vector:
+                # The scalar path commits fills before every line; this
+                # guard replicates _commit_fills' own early-exit inline.
+                if (fill_heap and fill_heap[0][0] <= issue_at) or (
+                    miss_queue and miss_queue[0] <= issue_at
+                ):
+                    self._commit_fills(issue_at)
+                resident = store_get(line_addr)
+                if resident is None and side is not None:
+                    resident = side.lookup(line_addr)
+                if resident is not None:
+                    resident.predicted = True
+                    stats_pf.dropped_duplicate += 1
+                    if observing:
+                        obs.emit(
+                            PrefetchDropEvent(
+                                cycle=issue_at, sm_id=self._sm_id,
+                                line_addr=line_addr, reason="duplicate",
+                            )
+                        )
+                    continue
+                inflight = mshr_get(line_addr)
+                if inflight is not None:
+                    inflight.predicted = True
+                    stats_pf.dropped_duplicate += 1
+                    if observing:
+                        obs.emit(
+                            PrefetchDropEvent(
+                                cycle=issue_at, sm_id=self._sm_id,
+                                line_addr=line_addr, reason="duplicate",
+                            )
+                        )
+                    continue
+                while miss_queue and miss_queue[0] <= issue_at:
+                    miss_queue.popleft()
+                if (
+                    len(inflight_file) >= mshr_cap
+                    or len(miss_queue) >= queue_cap
+                ):
+                    stats_pf.dropped_throttled += 1
+                    if observing:
+                        obs.emit(
+                            PrefetchDropEvent(
+                                cycle=issue_at, sm_id=self._sm_id,
+                                line_addr=line_addr, reason="headroom",
+                            )
+                        )
+                    continue
+                fill_time = self._send_to_l2(
+                    line_addr, issue_at, is_write=False, is_prefetch=True
+                )
+                mshr.allocate(line_addr, fill_time, is_prefetch=True)
+                stats_pf.issued += 1
+                sent_any = True
+            if sent_any:
+                need_vote = True
+                sent_since_vote = True
 
     def _evict_prefetch_storm(self) -> int:
         """Chaos l1.evict_storm: flush every still-prefetch-flagged line

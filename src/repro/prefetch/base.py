@@ -19,7 +19,7 @@ from typing import Callable, Dict, List
 from repro.obs.events import NULL_BUS
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccessEvent:
     """One warp-level demand load as seen by the prefetcher."""
 
@@ -34,7 +34,7 @@ class AccessEvent:
     app_id: int = 0  # which concurrently-running application issued this
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrefetchRequest:
     """A predicted future warp-level access (base address of thread 0)."""
 

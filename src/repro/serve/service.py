@@ -34,7 +34,7 @@ import asyncio
 import contextlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.obs.events import NULL_BUS, BusLike, ServeEvent
 from repro.runner.transport import WallClock
@@ -71,6 +71,7 @@ class ServeSettings:
     frame_timeout_s: float = 5.0   # payload must land this fast (slow-loris)
     idle_timeout_s: float = 60.0   # silent connections are closed after this
     snapshot_every: int = 1000     # journal records between snapshots
+    batch_limit: int = 32          # max queued requests drained per sweep
     fsync: bool = False
     max_frame: int = MAX_FRAME_BYTES
     config: ServeConfig = field(default_factory=ServeConfig)
@@ -182,28 +183,102 @@ class PrefetchServer:
 
     async def _worker(self) -> None:
         assert self._queue is not None
+        queue = self._queue
         while True:
-            op, client, request, future, enqueued = await self._queue.get()
+            # Sweep the backlog: one awaited item plus whatever is already
+            # queued behind it, so a busy shard drains through the state
+            # core's batched lane (``ServiceState.apply_batch``) instead of
+            # one ``apply`` per loop turn.  Bounded by ``batch_limit`` to
+            # keep the event loop responsive under sustained load.
+            items = [await queue.get()]
+            while len(items) < self.settings.batch_limit:
+                try:
+                    items.append(queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
             try:
-                if future.cancelled():
-                    continue
-                age = self.clock.now() - enqueued
-                if age > self.settings.deadline_s:
-                    self.stats.shed += 1
-                    self._emit("shed", client=client,
-                               detail="deadline: aged %.3fs in queue" % age)
-                    future.set_result(nack(
-                        "deadline", seq=request.get("seq"),
-                        detail="aged %.3fs in queue" % age,
-                        retry_after_s=self.settings.deadline_s,
-                    ))
-                    continue
-                if op == "hello":
-                    future.set_result(self._process_hello(request))
-                else:
-                    future.set_result(self._process_access(client, request))
+                self._process_swept(items)
             finally:
-                self._queue.task_done()
+                for _ in items:
+                    queue.task_done()
+
+    def _process_swept(self, items: List[tuple]) -> None:
+        """Answer one sweep of queued requests.
+
+        Deadline shedding, cancellation, and hello handling stay
+        per-item; contiguous runs of live access records are handed to
+        :meth:`_process_access_batch` so the state core can batch them.
+        Response order matches queue order exactly.
+        """
+        run: List[tuple] = []
+        for item in items:
+            op, client, request, future, enqueued = item
+            if future.cancelled():
+                continue
+            age = self.clock.now() - enqueued
+            if age > self.settings.deadline_s:
+                self.stats.shed += 1
+                self._emit("shed", client=client,
+                           detail="deadline: aged %.3fs in queue" % age)
+                future.set_result(nack(
+                    "deadline", seq=request.get("seq"),
+                    detail="aged %.3fs in queue" % age,
+                    retry_after_s=self.settings.deadline_s,
+                ))
+                continue
+            if op == "hello":
+                self._process_access_batch(run)
+                run = []
+                future.set_result(self._process_hello(request))
+            else:
+                run.append((client, request, future))
+        self._process_access_batch(run)
+
+    def _process_access_batch(
+        self, items: List[tuple]
+    ) -> None:
+        """Apply a run of access requests through the batched state lane
+        and journal each applied record at its own sequence number."""
+        if not items:
+            return
+        if len(items) == 1:
+            client, request, future = items[0]
+            future.set_result(self._process_access(client, request))
+            return
+        assert self.state is not None and self.journal is not None
+        applied_list = self.state.apply_batch([
+            (client, request["warp"], request["pc"], request["addr"],
+             request["app"])
+            for client, request, _ in items
+        ])
+        # ``apply_batch`` advances ``seq`` once per *applied* record;
+        # walking the results reconstructs each record's own seq for the
+        # journal (expired-session records do not consume one).
+        seq = self.state.seq - sum(1 for a in applied_list if a is not None)
+        for (client, request, future), applied in zip(items, applied_list):
+            if applied is None:
+                future.set_result(nack(
+                    "session-expired", seq=request.get("seq"),
+                    detail="session was evicted; re-hello to continue",
+                ))
+                continue
+            seq += 1
+            self.journal.record_access(
+                seq, client, request["warp"], request["pc"],
+                request["addr"], request["app"],
+            )
+            self._maybe_snapshot()
+            if applied.breaker_opened:
+                self._emit("breaker_open", client=client,
+                           detail="shard %d: %s"
+                           % (applied.shard, applied.fault))
+            if applied.breaker_closed:
+                self._emit("breaker_close", client=client,
+                           detail="shard %d" % applied.shard)
+            future.set_result(ack(
+                seq=request.get("seq"), predictions=applied.predictions,
+                degraded=applied.degraded,
+            ))
 
     def _process_hello(self, request: Dict[str, Any]) -> Dict[str, Any]:
         assert self.state is not None and self.journal is not None

@@ -93,13 +93,15 @@ class TestPrefetchFootprint:
 
         config = GPUConfig.scaled().with_(prefetcher_latency=7)
         sm = make_sm(config, prefetcher=OneShot())
-        original = sm.l1.prefetch
+        original = sm.l1.prefetch_trigger
 
-        def spy(line, now):
-            issued_at.append((line, now))
-            return original(line, now)
+        def spy(vectors, now, issue_at, throttle):
+            issued_at.extend(
+                (line, issue_at) for vector in vectors for line in vector
+            )
+            return original(vectors, now, issue_at, throttle)
 
-        sm.l1.prefetch = spy
+        sm.l1.prefetch_trigger = spy
         load = WarpInstr(pc=1, op=Op.LOAD, base_addr=0, thread_stride=0)
         sm.enqueue_cta(cta_of([load]))
         sm.run()

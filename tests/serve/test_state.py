@@ -270,3 +270,108 @@ def test_fallback_lru_bound():
 def test_config_rejects_nonsense(kwargs):
     with pytest.raises(ValueError):
         ServeConfig(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Batched drain lane (ServiceState.apply_batch)
+
+
+def _burst_records(seed, count, clients):
+    """Bursty per-client traffic, the shape a worker queue sweep drains."""
+    import random
+
+    rng = random.Random(seed)
+    pcs = list(range(0x100, 0x100 + 8))
+    cursors = {}
+    records = []
+    while len(records) < count:
+        client = rng.choice(clients + ["ghost"])
+        warp = rng.randrange(4)
+        for k in range(rng.randrange(1, 24)):
+            pc = pcs[(warp + k) % len(pcs)]
+            key = (client, warp, pc)
+            addr = cursors.get(key, 0x8000 + warp * 0x1000)
+            cursors[key] = addr + 64
+            records.append((client, warp, pc, addr, 0))
+    del records[count:]
+    return records
+
+
+@pytest.mark.parametrize("seed", [1, 7, 1234])
+def test_apply_batch_matches_sequential_apply(seed):
+    """Digest and per-record results are identical no matter how the
+    record stream is chunked — the property journal replay rests on."""
+    import random
+
+    config = ServeConfig(shards=2, audit_every=16, max_sessions=4,
+                         min_idle_evict=4)
+    a, b = ServiceState(config), ServiceState(config)
+    clients = ["c%d" % i for i in range(5)]
+    for client in clients:
+        a.admit(client)
+        b.admit(client)
+    records = _burst_records(seed, 600, clients)
+
+    sequential = [a.apply(*record) for record in records]
+    rng = random.Random(seed)
+    batched = []
+    i = 0
+    while i < len(records):
+        k = rng.randrange(1, 48)
+        batched.extend(b.apply_batch(records[i:i + k]))
+        i += k
+
+    assert a.state_digest() == b.state_digest()
+    assert a.counters == b.counters
+    for x, y in zip(sequential, batched):
+        if x is None or y is None:
+            assert x is y
+            continue
+        assert (x.predictions, x.degraded, x.shard, x.fault,
+                x.breaker_opened, x.breaker_closed) == \
+               (y.predictions, y.degraded, y.shard, y.fault,
+                y.breaker_opened, y.breaker_closed)
+
+
+def test_apply_batch_routes_faulting_learner_through_scalar_path():
+    """A planted non-Snake learner (the breaker tests' idiom) must fault
+    and degrade exactly as under sequential apply — the batch lane only
+    accepts runs it can prove equivalent."""
+    config = ServeConfig(shards=2, breaker_threshold=1, breaker_cooldown=50)
+    a, b = ServiceState(config), ServiceState(config)
+    for state in (a, b):
+        state.admit("x")
+        state.sessions["x"].shards[0] = _Boom()
+    records = [("x", 0, pc, 0x1000 + 64 * i, 0)
+               for i, pc in enumerate([2, 4, 6, 2, 4, 6, 3, 5, 3, 5] * 4)]
+    sequential = [a.apply(*record) for record in records]
+    batched = b.apply_batch(records)
+    assert a.state_digest() == b.state_digest()
+    assert [r.degraded for r in sequential] == [r.degraded for r in batched]
+    assert [r.fault for r in sequential] == [r.fault for r in batched]
+    assert b.counters["faults"] >= 1            # the plant did fault
+    assert b.sessions["x"].breakers[0].state == "open"
+
+
+def test_snapshot_roundtrip_after_batched_traffic():
+    """The serve snapshot must round-trip the numpy-backed learner
+    tables byte-identically after batched traffic (the chaos recovery
+    certificate's foundation)."""
+    state = ServiceState(ServeConfig(shards=2))
+    state.admit("x")
+    state.admit("y")
+    records = _burst_records(42, 400, ["x", "y"])
+    i = 0
+    while i < len(records):
+        state.apply_batch(records[i:i + 32])
+        i += 32
+    image = state.snapshot()
+    clone = ServiceState.restore(image)
+    assert clone.snapshot() == image
+    assert clone.state_digest() == state.state_digest()
+    # and the clone continues identically, batched or not
+    more = _burst_records(43, 120, ["x", "y"])
+    state.apply_batch(more)
+    for record in more:
+        clone.apply(*record)
+    assert clone.state_digest() == state.state_digest()

@@ -32,7 +32,7 @@ from pathlib import Path
 # explain.  Extend this table when the CLI grows a new surface.
 CLI_SURFACE = {
     "trace": (),
-    "profile": (),
+    "profile": ("--hot",),
     "sweep": ("--checkpoint", "--resume", "--retry-failed", "--sanitize",
               "--lease", "--drain-timeout"),
     "chaos": ("--sites", "--delay-cycles", "--runner", "--runner-jobs"),
